@@ -1,0 +1,351 @@
+package zigzag
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation. Each benchmark runs one experiment at the Quick
+// scale and reports the headline scalars the paper quotes via
+// b.ReportMetric, so `go test -bench=. -benchmem` prints a compact
+// paper-vs-measured summary; the zigzag-bench CLI prints the full
+// series/tables (use `-scale full` there for paper-sized runs).
+//
+// Mapping (see DESIGN.md for the full index):
+//
+//	BenchmarkFig4_2_CorrelationProfile   — Fig 4-2
+//	BenchmarkFig4_4_ErrorDecay           — Fig 4-4
+//	BenchmarkLemma4_4_1_AckProbability   — Lemma 4.4.1
+//	BenchmarkFig4_7a_FailureFixedCW      — Fig 4-7a
+//	BenchmarkFig4_7b_FailureExpBackoff   — Fig 4-7b
+//	BenchmarkTable5_1_MicroEval          — Table 5.1
+//	BenchmarkFig5_2a_ResidualOffset      — Fig 5-2a
+//	BenchmarkFig5_2b_ISISymbols          — Fig 5-2b
+//	BenchmarkFig5_3_BERvsSNR             — Fig 5-3
+//	BenchmarkFig5_4_CaptureSweep         — Fig 5-4
+//	BenchmarkFig5_5_TestbedThroughput    — Figs 5-5/5-6/5-7/5-8
+//	BenchmarkFig5_9_ThreeHidden          — Fig 5-9
+//	BenchmarkAblation*                   — design-choice ablations
+//	BenchmarkDecodePair                  — raw decoder speed
+
+import (
+	"math/rand"
+	"testing"
+
+	"zigzag/internal/core"
+	"zigzag/internal/experiments"
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+	"zigzag/internal/phy"
+)
+
+func BenchmarkFig4_2_CorrelationProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, offB := experiments.Fig42CorrelationProfile(2)
+		peak := 0.0
+		for _, p := range series.Points {
+			if int(p.X) == offB && p.Y > peak {
+				peak = p.Y
+			}
+		}
+		b.ReportMetric(peak, "peak|Γ|")
+	}
+}
+
+func BenchmarkFig4_4_ErrorDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig44ErrorDecay(100000, 1)
+		b.ReportMetric(res.PropagationProbability, "P(propagate)")
+	}
+}
+
+func BenchmarkLemma4_4_1_AckProbability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Lemma441AckProbability(200000, 1)
+		b.ReportMetric(res.Bound, "bound")
+		b.ReportMetric(res.MonteCarlo, "montecarlo")
+	}
+}
+
+func BenchmarkFig4_7a_FailureFixedCW(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig47FixedOnly(experiments.Quick, 1)
+		// Report the n=3 failure probability per CW (the paper's most
+		// visible points).
+		b.ReportMetric(res.FixedCW[0].Points[1].Y, "fail_cw8_n3")
+		b.ReportMetric(res.FixedCW[2].Points[1].Y, "fail_cw32_n3")
+	}
+}
+
+func BenchmarkFig4_7b_FailureExpBackoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig47ExpOnly(experiments.Quick, 2)
+		b.ReportMetric(res.Exponential.Points[1].Y, "fail_exp_n3")
+	}
+}
+
+func BenchmarkTable5_1_MicroEval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table51MicroEval(experiments.Quick, 1)
+		b.ReportMetric(res.FalsePositiveRate, "corr_FP")
+		b.ReportMetric(res.FalseNegativeRate, "corr_FN")
+		b.ReportMetric(res.TrackingSuccess1500, "track_on_1500B")
+		b.ReportMetric(res.NoTracking1500, "track_off_1500B")
+		b.ReportMetric(res.ISISuccess10dB, "isi_on_10dB")
+		b.ReportMetric(res.NoISISuccess10dB, "isi_off_10dB")
+	}
+}
+
+func BenchmarkFig5_2a_ResidualOffset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig52aResidualOffsetErrors(7)
+		b.ReportMetric(res.EarlyBER, "early_BER")
+		b.ReportMetric(res.LateBER, "late_BER")
+	}
+}
+
+func BenchmarkFig5_2b_ISISymbols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Fig52bISISymbols(8)
+		spread := 0.0
+		for _, p := range s.Points {
+			d := p.Y
+			if d < 0 {
+				d = -d
+			}
+			if d2 := d - 1; d2 > spread {
+				spread = d2
+			} else if d2 := 1 - d; d2 > spread {
+				spread = d2
+			}
+		}
+		b.ReportMetric(spread, "isi_spread")
+	}
+}
+
+func BenchmarkFig5_3_BERvsSNR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig53BERvsSNR(experiments.Quick, 1)
+		// The paper's headline: fwd+bwd ZigZag beats separate time slots
+		// by ~1.4× on average.
+		b.ReportMetric(res.MeanRatio, "CF/ZZ_BER_ratio")
+		b.ReportMetric(res.ZigZag.Points[0].Y, "ZZ_BER@6dB")
+		b.ReportMetric(res.CollisionFree.Points[0].Y, "CF_BER@6dB")
+	}
+}
+
+func BenchmarkFig5_4_CaptureSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig54CaptureSweep(experiments.Quick, 1)
+		zz := res.Total["ZigZag"]
+		std := res.Total["802.11"]
+		b.ReportMetric(zz.Points[0].Y, "ZZ_total@SINR0")
+		b.ReportMetric(std.Points[0].Y, "802.11_total@SINR0")
+		// Peak ZigZag total across the sweep (the 2× IC regime).
+		peak := 0.0
+		for _, p := range zz.Points {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+		b.ReportMetric(peak, "ZZ_total_peak")
+	}
+}
+
+func BenchmarkFig5_5_TestbedThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTestbed(experiments.Quick, 1)
+		b.ReportMetric(res.MeanThroughputGain, "thr_gain")     // paper: +0.31
+		b.ReportMetric(res.MeanLoss80211, "loss_802.11")       // paper: 0.189
+		b.ReportMetric(res.MeanLossZigZag, "loss_zigzag")      // paper: 0.002
+		b.ReportMetric(res.HiddenMean80211, "hidden_loss_std") // paper: 0.823
+		b.ReportMetric(res.HiddenMeanZigZag, "hidden_loss_zz") // paper: 0.007
+	}
+}
+
+func BenchmarkFig5_9_ThreeHidden(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig59ThreeHiddenTerminals(experiments.Quick, 1)
+		b.ReportMetric(res.MeanPerSender[0], "thr_sender0")
+		b.ReportMetric(res.FairnessSpread, "fairness_spread")
+	}
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out. ---
+
+func benchPairScenario(b *testing.B, cfg core.Config, seed int64) ([]core.PacketMeta, []*core.Reception, bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tx := phy.NewTransmitter(cfg.PHY)
+	const noise = 0.05
+	var metas []core.PacketMeta
+	var waves [][]complex128
+	var links []*ChannelParams
+	for i := 0; i < 2; i++ {
+		payload := make([]byte, 300)
+		rng.Read(payload)
+		f := &frame.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: modem.BPSK, Payload: payload}
+		w, err := tx.Waveform(f)
+		if err != nil {
+			return nil, nil, false
+		}
+		waves = append(waves, w)
+		freq := []float64{0.003, -0.002}[i]
+		links = append(links, &ChannelParams{
+			Gain:       complex(SNRToGain(13, noise), 0),
+			FreqOffset: freq,
+			ISI:        TypicalISI(1),
+		})
+		metas = append(metas, core.PacketMeta{Scheme: modem.BPSK, Freq: freq * 0.98})
+	}
+	sy := phy.NewSynchronizer(cfg.PHY)
+	mk := func(off2 int) *core.Reception {
+		air := &Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
+		rx := air.Mix(off2+len(waves[1])+80,
+			Emission{Samples: waves[0], Link: links[0], Offset: 40},
+			Emission{Samples: waves[1], Link: links[1], Offset: off2},
+		)
+		rec := &core.Reception{Samples: rx}
+		for i, off := range []int{40, off2} {
+			s, ok := sy.Measure(rx, off, 3, metas[i].Freq)
+			if !ok {
+				return nil
+			}
+			rec.Packets = append(rec.Packets, core.Occurrence{Packet: i, Sync: s})
+		}
+		return rec
+	}
+	r1, r2 := mk(40+700), mk(40+260)
+	if r1 == nil || r2 == nil {
+		return nil, nil, false
+	}
+	return metas, []*core.Reception{r1, r2}, true
+}
+
+// BenchmarkDecodePair measures the raw joint-decode speed of the
+// canonical two-collision case (300 B payloads).
+func BenchmarkDecodePair(b *testing.B) {
+	cfg := core.DefaultConfig()
+	metas, recs, ok := benchPairScenario(b, cfg, 1)
+	if !ok {
+		b.Fatal("scenario build failed")
+	}
+	b.ResetTimer()
+	okCount := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Decode(cfg, metas, recs)
+		if err == nil && res.AllOK() {
+			okCount++
+		}
+	}
+	b.ReportMetric(float64(okCount)/float64(b.N), "decode_ok")
+}
+
+// BenchmarkAblationForwardOnly isolates the backward pass's cost and
+// benefit (Fig 5-3's ablation).
+func BenchmarkAblationForwardOnly(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.DisableBackward = true
+	metas, recs, ok := benchPairScenario(b, cfg, 1)
+	if !ok {
+		b.Fatal("scenario build failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.Decode(cfg, metas, recs)
+	}
+}
+
+// BenchmarkAblationNoISIModel measures decoding with the re-encoding ISI
+// filter disabled (Table 5.1's ablation).
+func BenchmarkAblationNoISIModel(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.PHY.DisableISIModel = true
+	metas, recs, ok := benchPairScenario(b, cfg, 1)
+	if !ok {
+		b.Fatal("scenario build failed")
+	}
+	b.ResetTimer()
+	okCount := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Decode(cfg, metas, recs)
+		if err == nil && res.AllOK() {
+			okCount++
+		}
+	}
+	b.ReportMetric(float64(okCount)/float64(b.N), "decode_ok")
+}
+
+// BenchmarkAblationChunkSize sweeps MaxChunkSymbols, the tracker's
+// measurement granularity.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, chunk := range []int{64, 256, 1024} {
+		b.Run(sizeName(chunk), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.MaxChunkSymbols = chunk
+			metas, recs, ok := benchPairScenario(b, cfg, 1)
+			if !ok {
+				b.Fatal("scenario build failed")
+			}
+			b.ResetTimer()
+			okCount := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Decode(cfg, metas, recs)
+				if err == nil && res.AllOK() {
+					okCount++
+				}
+			}
+			b.ReportMetric(float64(okCount)/float64(b.N), "decode_ok")
+		})
+	}
+}
+
+// BenchmarkAblationInterpTaps sweeps the sinc interpolator width used
+// for re-encoding (§4.2.3b mentions ≈8 symbols).
+func BenchmarkAblationInterpTaps(b *testing.B) {
+	for _, taps := range []int{2, 4, 8} {
+		b.Run(sizeName(taps), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.PHY.Interp.Taps = taps
+			metas, recs, ok := benchPairScenario(b, cfg, 1)
+			if !ok {
+				b.Fatal("scenario build failed")
+			}
+			b.ResetTimer()
+			okCount := 0
+			for i := 0; i < b.N; i++ {
+				res, err := core.Decode(cfg, metas, recs)
+				if err == nil && res.AllOK() {
+					okCount++
+				}
+			}
+			b.ReportMetric(float64(okCount)/float64(b.N), "decode_ok")
+		})
+	}
+}
+
+// BenchmarkDetector measures the preamble correlation detector on a
+// collision buffer.
+func BenchmarkDetector(b *testing.B) {
+	cfg := core.DefaultConfig()
+	_, recs, ok := benchPairScenario(b, cfg, 1)
+	if !ok {
+		b.Fatal("scenario build failed")
+	}
+	sy := phy.NewSynchronizer(cfg.PHY)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sy.Detect(recs[0].Samples, 0.003, 0, 1)
+	}
+}
+
+func sizeName(n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,48 @@
+// Capture-effect example: the Fig 5-4 scenario.
+//
+// Alice moves closer to the AP, so her signal grows stronger than Bob's
+// (SINR = SNR_A − SNR_B increases). Under current 802.11 the capture
+// effect lets Alice through but starves Bob completely. ZigZag decodes
+// Alice despite Bob's interference, subtracts her, and recovers Bob from
+// the same single collision (interference cancellation, Fig 4-1e) — so
+// at moderate SINR the total throughput approaches twice the link rate.
+//
+// Run with: go run ./examples/capture
+package main
+
+import (
+	"fmt"
+
+	"zigzag/internal/testbed"
+)
+
+func main() {
+	const (
+		packets = 4
+		// Paper-scale payloads: at 1300 B the airtime exceeds CWmax·slot,
+		// so 802.11's hidden terminals cannot escape collisions by
+		// backoff — the regime in which the capture/starvation shapes of
+		// Fig 5-4 appear.
+		payload = 1300
+		snrB    = 12.0
+	)
+	fmt.Println("SINR sweep: Alice approaches the AP (Bob fixed at 12 dB)")
+	fmt.Printf("%6s  %28s  %28s\n", "", "ZigZag", "802.11")
+	fmt.Printf("%6s  %8s %8s %9s  %8s %8s %9s\n",
+		"SINR", "Alice", "Bob", "total", "Alice", "Bob", "total")
+	for _, sinr := range []float64{0, 4, 8, 12, 16} {
+		row := fmt.Sprintf("%4.0fdB", sinr)
+		for _, scheme := range []testbed.Scheme{testbed.ZigZag, testbed.Current80211} {
+			cfg := testbed.HiddenPairConfig(snrB+sinr, snrB, testbed.FullyHidden,
+				packets, payload, 0.05, 11+int64(sinr))
+			cfg.Saturated = true // both senders transmit at full speed, as in the paper
+			res := testbed.Run(cfg, scheme)
+			row += fmt.Sprintf("  %8.3f %8.3f %9.3f",
+				res.Flows[0].Throughput, res.Flows[1].Throughput, res.AggregateThroughput())
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nexpected shapes (Fig 5-4): 802.11 loses both flows at SINR 0 and starves")
+	fmt.Println("Bob at high SINR; ZigZag serves both at SINR 0 and exploits capture to")
+	fmt.Println("push the total toward 2× once Alice is strong enough to decode through Bob.")
+}

@@ -1,0 +1,43 @@
+// Hidden-terminal example: the paper's headline scenario end to end.
+//
+// Two saturated senders that cannot carrier-sense each other push
+// packets through the full stack — 802.11 DCF backoff and
+// retransmissions, the channel simulator, and the online ZigZag
+// receiver with collision detection, matching and joint decoding. The
+// same schedule is then replayed against a current-802.11 receiver to
+// show the loss-rate collapse the paper reports (82.3% → 0.7% on their
+// testbed, Fig 5-8).
+//
+// Run with: go run ./examples/hiddenterminal
+package main
+
+import (
+	"fmt"
+
+	"zigzag/internal/testbed"
+)
+
+func main() {
+	const (
+		packets = 12
+		payload = 600 // long enough that backoff alone cannot escape collisions
+		snr     = 13.0
+	)
+	cfg := testbed.HiddenPairConfig(snr, snr, testbed.FullyHidden, packets, payload, 0.05, 7)
+
+	fmt.Printf("two hidden terminals, %d packets each, %d-byte payloads, %.0f dB SNR\n\n",
+		packets, payload, snr)
+
+	for _, scheme := range []testbed.Scheme{testbed.Current80211, testbed.ZigZag} {
+		res := testbed.Run(cfg, scheme)
+		fmt.Printf("%s:\n", scheme)
+		for _, f := range res.Flows {
+			fmt.Printf("  sender %d: delivered %2d/%2d, loss %5.1f%%, throughput %.3f\n",
+				f.Sender, f.Stats.Delivered, f.Stats.Sent, f.Stats.LossRate()*100, f.Throughput)
+		}
+		fmt.Printf("  %d episodes, %d collisions, aggregate throughput %.3f\n\n",
+			res.Episodes, res.Collisions, res.AggregateThroughput())
+	}
+	fmt.Println("ZigZag turns the repeated collisions into decodable pairs; current")
+	fmt.Println("802.11 burns the retry budget and drops most packets.")
+}

@@ -1,0 +1,106 @@
+// Three-way example: the §4.5 generalization beyond a pair of
+// interferers, driven through the low-level Decode API.
+//
+// Three mutually hidden senders collide three times with different
+// offset patterns. The greedy chunk scheduler finds a decoding order
+// across the three collisions and recovers all three packets.
+//
+// Run with: go run ./examples/threeway
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"zigzag"
+)
+
+// seedFromEnv lets THREEWAY_SEED override the default scenario seed.
+// Not every random draw decodes: like the real system, some offset/
+// channel combinations violate the §4.5 solvability condition or sit
+// below the decoder's operating point.
+func seedFromEnv() int64 {
+	if v := os.Getenv("THREEWAY_SEED"); v != "" {
+		var n int64
+		fmt.Sscan(v, &n)
+		return n
+	}
+	return 1
+}
+
+func main() {
+	cfg := zigzag.DefaultConfig()
+	tx := zigzag.NewTransmitter(cfg.PHY)
+	rng := rand.New(rand.NewSource(seedFromEnv()))
+	const noise = 0.05
+
+	names := []string{"Alice", "Bob", "Carol"}
+	freqs := []float64{0.003, -0.002, 0.0045}
+	var waves [][]complex128
+	var links []*zigzag.ChannelParams
+	var metas []zigzag.PacketMeta
+	for i := range names {
+		payload := make([]byte, 220)
+		rng.Read(payload)
+		copy(payload, []byte(names[i]+"'s packet"))
+		f := &zigzag.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: zigzag.BPSK, Payload: payload}
+		w, err := tx.Waveform(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		waves = append(waves, w)
+		links = append(links, &zigzag.ChannelParams{
+			Gain:       complex(zigzag.SNRToGain(14, noise), 0),
+			FreqOffset: freqs[i],
+			ISI:        zigzag.TypicalISI(1),
+		})
+		metas = append(metas, zigzag.PacketMeta{Scheme: zigzag.BPSK, Freq: freqs[i] * 0.98})
+	}
+
+	sy := zigzag.NewSynchronizer(cfg.PHY)
+	air := &zigzag.Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
+	collide := func(offsets [3]int) *zigzag.Reception {
+		end := 0
+		var ems []zigzag.Emission
+		for i, off := range offsets {
+			ems = append(ems, zigzag.Emission{Samples: waves[i], Link: links[i], Offset: off})
+			if e := off + len(waves[i]); e > end {
+				end = e
+			}
+		}
+		rx := air.Mix(end+80, ems...)
+		rec := &zigzag.Reception{Samples: rx}
+		for i, off := range offsets {
+			s, ok := sy.Measure(rx, off, 3, metas[i].Freq)
+			if !ok {
+				log.Fatalf("sender %d not detected", i)
+			}
+			rec.Packets = append(rec.Packets, zigzag.Occurrence{Packet: i, Sync: s})
+		}
+		return rec
+	}
+
+	// Three collisions of the same three packets; every pair of packets
+	// combines differently in at least two collisions (the solvability
+	// condition of Assertion 4.5.1).
+	recs := []*zigzag.Reception{
+		collide([3]int{40, 740, 1540}),
+		collide([3]int{40, 360, 2240}),
+		collide([3]int{940, 40, 1940}),
+	}
+
+	res, err := zigzag.Decode(cfg, metas, recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("three senders, three collisions, %d scheduler iterations\n", res.Iterations)
+	for i := range res.Packets {
+		pr := &res.Packets[i]
+		if !pr.OK() {
+			log.Fatalf("%s failed: %v", names[i], pr.Err)
+		}
+		fmt.Printf("  %s ✓ via %s: %q...\n", names[i], pr.Source, pr.Frame.Payload[:16])
+	}
+}

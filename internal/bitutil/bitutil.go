@@ -1,0 +1,136 @@
+// Package bitutil provides the bit-level plumbing shared by the framing
+// and modem layers: packing bits to bytes and back, the pseudo-random
+// (PN) sequence generator used for the 802.11-style preamble, CRC-32
+// integrity checks, and bit-error accounting for the evaluation metrics.
+package bitutil
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// BytesToBits expands data into one byte per bit (values 0 or 1), most
+// significant bit of each byte first, appending to dst.
+func BytesToBits(dst []byte, data []byte) []byte {
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			dst = append(dst, (b>>uint(i))&1)
+		}
+	}
+	return dst
+}
+
+// BitsToBytes packs a slice of 0/1 bits (MSB first) into bytes. The bit
+// count must be a multiple of 8.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bitutil: bit count %d is not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("bitutil: bit %d has non-binary value %d", i, b)
+		}
+		out[i/8] |= b << uint(7-i%8)
+	}
+	return out, nil
+}
+
+// PutUint16 appends v as 16 bits, MSB first.
+func PutUint16(dst []byte, v uint16) []byte {
+	for i := 15; i >= 0; i-- {
+		dst = append(dst, byte((v>>uint(i))&1))
+	}
+	return dst
+}
+
+// Uint16 reads 16 bits MSB first.
+func Uint16(bits []byte) uint16 {
+	var v uint16
+	for _, b := range bits[:16] {
+		v = v<<1 | uint16(b&1)
+	}
+	return v
+}
+
+// PutUint32 appends v as 32 bits, MSB first.
+func PutUint32(dst []byte, v uint32) []byte {
+	for i := 31; i >= 0; i-- {
+		dst = append(dst, byte((v>>uint(i))&1))
+	}
+	return dst
+}
+
+// Uint32 reads 32 bits MSB first.
+func Uint32(bits []byte) uint32 {
+	var v uint32
+	for _, b := range bits[:32] {
+		v = v<<1 | uint32(b&1)
+	}
+	return v
+}
+
+// CRC32 computes the IEEE CRC-32 over a bit slice (packing it MSB-first;
+// a trailing partial byte is zero-padded). Every 802.11-style frame in
+// this codebase carries this 32-bit checksum, mirroring the paper's
+// "32-bit CRC" framing (§5.1c).
+func CRC32(bits []byte) uint32 {
+	n := (len(bits) + 7) / 8
+	buf := make([]byte, n)
+	for i, b := range bits {
+		buf[i/8] |= (b & 1) << uint(7-i%8)
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// PN generates a pseudo-random ±-style bit sequence of length n using a
+// maximal-length 15-bit Fibonacci LFSR (taps 15,14 — the x¹⁵+x¹⁴+1
+// polynomial also used by 802.11's scrambler). The sequence is fully
+// determined by the seed, so transmitter and receiver independently
+// derive the same known preamble. A zero seed is replaced by 1 (the LFSR
+// must not start in the all-zero state).
+func PN(seed uint16, n int) []byte {
+	state := seed & 0x7fff
+	if state == 0 {
+		state = 1
+	}
+	out := make([]byte, n)
+	for i := range out {
+		bit := ((state >> 14) ^ (state >> 13)) & 1
+		state = (state<<1 | bit) & 0x7fff
+		out[i] = byte(bit)
+	}
+	return out
+}
+
+// HammingDistance counts positions where a and b differ. Slices must have
+// equal length.
+func HammingDistance(a, b []byte) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bitutil: length mismatch %d vs %d", len(a), len(b))
+	}
+	d := 0
+	for i := range a {
+		if a[i]&1 != b[i]&1 {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// BitErrorRate returns the fraction of differing bits between the
+// transmitted and received bit slices. If the received slice is shorter,
+// the missing tail counts as errors (a truncated decode lost those bits);
+// extra received bits are ignored.
+func BitErrorRate(sent, got []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	errs := 0
+	for i := range sent {
+		if i >= len(got) || sent[i]&1 != got[i]&1 {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}

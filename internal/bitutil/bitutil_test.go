@@ -1,0 +1,163 @@
+package bitutil
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := BytesToBits(nil, data)
+		back, err := BitsToBytes(bits)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsToBytesRejectsBadInput(t *testing.T) {
+	if _, err := BitsToBytes(make([]byte, 7)); err == nil {
+		t.Fatal("non-multiple-of-8 should error")
+	}
+	if _, err := BitsToBytes([]byte{0, 1, 2, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("non-binary value should error")
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	f16 := func(v uint16) bool { return Uint16(PutUint16(nil, v)) == v }
+	if err := quick.Check(f16, nil); err != nil {
+		t.Fatal(err)
+	}
+	f32 := func(v uint32) bool { return Uint32(PutUint32(nil, v)) == v }
+	if err := quick.Check(f32, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32MatchesByteCRC(t *testing.T) {
+	data := []byte("the quick brown fox")
+	bits := BytesToBits(nil, data)
+	if CRC32(bits) != CRC32(bits) {
+		t.Fatal("CRC not deterministic")
+	}
+	// Flipping any single bit must change the CRC.
+	for i := range bits {
+		bits[i] ^= 1
+		if CRC32(bits) == CRC32(BytesToBits(nil, data)) {
+			t.Fatalf("bit flip at %d not detected", i)
+		}
+		bits[i] ^= 1
+	}
+}
+
+func TestPNDeterministicAndBalanced(t *testing.T) {
+	a := PN(0x1234, 4096)
+	b := PN(0x1234, 4096)
+	if !bytes.Equal(a, b) {
+		t.Fatal("PN not deterministic")
+	}
+	c := PN(0x4321, 4096)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should give different sequences")
+	}
+	ones := 0
+	for _, v := range a {
+		if v > 1 {
+			t.Fatal("PN emitted non-binary value")
+		}
+		ones += int(v)
+	}
+	// A maximal-length LFSR is nearly balanced.
+	if ones < 1850 || ones > 2250 {
+		t.Fatalf("PN balance off: %d ones out of 4096", ones)
+	}
+}
+
+func TestPNZeroSeed(t *testing.T) {
+	z := PN(0, 64)
+	allZero := true
+	for _, v := range z {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed must not produce the all-zero sequence")
+	}
+}
+
+func TestPNLowAutocorrelation(t *testing.T) {
+	// The preamble detector (§4.2.1) relies on the preamble being
+	// "independent of shifted versions of itself". Check the ±1-mapped
+	// autocorrelation at non-zero shifts is small relative to n.
+	n := 1024
+	seq := PN(7, n)
+	mapped := make([]int, n)
+	for i, b := range seq {
+		mapped[i] = 2*int(b) - 1
+	}
+	for shift := 1; shift < 32; shift++ {
+		acc := 0
+		for i := 0; i+shift < n; i++ {
+			acc += mapped[i] * mapped[i+shift]
+		}
+		if acc > n/8 || acc < -n/8 {
+			t.Fatalf("autocorrelation at shift %d = %d, too large", shift, acc)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	d, err := HammingDistance([]byte{0, 1, 1, 0}, []byte{1, 1, 0, 0})
+	if err != nil || d != 2 {
+		t.Fatalf("d=%d err=%v", d, err)
+	}
+	if _, err := HammingDistance([]byte{0}, []byte{0, 1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestBitErrorRate(t *testing.T) {
+	sent := []byte{0, 1, 0, 1}
+	if ber := BitErrorRate(sent, sent); ber != 0 {
+		t.Fatalf("identical BER = %v", ber)
+	}
+	if ber := BitErrorRate(sent, []byte{1, 0, 1, 0}); ber != 1 {
+		t.Fatalf("inverted BER = %v", ber)
+	}
+	if ber := BitErrorRate(sent, []byte{0, 1}); ber != 0.5 {
+		t.Fatalf("truncated BER = %v, want 0.5", ber)
+	}
+	if ber := BitErrorRate(nil, nil); ber != 0 {
+		t.Fatalf("empty BER = %v", ber)
+	}
+}
+
+func TestBitErrorRateRandomProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + r.Intn(400)
+		sent := make([]byte, n)
+		got := make([]byte, n)
+		flips := 0
+		for i := range sent {
+			sent[i] = byte(r.Intn(2))
+			got[i] = sent[i]
+			if r.Float64() < 0.1 {
+				got[i] ^= 1
+				flips++
+			}
+		}
+		want := float64(flips) / float64(n)
+		if got := BitErrorRate(sent, got); got != want {
+			t.Fatalf("BER = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package channel models the wireless medium the ZigZag evaluation ran
+// over. It substitutes for the paper's USRP frontends and indoor 2.4 GHz
+// propagation with exactly the impairment model the paper itself uses
+// (Chapter 3): a flat-fading quasi-static complex gain H = h·e^{jγ}
+// (Eq. 3.1), a carrier frequency offset that rotates the signal by
+// e^{j2πnδfT} (§3.1.1), a fractional sampling offset with clock drift
+// (§3.1.2), multipath inter-symbol interference (§3.1.3), and additive
+// white Gaussian noise.
+//
+// The Air type is the collision generator: it overlays the transmissions
+// of multiple senders at arbitrary sample offsets — the physical fact at
+// the heart of the hidden-terminal problem — and adds receiver noise.
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"zigzag/internal/dsp"
+)
+
+// Params describes one sender→receiver link. The zero value is a perfect
+// unit channel.
+type Params struct {
+	// Gain is the complex channel coefficient H = h·e^{jγ}. A zero value
+	// means 1 (perfect channel).
+	Gain complex128
+
+	// FreqOffset is the carrier frequency offset in radians per sample,
+	// i.e. 2π·δf·T. Typical 802.11 hardware offsets at 500 ksample/s map
+	// to |FreqOffset| up to a few hundredths of a radian per sample.
+	FreqOffset float64
+
+	// Phase0 is the carrier phase at the first sample of a transmission.
+	// The Air randomizes it per transmission unless frozen, since each
+	// packet sees an arbitrary carrier phase.
+	Phase0 float64
+
+	// SamplingOffset is the receiver's sampling position offset μ in
+	// fractional samples (§3.1.2).
+	SamplingOffset float64
+
+	// SamplingDrift is the per-sample drift of μ caused by clock skew.
+	SamplingDrift float64
+
+	// ISI is the multipath/hardware distortion filter (§3.1.3). A
+	// zero-value FIR (no taps) means no ISI.
+	ISI dsp.FIR
+
+	// Interp is the fractional-delay interpolator used to realize the
+	// sampling offset. The zero value uses dsp defaults.
+	Interp dsp.Interpolator
+}
+
+// gain returns the effective complex gain, treating zero as unity.
+func (p *Params) gain() complex128 {
+	if p.Gain == 0 {
+		return 1
+	}
+	return p.Gain
+}
+
+// Amplitude returns |H|.
+func (p *Params) Amplitude() float64 { return cmplx.Abs(p.gain()) }
+
+// Apply pushes the transmitted baseband samples x through the link,
+// returning the receiver's view (before noise). dst must not alias x.
+//
+// The processing order mirrors the physics: the transmit/multipath
+// filtering happens first (in signal time), then the receiver samples the
+// continuous waveform at offset positions, and the carrier offset
+// contributes a progressive rotation at those sampling instants.
+func (p *Params) Apply(dst, x []complex128) []complex128 {
+	cur := x
+	var tmp []complex128
+	if len(p.ISI.Taps) > 0 && !p.ISI.IsIdentity() {
+		tmp = p.ISI.Apply(nil, cur)
+		cur = tmp
+	}
+	if p.SamplingOffset != 0 || p.SamplingDrift != 0 {
+		cur = p.Interp.ShiftDrift(nil, cur, p.SamplingOffset, p.SamplingDrift)
+	}
+	dst = dsp.Scale(dst, p.gain(), cur)
+	if p.FreqOffset != 0 || p.Phase0 != 0 {
+		dst = dsp.Rotate(dst, dst, p.Phase0, p.FreqOffset)
+	}
+	return dst
+}
+
+// SNRToGain returns the channel amplitude that yields the requested SNR
+// in dB for unit-power transmit symbols against noise of the given
+// per-sample power.
+func SNRToGain(snrDB, noisePower float64) float64 {
+	return math.Sqrt(dsp.FromDB(snrDB) * noisePower)
+}
+
+// GainToSNR returns the SNR in dB of a link with amplitude |H| against
+// noise of the given per-sample power.
+func GainToSNR(amplitude, noisePower float64) float64 {
+	if noisePower <= 0 {
+		return math.Inf(1)
+	}
+	return dsp.DB(amplitude * amplitude / noisePower)
+}
+
+// Emission is one transmission placed on the air: the transmitted
+// baseband samples, the link they traverse, and the sample offset at
+// which they start at the receiver.
+type Emission struct {
+	Samples []complex128
+	Link    *Params
+	Offset  int
+}
+
+// Air mixes emissions into the receiver's sample buffer and adds AWGN.
+type Air struct {
+	// NoisePower is the mean power E[|w|²] of the complex noise added per
+	// received sample. Zero means a noiseless receiver.
+	NoisePower float64
+
+	// Rng drives the noise and any randomized per-emission phases. It
+	// must be non-nil if NoisePower > 0 or RandomizePhase is set.
+	Rng *rand.Rand
+
+	// RandomizePhase gives each emission an independent uniform carrier
+	// phase, overriding the link's Phase0, as real asynchronous
+	// transmitters would.
+	RandomizePhase bool
+}
+
+// Mix renders a reception window of length n samples containing all the
+// emissions at their offsets, plus noise. Emissions extending beyond the
+// window are clipped. Mix does not modify the emissions.
+func (a *Air) Mix(n int, emissions ...Emission) []complex128 {
+	out := make([]complex128, n)
+	for _, e := range emissions {
+		link := e.Link
+		if link == nil {
+			link = &Params{}
+		}
+		p := *link // copy so phase randomization is per-emission
+		if a.RandomizePhase {
+			p.Phase0 = a.Rng.Float64() * 2 * math.Pi
+		}
+		rx := p.Apply(nil, e.Samples)
+		dsp.AddAt(out, e.Offset, rx)
+	}
+	a.AddNoise(out)
+	return out
+}
+
+// AddNoise adds complex AWGN of power NoisePower to buf in place.
+func (a *Air) AddNoise(buf []complex128) {
+	if a.NoisePower <= 0 {
+		return
+	}
+	sigma := math.Sqrt(a.NoisePower / 2)
+	for i := range buf {
+		buf[i] += complex(sigma*a.Rng.NormFloat64(), sigma*a.Rng.NormFloat64())
+	}
+}
+
+// TypicalISI returns a mild three-tap multipath profile representative of
+// the indoor testbed distortions shown in Fig 5-2b: a dominant direct
+// path with weaker pre- and post-cursor energy. strength scales the echo
+// taps; 1.0 reproduces the default used in the experiments.
+func TypicalISI(strength float64) dsp.FIR {
+	return dsp.NewFIR([]complex128{
+		complex(0.12*strength, 0.04*strength),
+		1,
+		complex(0.22*strength, -0.06*strength),
+	})
+}
+
+// RandomParams draws a randomized link: uniform phase, the given SNR,
+// frequency offset and sampling offset drawn uniformly within the given
+// magnitude bounds, and optional ISI. It is the building block for the
+// testbed topology.
+func RandomParams(rng *rand.Rand, snrDB, noisePower, maxFreqOffset, maxSamplingOffset float64, isi dsp.FIR) *Params {
+	amp := SNRToGain(snrDB, noisePower)
+	phase := rng.Float64() * 2 * math.Pi
+	return &Params{
+		Gain:           complex(amp*math.Cos(phase), amp*math.Sin(phase)),
+		FreqOffset:     (2*rng.Float64() - 1) * maxFreqOffset,
+		SamplingOffset: (2*rng.Float64() - 1) * maxSamplingOffset,
+		ISI:            isi,
+	}
+}

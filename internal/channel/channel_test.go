@@ -1,0 +1,185 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"zigzag/internal/dsp"
+)
+
+func constVec(n int, v complex128) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestZeroParamsIsTransparent(t *testing.T) {
+	var p Params
+	x := []complex128{1, 2i, -3}
+	y := p.Apply(nil, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("zero params changed sample %d", i)
+		}
+	}
+}
+
+func TestGainAndPhase(t *testing.T) {
+	p := Params{Gain: cmplx.Rect(0.5, math.Pi/3)}
+	x := constVec(8, 1)
+	y := p.Apply(nil, x)
+	want := cmplx.Rect(0.5, math.Pi/3)
+	for i := range y {
+		if cmplx.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+	if math.Abs(p.Amplitude()-0.5) > 1e-12 {
+		t.Fatalf("Amplitude = %v", p.Amplitude())
+	}
+}
+
+func TestFreqOffsetRotation(t *testing.T) {
+	p := Params{FreqOffset: 0.01, Phase0: 0.2}
+	x := constVec(100, 1)
+	y := p.Apply(nil, x)
+	for _, n := range []int{0, 10, 99} {
+		want := cmplx.Exp(complex(0, 0.2+0.01*float64(n)))
+		if cmplx.Abs(y[n]-want) > 1e-9 {
+			t.Fatalf("y[%d] = %v, want %v", n, y[n], want)
+		}
+	}
+}
+
+func TestSNRGainRoundTrip(t *testing.T) {
+	for _, snr := range []float64{0, 6, 10, 20} {
+		g := SNRToGain(snr, 0.25)
+		if got := GainToSNR(g, 0.25); math.Abs(got-snr) > 1e-9 {
+			t.Fatalf("SNR round trip %v -> %v", snr, got)
+		}
+	}
+	if !math.IsInf(GainToSNR(1, 0), 1) {
+		t.Fatal("zero noise should be +Inf SNR")
+	}
+}
+
+func TestAirMixOverlaysAtOffsets(t *testing.T) {
+	a := &Air{}
+	e1 := Emission{Samples: constVec(4, 1), Offset: 0}
+	e2 := Emission{Samples: constVec(4, 1i), Offset: 2}
+	out := a.Mix(8, e1, e2)
+	want := []complex128{1, 1, 1 + 1i, 1 + 1i, 1i, 1i, 0, 0}
+	for i := range want {
+		if cmplx.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestAirNoisePower(t *testing.T) {
+	a := &Air{NoisePower: 0.5, Rng: rand.New(rand.NewSource(1))}
+	buf := make([]complex128, 200000)
+	a.AddNoise(buf)
+	p := dsp.Power(buf)
+	if math.Abs(p-0.5) > 0.01 {
+		t.Fatalf("noise power = %v, want 0.5", p)
+	}
+}
+
+func TestAirRandomizePhase(t *testing.T) {
+	a := &Air{Rng: rand.New(rand.NewSource(2)), RandomizePhase: true}
+	link := &Params{}
+	x := constVec(16, 1)
+	out1 := a.Mix(16, Emission{Samples: x, Link: link})
+	out2 := a.Mix(16, Emission{Samples: x, Link: link})
+	if cmplx.Abs(out1[0]-out2[0]) < 1e-6 {
+		t.Fatal("phases should differ between emissions")
+	}
+	// RandomizePhase must not mutate the caller's link.
+	if link.Phase0 != 0 {
+		t.Fatal("Mix mutated the shared link")
+	}
+	// Magnitude preserved.
+	if math.Abs(cmplx.Abs(out1[0])-1) > 1e-9 {
+		t.Fatalf("|out| = %v", cmplx.Abs(out1[0]))
+	}
+}
+
+func TestMeasuredSNRMatchesRequested(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const noise = 0.1
+	const snr = 12.0
+	p := RandomParams(rng, snr, noise, 0, 0, dsp.FIR{})
+	x := make([]complex128, 50000)
+	for i := range x { // unit-power BPSK
+		x[i] = complex(2*float64(rng.Intn(2))-1, 0)
+	}
+	a := &Air{NoisePower: noise, Rng: rng}
+	rx := a.Mix(len(x), Emission{Samples: x, Link: p})
+	sigPower := dsp.Power(rx) - noise
+	got := dsp.DB(sigPower / noise)
+	if math.Abs(got-snr) > 0.5 {
+		t.Fatalf("measured SNR %v dB, want %v dB", got, snr)
+	}
+}
+
+func TestTypicalISIIsNormalizedDominantTap(t *testing.T) {
+	f := TypicalISI(1)
+	if f.Taps[f.Center] != 1 {
+		t.Fatal("center tap must be 1")
+	}
+	for i, tap := range f.Taps {
+		if i == f.Center {
+			continue
+		}
+		if cmplx.Abs(tap) >= 0.5 {
+			t.Fatalf("echo tap %d too strong: %v", i, tap)
+		}
+	}
+	if !TypicalISI(0).IsIdentity() {
+		t.Fatal("zero-strength ISI should be identity")
+	}
+}
+
+func TestApplyComposesImpairments(t *testing.T) {
+	// Apply with all impairments must equal manual composition.
+	rng := rand.New(rand.NewSource(4))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	p := Params{
+		Gain:           cmplx.Rect(0.8, 1.1),
+		FreqOffset:     0.02,
+		Phase0:         0.5,
+		SamplingOffset: 0.3,
+		ISI:            TypicalISI(1),
+	}
+	got := p.Apply(nil, x)
+	manual := p.ISI.Apply(nil, x)
+	manual = dsp.Interpolator{}.ShiftDrift(nil, manual, 0.3, 0)
+	manual = dsp.Scale(manual, p.Gain, manual)
+	manual = dsp.Rotate(manual, manual, 0.5, 0.02)
+	for i := range got {
+		if cmplx.Abs(got[i]-manual[i]) > 1e-9 {
+			t.Fatalf("composition mismatch at %d", i)
+		}
+	}
+}
+
+func TestEmissionClipping(t *testing.T) {
+	a := &Air{}
+	out := a.Mix(4, Emission{Samples: constVec(10, 1), Offset: 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 1 || out[3] != 1 {
+		t.Fatalf("clipping wrong: %v", out)
+	}
+	// Negative offsets clip the emission head.
+	out = a.Mix(4, Emission{Samples: constVec(10, 1), Offset: -8})
+	if out[0] != 1 || out[1] != 1 || out[2] != 0 {
+		t.Fatalf("negative offset clip wrong: %v", out)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.maxChunk() != DefaultMaxChunkSymbols {
+		t.Fatal("maxChunk default wrong")
+	}
+	if c.minTrackChips() != DefaultMinTrackChips {
+		t.Fatal("minTrackChips default wrong")
+	}
+	if c.matchThreshold() != DefaultMatchThreshold {
+		t.Fatal("matchThreshold default wrong")
+	}
+	if c.detectBeta() != DefaultDetectBeta {
+		t.Fatal("detectBeta default wrong")
+	}
+	if got := c.captureRatio(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("captureRatio default = %v, want 10 (10 dB)", got)
+	}
+	cfg := DefaultConfig()
+	if c.holdback() != 0 && cfg.holdback() != cfg.PHY.EqTaps {
+		t.Fatal("holdback should default to the equalizer tap count")
+	}
+}
+
+func TestConfigOverrides(t *testing.T) {
+	c := Config{
+		MaxChunkSymbols: 99,
+		CaptureSINRdB:   3,
+		MatchThreshold:  0.5,
+		MinTrackChips:   17,
+		DetectBeta:      0.9,
+		HoldbackSymbols: 7,
+	}
+	if c.maxChunk() != 99 || c.minTrackChips() != 17 || c.holdback() != 7 {
+		t.Fatal("integer overrides ignored")
+	}
+	if c.matchThreshold() != 0.5 || c.detectBeta() != 0.9 {
+		t.Fatal("float overrides ignored")
+	}
+	if math.Abs(c.captureRatio()-1.9952623) > 1e-4 {
+		t.Fatalf("captureRatio(3dB) = %v", c.captureRatio())
+	}
+}
+
+func TestPacketResultHelpers(t *testing.T) {
+	var pr PacketResult
+	if pr.OK() {
+		t.Fatal("zero PacketResult should not be OK")
+	}
+	var res Result
+	if !res.AllOK() {
+		t.Fatal("empty result is vacuously OK")
+	}
+	res.Packets = append(res.Packets, PacketResult{})
+	if res.AllOK() {
+		t.Fatal("failed packet should break AllOK")
+	}
+}

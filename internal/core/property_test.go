@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomJitterPairsDecode is the repo's core property: across random
+// 802.11-style jitter offsets, a collision pair at healthy SNR decodes
+// both packets almost always (the offsets only fail when the two
+// collisions happen to combine identically, cf. §4.5's condition).
+func TestRandomJitterPairsDecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is slow")
+	}
+	const trials = 10
+	const noise = 0.05
+	const slot = 20 // samples per 802.11 slot at 1 µs/sample
+	okPackets, total, identical := 0, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(1000 + trial)
+		s := newScenario(t, seed, 250, []float64{14, 14}, []float64{0.003, -0.0025}, noise)
+		rng := rand.New(rand.NewSource(seed * 7))
+		d1 := 40 + (1+rng.Intn(31))*slot
+		d2 := 40 + (1+rng.Intn(31))*slot
+		if d1 == d2 {
+			identical++
+			continue // §4.5: same combination twice is undecodable by design
+		}
+		rec1 := s.collide(t, rng, noise, []int{40, d1})
+		rec2 := s.collide(t, rng, noise, []int{40, d2})
+		res, err := Decode(s.cfg, s.metas, []*Reception{rec1, rec2})
+		if err != nil {
+			total += 2
+			continue
+		}
+		for i := range res.Packets {
+			total++
+			if res.Packets[i].OK() {
+				okPackets++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("all draws identical")
+	}
+	rate := float64(okPackets) / float64(total)
+	t.Logf("decoded %d/%d packets (%.0f%%), %d identical-offset draws skipped",
+		okPackets, total, rate*100, identical)
+	if rate < 0.85 {
+		t.Fatalf("decode rate %.2f too low across random jitter", rate)
+	}
+}
+
+// TestDecodeIsDeterministic: the same inputs must produce the same
+// outputs bit for bit (the whole evaluation depends on this).
+func TestDecodeIsDeterministic(t *testing.T) {
+	const noise = 0.05
+	s := newScenario(t, 77, 200, []float64{13, 13}, []float64{0.003, -0.002}, noise)
+	rng := rand.New(rand.NewSource(78))
+	rec1 := s.collide(t, rng, noise, []int{40, 40 + 520})
+	rec2 := s.collide(t, rng, noise, []int{40, 40 + 220})
+	run := func() [][]byte {
+		res, err := Decode(s.cfg, s.metas, []*Reception{rec1, rec2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]byte
+		for i := range res.Packets {
+			out = append(out, res.Packets[i].Bits)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("packet %d lengths differ", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("packet %d bit %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+// TestDecodeDoesNotMutateInput: receptions passed to Decode must come
+// back untouched (the online receiver stores and reuses them).
+func TestDecodeDoesNotMutateInput(t *testing.T) {
+	const noise = 0.05
+	s := newScenario(t, 79, 150, []float64{13, 13}, []float64{0.003, -0.002}, noise)
+	rng := rand.New(rand.NewSource(80))
+	rec1 := s.collide(t, rng, noise, []int{40, 40 + 500})
+	rec2 := s.collide(t, rng, noise, []int{40, 40 + 200})
+	snap := append([]complex128(nil), rec1.Samples...)
+	if _, err := Decode(s.cfg, s.metas, []*Reception{rec1, rec2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap {
+		if rec1.Samples[i] != snap[i] {
+			t.Fatalf("Decode mutated input sample %d", i)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+	"zigzag/internal/phy"
+)
+
+// Client is the AP's per-sender state: the modulation the client uses
+// and the coarse channel knowledge a real AP accumulates from prior
+// interference-free packets (association, past data) per §4.2.1/§4.2.4.
+type Client struct {
+	ID     uint8
+	Scheme modem.Scheme
+	// Freq is the coarse carrier-frequency-offset estimate in radians
+	// per sample.
+	Freq float64
+	// Amp is the coarse channel amplitude |H|; 0 means unknown (the
+	// detector then uses a permissive threshold).
+	Amp float64
+}
+
+// Event is one delivered or failed packet from the online receiver.
+type Event struct {
+	Frame  *frame.Frame // nil if undecodable
+	Client uint8        // sender, when known
+	// Via tells how the packet was obtained: "standard", "zigzag",
+	// "capture".
+	Via string
+	// Result carries the joint-decode detail when Via != "standard".
+	Result *PacketResult
+}
+
+// Receiver is the online ZigZag access point (§5.1d): it attempts
+// standard decoding first, detects collisions by preamble correlation,
+// matches them against stored collisions, and jointly decodes matching
+// pairs. In the absence of collisions it behaves exactly like a current
+// 802.11 receiver.
+type Receiver struct {
+	cfg     Config
+	phy     *phy.Receiver
+	sync    *phy.Synchronizer
+	clients map[uint8]Client
+
+	// MaxStored bounds the unmatched-collision store; 802.11
+	// retransmissions arrive promptly, so a few suffice (§4.2.2).
+	MaxStored int
+
+	// Trace, when non-nil, receives diagnostic lines about detection,
+	// matching and decode decisions.
+	Trace func(format string, args ...any)
+
+	stored []*storedCollision
+}
+
+func (z *Receiver) tracef(format string, args ...any) {
+	if z.Trace != nil {
+		z.Trace(format, args...)
+	}
+}
+
+type storedCollision struct {
+	rec     *Reception
+	clients []uint8 // per occurrence
+}
+
+// NewReceiver builds an online ZigZag receiver.
+func NewReceiver(cfg Config, clients []Client) *Receiver {
+	m := make(map[uint8]Client, len(clients))
+	for _, c := range clients {
+		m[c.ID] = c
+	}
+	return &Receiver{
+		cfg:       cfg,
+		phy:       phy.NewReceiver(cfg.PHY),
+		sync:      phy.NewSynchronizer(cfg.PHY),
+		clients:   m,
+		MaxStored: 4,
+	}
+}
+
+// UpdateClient inserts or refreshes a client's coarse state.
+func (z *Receiver) UpdateClient(c Client) { z.clients[c.ID] = c }
+
+// StoredCollisions reports how many unmatched collisions are held.
+func (z *Receiver) StoredCollisions() int { return len(z.stored) }
+
+// detect finds all packet starts in the buffer and associates each with
+// a client. Every client shares the same preamble, so a strong packet
+// spikes in *every* client's frequency-compensated profile; detection
+// therefore clusters spikes by position and solves a small assignment
+// problem: positions and clients are paired greedily by correlation
+// magnitude, each used at most once (a client transmits at most one
+// packet per reception window).
+func (z *Receiver) detect(rx []complex128) ([]Occurrence, []uint8) {
+	type hit struct {
+		sync   phy.Sync
+		client uint8
+	}
+	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
+	var hits []hit
+	for id, c := range z.clients {
+		for _, s := range z.detectClient(rx, c) {
+			hits = append(hits, hit{s, id})
+		}
+	}
+	if len(hits) == 0 {
+		return nil, nil
+	}
+	// Cluster by position.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].sync.RefPos < hits[j].sync.RefPos })
+	type cluster struct {
+		pos  int
+		best map[uint8]phy.Sync // strongest sync per client
+	}
+	var clusters []*cluster
+	for _, h := range hits {
+		if n := len(clusters); n > 0 && h.sync.RefPos-clusters[n-1].pos < preLen/2 {
+			c := clusters[n-1]
+			if prev, ok := c.best[h.client]; !ok || h.sync.Mag > prev.Mag {
+				c.best[h.client] = h.sync
+			}
+			continue
+		}
+		clusters = append(clusters, &cluster{pos: h.sync.RefPos, best: map[uint8]phy.Sync{h.client: h.sync}})
+	}
+	// Greedy unique assignment by magnitude.
+	type cand struct {
+		ci     int
+		client uint8
+		sync   phy.Sync
+	}
+	var cands []cand
+	for ci, c := range clusters {
+		for id, s := range c.best {
+			cands = append(cands, cand{ci, id, s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sync.Mag != cands[j].sync.Mag {
+			return cands[i].sync.Mag > cands[j].sync.Mag
+		}
+		if cands[i].ci != cands[j].ci {
+			return cands[i].ci < cands[j].ci
+		}
+		return cands[i].client < cands[j].client
+	})
+	usedCluster := make(map[int]bool)
+	usedClient := make(map[uint8]bool)
+	type pick struct {
+		sync   phy.Sync
+		client uint8
+	}
+	var picks []pick
+	for _, c := range cands {
+		if usedCluster[c.ci] || usedClient[c.client] {
+			continue
+		}
+		usedCluster[c.ci] = true
+		usedClient[c.client] = true
+		picks = append(picks, pick{c.sync, c.client})
+	}
+	sort.Slice(picks, func(i, j int) bool { return picks[i].sync.RefPos < picks[j].sync.RefPos })
+	occs := make([]Occurrence, len(picks))
+	clients := make([]uint8, len(picks))
+	for i, p := range picks {
+		occs[i] = Occurrence{Sync: p.sync}
+		clients[i] = p.client
+	}
+	return occs, clients
+}
+
+// detectClient runs thresholded preamble detection for one client. The
+// channel is quasi-static, so the AP's coarse amplitude estimate bounds
+// plausible peaks from both sides: below β·|Ĥ|·E as in §5.3a, and above
+// ~2.5× the expected peak — a spike several times stronger than the
+// client's channel allows is a data-correlation tail of some *other*,
+// stronger sender, not this client's preamble.
+func (z *Receiver) detectClient(rx []complex128, c Client) []phy.Sync {
+	refAmp := c.Amp
+	if refAmp == 0 {
+		refAmp = 0.2 // permissive for unknown channels
+	}
+	syncs := z.sync.DetectFor(rx, c.Freq, z.cfg.detectBeta(), refAmp)
+	if c.Amp == 0 {
+		return syncs
+	}
+	maxMag := 2.5 * c.Amp * z.sync.PreambleEnergy()
+	out := syncs[:0]
+	for _, s := range syncs {
+		if s.Mag <= maxMag {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// metaFor builds the decode metadata for a set of clients.
+func (z *Receiver) metaFor(clients []uint8) []PacketMeta {
+	metas := make([]PacketMeta, len(clients))
+	for i, id := range clients {
+		c := z.clients[id]
+		metas[i] = PacketMeta{Scheme: c.Scheme, Freq: c.Freq}
+	}
+	return metas
+}
+
+// Receive processes one reception buffer and returns the decoded
+// packets. Undecoded collisions are stored for matching against future
+// retransmissions; nil events mean nothing was deliverable yet.
+func (z *Receiver) Receive(rx []complex128) []Event {
+	occs, clients := z.detect(rx)
+	if len(occs) == 0 {
+		return nil
+	}
+	return z.receiveCollision(rx, occs, clients)
+}
+
+func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients []uint8) []Event {
+	// Iterative single-reception decoding (§5.1d): decode what the
+	// capture/IC paths can, then re-run preamble detection on the
+	// residual — a weak sender's preamble may only be visible after the
+	// strong sender was subtracted — and retry with the extended
+	// occurrence set. Keep an extension only if it decodes more.
+	res, rec := z.decodeSingleReception(rx, occs, clients)
+	if res != nil {
+		z.tracef("single-reception decode: ok=%d/%d occs=%v", countOK(res), len(res.Packets), occPositions(occs))
+	}
+	for round := 0; round < 2 && res != nil; round++ {
+		if res.AllOK() && len(occs) >= len(z.clients) {
+			break // everything decoded and no client unaccounted for
+		}
+		if len(res.Residuals) == 0 {
+			break
+		}
+		extOccs, extClients, added := z.redetect(res.Residuals[0], occs, clients, res)
+		if !added {
+			z.tracef("redetect round %d: nothing new", round)
+			break
+		}
+		res2, rec2 := z.decodeSingleReception(rx, extOccs, extClients)
+		n2 := -1
+		if res2 != nil {
+			n2 = countOK(res2)
+		}
+		z.tracef("redetect round %d: occs=%v ok=%d (was %d)", round, occPositions(extOccs), n2, countOK(res))
+		if res2 != nil && n2 > countOK(res) {
+			res, rec = res2, rec2
+			occs, clients = extOccs, extClients
+		} else {
+			break
+		}
+	}
+	if res != nil && res.AllOK() {
+		via := "capture"
+		if len(occs) == 1 {
+			via = "standard"
+		}
+		return z.deliver(res, clients, via, rec)
+	}
+
+	// Search the store for a matching collision (§4.2.2): locate each
+	// stored packet inside the fresh reception by wide-window
+	// correlation — far more robust than re-detecting buried preambles —
+	// and jointly decode the pair.
+	for si, st := range z.stored {
+		joint, ok := z.alignStored(st, rx)
+		if !ok {
+			z.tracef("store %d: alignment failed", si)
+			continue
+		}
+		jres, err := Decode(z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
+		if err == nil && jres.AllOK() {
+			z.stored = append(z.stored[:si], z.stored[si+1:]...)
+			z.tracef("store %d: joint decode ok", si)
+			return z.deliver(jres, st.clients, "zigzag", rec)
+		}
+		if err == nil {
+			for i := range jres.Packets {
+				z.tracef("store %d: joint pkt%d err=%v", si, i, jres.Packets[i].Err)
+			}
+		} else {
+			z.tracef("store %d: joint decode error: %v", si, err)
+		}
+	}
+	// No match (or joint decode failed): store and wait for the
+	// retransmissions, delivering whatever partial capture success the
+	// single-reception attempt managed.
+	z.store(&storedCollision{rec: rec, clients: clients})
+	var evs []Event
+	if res != nil {
+		for i := range res.Packets {
+			if res.Packets[i].OK() {
+				evs = append(evs, z.eventFor(&res.Packets[i], clients[i], "capture", rec, i))
+			}
+		}
+	}
+	return evs
+}
+
+// decodeSingleReception runs the joint decoder on one reception.
+func (z *Receiver) decodeSingleReception(rx []complex128, occs []Occurrence, clients []uint8) (*Result, *Reception) {
+	rec := &Reception{Samples: rx, Packets: append([]Occurrence(nil), occs...)}
+	for i := range rec.Packets {
+		rec.Packets[i].Packet = i
+	}
+	res, err := Decode(z.cfg, z.metaFor(clients), []*Reception{rec})
+	if err != nil {
+		return nil, rec
+	}
+	return res, rec
+}
+
+// redetect revisits detection using a residual buffer in which the
+// successfully decoded packets have been subtracted. Clients that have
+// no occurrence yet are searched for, and clients whose occurrence
+// failed to decode are *relocated*: their original position was likely a
+// data-correlation phantom of a stronger sender whose signal is now
+// gone, so the residual shows their true preamble cleanly.
+func (z *Receiver) redetect(residual []complex128, occs []Occurrence, clients []uint8, res *Result) ([]Occurrence, []uint8, bool) {
+	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
+	okPos := make([]int, 0, len(occs))
+	occOf := map[uint8]int{}
+	for i, id := range clients {
+		occOf[id] = i
+		if i < len(res.Packets) && res.Packets[i].OK() {
+			okPos = append(okPos, occs[i].Sync.RefPos)
+		}
+	}
+	outOccs := append([]Occurrence(nil), occs...)
+	outClients := append([]uint8(nil), clients...)
+	changed := false
+	for id, c := range z.clients {
+		idx, has := occOf[id]
+		if has && idx < len(res.Packets) && res.Packets[idx].OK() {
+			continue // already decoded; leave it alone
+		}
+		var best *phy.Sync
+		for _, s := range z.detectClient(residual, c) {
+			s := s
+			// When relocating, the old position is excluded: it already
+			// failed to decode, so whatever spikes there is not this
+			// client's preamble.
+			if has && absInt(s.RefPos-outOccs[idx].Sync.RefPos) < preLen/2 {
+				continue
+			}
+			if best == nil || s.Mag > best.Mag {
+				best = &s
+			}
+		}
+		if best == nil {
+			continue
+		}
+		clash := false
+		for _, p := range okPos {
+			if absInt(p-best.RefPos) < preLen/2 {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		if has {
+			if absInt(outOccs[idx].Sync.RefPos-best.RefPos) >= preLen/2 {
+				outOccs[idx] = Occurrence{Sync: *best}
+				changed = true
+			}
+		} else {
+			outOccs = append(outOccs, Occurrence{Sync: *best})
+			outClients = append(outClients, id)
+			changed = true
+		}
+	}
+	return outOccs, outClients, changed
+}
+
+func countOK(r *Result) int {
+	n := 0
+	for i := range r.Packets {
+		if r.Packets[i].OK() {
+			n++
+		}
+	}
+	return n
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (z *Receiver) deliver(res *Result, clients []uint8, via string, rec *Reception) []Event {
+	evs := make([]Event, 0, len(res.Packets))
+	for i := range res.Packets {
+		evs = append(evs, z.eventFor(&res.Packets[i], clients[i], via, rec, i))
+	}
+	return evs
+}
+
+func (z *Receiver) eventFor(pr *PacketResult, client uint8, via string, rec *Reception, idx int) Event {
+	ev := Event{Result: pr, Via: via, Client: client}
+	if pr.OK() {
+		ev.Frame = pr.Frame
+		ev.Client = pr.Frame.Src
+		if idx < len(rec.Packets) {
+			z.learn(pr.Frame.Src, rec.Packets[idx].Sync)
+		}
+	}
+	return ev
+}
+
+// learn refreshes a client's coarse channel amplitude from a successful
+// decode, as the paper's AP maintains coarse estimates from prior
+// packets.
+func (z *Receiver) learn(id uint8, s phy.Sync) {
+	c, ok := z.clients[id]
+	if !ok {
+		return
+	}
+	a := cmplx.Abs(s.H)
+	if c.Amp == 0 {
+		c.Amp = a
+	} else {
+		c.Amp = 0.7*c.Amp + 0.3*a // EWMA
+	}
+	if !math.IsNaN(c.Amp) {
+		z.clients[id] = c
+	}
+}
+
+func (z *Receiver) store(sc *storedCollision) {
+	max := z.MaxStored
+	if max <= 0 {
+		max = 4
+	}
+	z.stored = append(z.stored, sc)
+	if len(z.stored) > max {
+		z.stored = z.stored[len(z.stored)-max:]
+	}
+}
+
+// alignStored locates every packet of a stored collision inside a fresh
+// reception. The wide-window locator can latch onto the alignment of the
+// *other* packet the stored window also contains, so each candidate
+// position is validated by measuring the preamble there: a real packet
+// start shows a channel estimate consistent with the client's coarse
+// amplitude, a cross-alignment does not. All packets must be found above
+// the match threshold at mutually distinct positions; otherwise the
+// receptions do not match.
+func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception, bool) {
+	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
+	joint := &Reception{Samples: rx}
+	var positions []int
+	for i, oc := range st.rec.Packets {
+		client := z.clients[st.clients[i]]
+		cands := LocatePacket(z.cfg, st.rec.Samples, oc.Sync.Start, rx, 3)
+		var chosen *phy.Sync
+		for _, c := range cands {
+			if c.Score < z.cfg.matchThreshold() {
+				break
+			}
+			// Distinct packets may legitimately start within one
+			// preamble of each other (one-slot jitter is 20 samples);
+			// only near-identical positions clash.
+			clash := false
+			for _, p := range positions {
+				if absInt(p-c.Pos) < preLen/4 {
+					clash = true
+					break
+				}
+			}
+			if clash {
+				continue
+			}
+			sync, ok := z.sync.Measure(rx, c.Pos, 3, client.Freq)
+			if !ok {
+				continue
+			}
+			if client.Amp > 0 {
+				a := cmplx.Abs(sync.H)
+				if a < 0.5*client.Amp || a > 2.5*client.Amp {
+					continue // cross-alignment, not this packet's preamble
+				}
+			}
+			chosen = &sync
+			break
+		}
+		if chosen == nil {
+			return nil, false
+		}
+		positions = append(positions, chosen.RefPos)
+		joint.Packets = append(joint.Packets, Occurrence{Packet: oc.Packet, Sync: *chosen})
+	}
+	return joint, true
+}
+
+func occPositions(occs []Occurrence) []int {
+	out := make([]int, len(occs))
+	for i := range occs {
+		out[i] = occs[i].Sync.RefPos
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"zigzag/internal/modem"
+	"zigzag/internal/phy"
+)
+
+// PacketMeta is what the receiver knows about a packet before decoding
+// it.
+type PacketMeta struct {
+	// Scheme is the modulation of the packet body. The AP knows each
+	// client's rate (it is negotiated at association and carried in the
+	// PLCP header), so this is legitimate receiver knowledge.
+	Scheme modem.Scheme
+
+	// BitLen, if positive, is the known frame length in bits (header +
+	// payload + CRC). Use 0 or negative when unknown; the decoder then
+	// learns the length from the decoded header, as a real receiver
+	// does.
+	BitLen int
+
+	// Freq is the coarse carrier-frequency-offset estimate for the
+	// sender in radians per sample, maintained by the AP from prior
+	// interference-free packets (§4.2.1).
+	Freq float64
+}
+
+// Occurrence places one packet inside one reception.
+type Occurrence struct {
+	// Packet indexes into the Decode call's packet list.
+	Packet int
+	// Sync is the synchronization of this packet in this reception, as
+	// produced by collision detection.
+	Sync phy.Sync
+}
+
+// Reception is one stored collision: the raw samples and the packets
+// detected inside it. Decode does not modify Samples.
+type Reception struct {
+	Samples []complex128
+	Packets []Occurrence
+}
+
+// interval is a half-open sample range [Lo, Hi).
+type interval struct{ Lo, Hi float64 }
+
+func (iv interval) empty() bool { return iv.Hi <= iv.Lo }
+
+// intersect returns the overlap of two intervals.
+func (iv interval) intersect(o interval) interval {
+	lo, hi := iv.Lo, iv.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	return interval{lo, hi}
+}
+
+// subtractAll removes the given intervals from iv and returns the
+// remaining pieces in order.
+func (iv interval) subtractAll(cuts []interval) []interval {
+	out := []interval{iv}
+	for _, c := range cuts {
+		if c.empty() {
+			continue
+		}
+		var next []interval
+		for _, p := range out {
+			x := p.intersect(c)
+			if x.empty() {
+				next = append(next, p)
+				continue
+			}
+			if x.Lo > p.Lo {
+				next = append(next, interval{p.Lo, x.Lo})
+			}
+			if x.Hi < p.Hi {
+				next = append(next, interval{x.Hi, p.Hi})
+			}
+		}
+		out = next
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// CorrelateProfile slides the known reference waveform ref across y and
+// returns the raw correlation Γ(Δ) = Σ_k conj(ref[k])·y[Δ+k] for every
+// alignment Δ in [0, len(y)−len(ref)]. This is the paper's collision
+// detector kernel (§4.2.1, Fig 4-2): the profile spikes where ref aligns
+// with the start of a packet carrying that preamble.
+//
+// freqStep compensates a known carrier frequency offset of the sender
+// whose preamble is being searched for: the reference is pre-rotated by
+// e^{+j·freqStep·k} so the conjugate multiplication cancels the rotation
+// the channel applied (the paper's Γ'(Δ)). Pass 0 when no compensation is
+// needed.
+func CorrelateProfile(y, ref []complex128, freqStep float64) []complex128 {
+	if len(ref) == 0 || len(y) < len(ref) {
+		return nil
+	}
+	cref := make([]complex128, len(ref))
+	if freqStep == 0 {
+		for k, v := range ref {
+			cref[k] = cmplx.Conj(v)
+		}
+	} else {
+		rot := complex(1, 0)
+		inc := cmplx.Exp(complex(0, -freqStep)) // conj of +freqStep rotation
+		for k, v := range ref {
+			cref[k] = cmplx.Conj(v) * rot
+			rot *= inc
+			if k&0x3ff == 0x3ff {
+				rot /= complex(cmplx.Abs(rot), 0)
+			}
+		}
+	}
+	out := make([]complex128, len(y)-len(ref)+1)
+	for d := range out {
+		var acc complex128
+		win := y[d : d+len(ref)]
+		for k, c := range cref {
+			acc += c * win[k]
+		}
+		out[d] = acc
+	}
+	return out
+}
+
+// CorrelateAt computes the correlation Γ(Δ) at a single alignment with
+// frequency compensation, without building the whole profile.
+func CorrelateAt(y, ref []complex128, delta int, freqStep float64) complex128 {
+	if delta < 0 || delta+len(ref) > len(y) {
+		return 0
+	}
+	var acc complex128
+	rot := complex(1, 0)
+	inc := cmplx.Exp(complex(0, -freqStep))
+	for k, v := range ref {
+		acc += cmplx.Conj(v) * rot * y[delta+k]
+		rot *= inc
+	}
+	return acc
+}
+
+// NormalizedCorrelation returns |Σ a·conj(b)| / √(E_a·E_b) ∈ [0, 1]: the
+// cosine similarity between two complex segments. ZigZag uses it to match
+// a fresh collision against stored collisions — aligning the two segments
+// where the second packets start and checking whether the samples are
+// highly dependent (§4.2.2).
+func NormalizedCorrelation(a, b []complex128) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var acc complex128
+	var ea, eb float64
+	for i := 0; i < n; i++ {
+		acc += a[i] * cmplx.Conj(b[i])
+		ea += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
+		eb += real(b[i])*real(b[i]) + imag(b[i])*imag(b[i])
+	}
+	den := math.Sqrt(ea * eb)
+	if den == 0 {
+		return 0
+	}
+	return cmplx.Abs(acc) / den
+}
+
+// Peak is one detected correlation spike.
+type Peak struct {
+	// Pos is the integer sample alignment of the spike.
+	Pos int
+	// Frac is the sub-sample refinement of the true peak position,
+	// obtained by parabolic interpolation of the magnitude profile;
+	// the refined position is Pos+Frac with Frac ∈ (−0.5, 0.5).
+	Frac float64
+	// Mag is the correlation magnitude |Γ| at Pos.
+	Mag float64
+	// Value is the complex correlation at Pos; its phase carries the
+	// channel phase estimate (§4.2.4a).
+	Value complex128
+}
+
+// PeakDetector finds preamble-correlation spikes in a profile.
+//
+// The threshold follows §5.3a: a spike is accepted when
+//
+//	|Γ(Δ)| > Beta · RefAmp · RefEnergy
+//
+// where RefEnergy is the energy of the reference waveform (Σ|s[k]|², the
+// paper's L for a unit-power preamble) and RefAmp is a coarse estimate of
+// the colliding sender's channel amplitude |H| (obtained from any prior
+// interference-free packet, per the paper). Beta trades false positives
+// against false negatives; the paper settles on 0.65.
+type PeakDetector struct {
+	Beta       float64 // acceptance factor; 0 means DefaultBeta
+	RefAmp     float64 // coarse |H| of the sought sender; 0 means 1
+	MinSpacing int     // minimum samples between reported peaks; 0 means len(ref)/2 semantics supplied by caller
+}
+
+// DefaultBeta is the correlation acceptance factor used throughout the
+// evaluation (§5.3a chooses 0.65 as the balance point).
+const DefaultBeta = 0.65
+
+// Threshold returns the absolute acceptance level for a reference of
+// energy refEnergy.
+func (pd PeakDetector) Threshold(refEnergy float64) float64 {
+	beta := pd.Beta
+	if beta == 0 {
+		beta = DefaultBeta
+	}
+	amp := pd.RefAmp
+	if amp == 0 {
+		amp = 1
+	}
+	return beta * amp * refEnergy
+}
+
+// Find returns all local maxima of |profile| that exceed the threshold,
+// sorted by position, at least MinSpacing apart (keeping the larger
+// magnitude when two candidates are closer).
+func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
+	thr := pd.Threshold(refEnergy)
+	minSp := pd.MinSpacing
+	if minSp <= 0 {
+		minSp = 1
+	}
+	var peaks []Peak
+	for i := range profile {
+		m := cmplx.Abs(profile[i])
+		if m <= thr {
+			continue
+		}
+		if i > 0 && cmplx.Abs(profile[i-1]) > m {
+			continue
+		}
+		if i < len(profile)-1 && cmplx.Abs(profile[i+1]) >= m {
+			continue
+		}
+		p := Peak{Pos: i, Mag: m, Value: profile[i], Frac: parabolicPeak(profile, i)}
+		if n := len(peaks); n > 0 && p.Pos-peaks[n-1].Pos < minSp {
+			if p.Mag > peaks[n-1].Mag {
+				peaks[n-1] = p
+			}
+			continue
+		}
+		peaks = append(peaks, p)
+	}
+	return peaks
+}
+
+// parabolicPeak refines a local maximum of |profile| at index i by fitting
+// a parabola through the three magnitudes around it. The returned offset
+// is clamped to (−0.5, 0.5) and is used as the sub-sample sampling-offset
+// estimate μ for the detected packet.
+func parabolicPeak(profile []complex128, i int) float64 {
+	if i <= 0 || i >= len(profile)-1 {
+		return 0
+	}
+	ym := cmplx.Abs(profile[i-1])
+	y0 := cmplx.Abs(profile[i])
+	yp := cmplx.Abs(profile[i+1])
+	den := ym - 2*y0 + yp
+	if den == 0 {
+		return 0
+	}
+	d := 0.5 * (ym - yp) / den
+	if d > 0.5 {
+		d = 0.5
+	} else if d < -0.5 {
+		d = -0.5
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// bpskRef builds a ±1 pseudo-random reference waveform.
+func bpskRef(r *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		if r.Intn(2) == 0 {
+			out[i] = -1
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+func TestCorrelateProfileFindsEmbeddedPreamble(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ref := bpskRef(r, 64)
+	y := randVec(r, 512) // background noise, unit power
+	const pos = 200
+	AddAt(y, pos, Scale(nil, 2, ref)) // strong embedded copy
+	prof := CorrelateProfile(y, ref, 0)
+	i, _ := MaxAbs(prof)
+	if i != pos {
+		t.Fatalf("peak at %d, want %d", i, pos)
+	}
+	// Peak magnitude should approximate |H|·Σ|s|² = 2·64 = 128.
+	if m := cmplx.Abs(prof[pos]); math.Abs(m-128) > 25 {
+		t.Fatalf("peak magnitude %v, want ≈128", m)
+	}
+}
+
+func TestCorrelationDestroyedByUncompensatedOffset(t *testing.T) {
+	// §4.2.1: the frequency offset can destroy the correlation unless the
+	// AP compensates for it. With δf·T large enough that the phase winds
+	// through several turns across the preamble, the uncompensated peak
+	// collapses while the compensated one survives.
+	r := rand.New(rand.NewSource(43))
+	ref := bpskRef(r, 128)
+	const step = 0.15 // radians/sample; 128·0.15 ≈ 3 turns
+	y := make([]complex128, 400)
+	AddAt(y, 100, Rotate(nil, ref, 0.4, step))
+	plain := CorrelateProfile(y, ref, 0)
+	comp := CorrelateProfile(y, ref, step)
+	if pm := cmplx.Abs(plain[100]); pm > 30 {
+		t.Fatalf("uncompensated peak %v should have collapsed", pm)
+	}
+	if cm := cmplx.Abs(comp[100]); math.Abs(cm-128) > 1e-6 {
+		t.Fatalf("compensated peak %v, want 128", cm)
+	}
+}
+
+func TestCorrelateAtMatchesProfile(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	ref := bpskRef(r, 32)
+	y := randVec(r, 128)
+	prof := CorrelateProfile(y, ref, 0.01)
+	for _, d := range []int{0, 10, 50, 96} {
+		if !approxC(CorrelateAt(y, ref, d, 0.01), prof[d], 1e-9) {
+			t.Fatalf("CorrelateAt(%d) disagrees with profile", d)
+		}
+	}
+	if CorrelateAt(y, ref, -1, 0) != 0 || CorrelateAt(y, ref, 1000, 0) != 0 {
+		t.Fatal("out-of-range CorrelateAt should be 0")
+	}
+}
+
+func TestCorrelateDegenerateInputs(t *testing.T) {
+	if CorrelateProfile(nil, []complex128{1}, 0) != nil {
+		t.Fatal("short y should give nil profile")
+	}
+	if CorrelateProfile([]complex128{1, 2}, nil, 0) != nil {
+		t.Fatal("empty ref should give nil profile")
+	}
+}
+
+func TestNormalizedCorrelation(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	a := randVec(r, 256)
+	if c := NormalizedCorrelation(a, a); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("self correlation = %v, want 1", c)
+	}
+	// Scaled and rotated copies still correlate perfectly.
+	b := Scale(nil, 3*cmplx.Exp(0.7i), a)
+	if c := NormalizedCorrelation(a, b); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("scaled correlation = %v, want 1", c)
+	}
+	// Independent vectors: near zero (O(1/√n)).
+	c := NormalizedCorrelation(a, randVec(r, 256))
+	if c > 0.25 {
+		t.Fatalf("independent correlation = %v, want ≈0", c)
+	}
+	if NormalizedCorrelation(nil, a) != 0 {
+		t.Fatal("empty input should give 0")
+	}
+	if NormalizedCorrelation(make([]complex128, 4), make([]complex128, 4)) != 0 {
+		t.Fatal("all-zero input should give 0")
+	}
+}
+
+func TestPeakDetectorThresholding(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	ref := bpskRef(r, 64)
+	refEnergy := Energy(ref) // 64
+	y := make([]complex128, 600)
+	for i := range y {
+		y[i] = complex(0.1*r.NormFloat64(), 0.1*r.NormFloat64())
+	}
+	AddAt(y, 50, ref)
+	AddAt(y, 300, ref)
+	prof := CorrelateProfile(y, ref, 0)
+	pd := PeakDetector{Beta: 0.65, RefAmp: 1, MinSpacing: 32}
+	peaks := pd.Find(prof, refEnergy)
+	if len(peaks) != 2 {
+		t.Fatalf("found %d peaks, want 2: %+v", len(peaks), peaks)
+	}
+	if peaks[0].Pos != 50 || peaks[1].Pos != 300 {
+		t.Fatalf("peaks at %d,%d, want 50,300", peaks[0].Pos, peaks[1].Pos)
+	}
+	// Raising β above 1 must reject everything (expected peak = refEnergy).
+	none := PeakDetector{Beta: 1.5, RefAmp: 1}.Find(prof, refEnergy)
+	if len(none) != 0 {
+		t.Fatalf("β=1.5 found %d peaks, want 0", len(none))
+	}
+}
+
+func TestPeakDetectorSubsampleRefinement(t *testing.T) {
+	// A preamble delayed by a fractional amount produces a correlation
+	// peak whose parabolic refinement recovers the fraction. This needs
+	// the realistic 2-samples-per-symbol waveform (the paper's GNU Radio
+	// config, §5.1c): its triangular autocorrelation makes the peak wide
+	// enough to interpolate, unlike a white 1-sample-per-chip sequence.
+	r := rand.New(rand.NewSource(47))
+	chips := bpskRef(r, 32)
+	ref := make([]complex128, 0, 64)
+	for _, c := range chips {
+		ref = append(ref, c, c)
+	}
+	ip := Interpolator{Taps: 8}
+	const mu = 0.3
+	shifted := ip.Shift(nil, ref, -mu) // signal arrives mu late
+	y := make([]complex128, 300)
+	AddAt(y, 100, shifted)
+	prof := CorrelateProfile(y, ref, 0)
+	peaks := PeakDetector{Beta: 0.5, RefAmp: 1, MinSpacing: 16}.Find(prof, Energy(ref))
+	if len(peaks) == 0 {
+		t.Fatal("no peak found")
+	}
+	p := peaks[0]
+	if p.Pos != 100 {
+		t.Fatalf("peak at %d, want 100", p.Pos)
+	}
+	// BPSK is not band-limited, so the parabolic estimate is coarse; it
+	// must at least have the right sign and rough size.
+	if p.Frac < 0.1 || p.Frac > 0.5 {
+		t.Fatalf("fractional refinement %v, want ≈0.3", p.Frac)
+	}
+}
+
+func TestPeakDetectorDefaults(t *testing.T) {
+	pd := PeakDetector{}
+	if thr := pd.Threshold(100); math.Abs(thr-DefaultBeta*100) > 1e-12 {
+		t.Fatalf("default threshold = %v", thr)
+	}
+}

@@ -1,0 +1,150 @@
+package dsp
+
+import "fmt"
+
+// FIR is a finite impulse response filter on complex samples. Taps[Center]
+// multiplies the current sample; taps before it look ahead (future
+// samples) and taps after it look back, so a filter with Center > 0 can
+// model pre-cursor and post-cursor inter-symbol interference:
+//
+//	y[n] = Σ_k Taps[k] · x[n + Center - k]
+//
+// This is the two-sided form the paper uses for the decoder's ISI model
+// (§4.2.4d: x[i] = Σ_l h_l · x_isi[i+l], l ∈ [-L, L]).
+type FIR struct {
+	Taps   []complex128
+	Center int
+}
+
+// Identity returns the pass-through filter.
+func Identity() FIR { return FIR{Taps: []complex128{1}, Center: 0} }
+
+// NewFIR builds a filter from two-sided taps indexed -L..+L, given as a
+// slice of length 2L+1 with the zero-delay tap in the middle.
+func NewFIR(twoSided []complex128) FIR {
+	if len(twoSided)%2 == 0 {
+		panic("dsp: NewFIR requires an odd number of taps")
+	}
+	return FIR{Taps: append([]complex128(nil), twoSided...), Center: len(twoSided) / 2}
+}
+
+// IsIdentity reports whether the filter passes signals through unchanged.
+func (f FIR) IsIdentity() bool {
+	for i, t := range f.Taps {
+		if i == f.Center {
+			if t != 1 {
+				return false
+			}
+			continue
+		}
+		if t != 0 {
+			return false
+		}
+	}
+	return len(f.Taps) > 0
+}
+
+// Apply filters x into dst (same length, edges read zeros). dst must not
+// alias x; if dst is nil a new slice is allocated.
+func (f FIR) Apply(dst, x []complex128) []complex128 {
+	dst = ensure(dst, len(x))
+	if len(f.Taps) == 0 {
+		copy(dst, x)
+		return dst
+	}
+	for n := range dst {
+		var acc complex128
+		for k, t := range f.Taps {
+			if t == 0 {
+				continue
+			}
+			i := n + f.Center - k
+			if i < 0 || i >= len(x) {
+				continue
+			}
+			acc += t * x[i]
+		}
+		dst[n] = acc
+	}
+	return dst
+}
+
+// String renders the taps for diagnostics.
+func (f FIR) String() string {
+	return fmt.Sprintf("FIR{center=%d taps=%v}", f.Center, f.Taps)
+}
+
+// Invert computes a truncated inverse filter g such that (f*g)[n] ≈ δ[n],
+// with one-sided support width on each side. It solves the least-squares
+// system that matches the combined response to a unit impulse. ZigZag uses
+// this to turn the decoder's equalizer back into a channel model when
+// reconstructing the received image of a chunk (§4.2.4d: "we can take the
+// filter from the decoder and invert it").
+//
+// Invert returns an error if the filter is numerically singular.
+func (f FIR) Invert(width int) (FIR, error) {
+	if width < 0 {
+		width = len(f.Taps)
+	}
+	m := 2*width + 1 // unknown taps of g, indexed -width..width
+	// Build the convolution matrix: for each output lag d in
+	// [-(width+Cf) .. width+Cb] the combined impulse response is
+	// r[d] = Σ_k f2[k] g2[d-k], where f2/g2 are two-sided tap views.
+	cf := f.Center
+	cb := len(f.Taps) - 1 - f.Center
+	lo, hi := -(width + cf), width+cb
+	rows := hi - lo + 1
+	a := make([][]float64, 0, 2*rows) // real-ified system (complex → 2x2 blocks folded)
+	b := make([]float64, 0, 2*rows)
+	// We solve the complex least-squares problem by stacking real and
+	// imaginary parts: each complex equation gives two real equations and
+	// each complex unknown gives two real unknowns (re, im).
+	ftap := func(k int) complex128 { // two-sided tap f at lag k (k in [-cf, cb])
+		idx := f.Center + k
+		if idx < 0 || idx >= len(f.Taps) {
+			return 0
+		}
+		// Taps[j] multiplies x[n+Center-j] ⇒ lag of Taps[j] is j-Center.
+		return f.Taps[idx]
+	}
+	for d := lo; d <= hi; d++ {
+		rowRe := make([]float64, 2*m)
+		rowIm := make([]float64, 2*m)
+		for g := -width; g <= width; g++ {
+			c := ftap(d - g)
+			j := g + width
+			// (cr+j·ci)(gr+j·gi) = (cr·gr − ci·gi) + j(ci·gr + cr·gi)
+			rowRe[2*j] += real(c)
+			rowRe[2*j+1] += -imag(c)
+			rowIm[2*j] += imag(c)
+			rowIm[2*j+1] += real(c)
+		}
+		var tr, ti float64
+		if d == 0 {
+			tr = 1
+		}
+		a = append(a, rowRe, rowIm)
+		b = append(b, tr, ti)
+	}
+	sol, err := SolveLeastSquares(a, b)
+	if err != nil {
+		return FIR{}, fmt.Errorf("dsp: cannot invert %v: %w", f, err)
+	}
+	taps := make([]complex128, m)
+	for j := 0; j < m; j++ {
+		taps[j] = complex(sol[2*j], sol[2*j+1])
+	}
+	return FIR{Taps: taps, Center: width}, nil
+}
+
+// Convolve returns the filter equivalent to applying f then g.
+func (f FIR) Convolve(g FIR) FIR {
+	n := len(f.Taps) + len(g.Taps) - 1
+	taps := make([]complex128, n)
+	for i, a := range f.Taps {
+		for j, b := range g.Taps {
+			taps[i+j] += a * b
+		}
+	}
+	return FIR{Taps: taps, Center: f.Center + g.Center}
+}

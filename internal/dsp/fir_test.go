@@ -1,0 +1,133 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityFilter(t *testing.T) {
+	f := Identity()
+	if !f.IsIdentity() {
+		t.Fatal("Identity() not recognized as identity")
+	}
+	x := randVec(rand.New(rand.NewSource(1)), 32)
+	y := f.Apply(nil, x)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("identity filter changed sample %d", i)
+		}
+	}
+}
+
+func TestFIRApplyKnownValues(t *testing.T) {
+	// y[n] = 0.5·x[n+1] + x[n] + 0.25·x[n−1]
+	f := NewFIR([]complex128{0.5, 1, 0.25})
+	x := []complex128{1, 0, 0, 2}
+	y := f.Apply(nil, x)
+	want := []complex128{1, 0.25 + 0, 0 + 0 + 1, 2}
+	for i := range want {
+		if !approxC(y[i], want[i], 1e-12) {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestNewFIRRejectsEvenTaps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFIR with even tap count should panic")
+		}
+	}()
+	NewFIR([]complex128{1, 2})
+}
+
+func TestConvolveMatchesSequentialApply(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := NewFIR([]complex128{0.2 + 0.1i, 1, 0.3})
+	g := NewFIR([]complex128{-0.1, 1, 0.15i})
+	x := randVec(r, 64)
+	seq := g.Apply(nil, f.Apply(nil, x))
+	comb := f.Convolve(g).Apply(nil, x)
+	// Edges differ because sequential application clips intermediate
+	// results at the buffer boundary; compare the interior.
+	for i := 4; i < 60; i++ {
+		if !approxC(seq[i], comb[i], 1e-9) {
+			t.Fatalf("convolve mismatch at %d: %v vs %v", i, seq[i], comb[i])
+		}
+	}
+}
+
+func TestInvertRecoversImpulse(t *testing.T) {
+	f := NewFIR([]complex128{0.15 + 0.05i, 1, 0.25 - 0.1i})
+	inv, err := f.Invert(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := f.Convolve(inv)
+	// Combined response should be ≈ δ at the combined center.
+	for i, tap := range comb.Taps {
+		want := complex128(0)
+		if i == comb.Center {
+			want = 1
+		}
+		if cmplx.Abs(tap-want) > 0.02 {
+			t.Fatalf("combined tap %d = %v, want %v", i-comb.Center, tap, want)
+		}
+	}
+}
+
+func TestInvertRoundTripsSignal(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := NewFIR([]complex128{0.1, 1, 0.3i})
+	inv, err := f.Invert(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(r, 128)
+	y := inv.Apply(nil, f.Apply(nil, x))
+	for i := 16; i < 112; i++ {
+		if !approxC(y[i], x[i], 0.05) {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestInvertIdentityIsIdentity(t *testing.T) {
+	inv, err := Identity().Invert(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tap := range inv.Taps {
+		want := complex128(0)
+		if i == inv.Center {
+			want = 1
+		}
+		if cmplx.Abs(tap-want) > 1e-6 {
+			t.Fatalf("inverse of identity has tap %d = %v", i-inv.Center, tap)
+		}
+	}
+}
+
+func TestEstimateFIRRecoversChannel(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	truth := NewFIR([]complex128{0.2 - 0.1i, 0.9 + 0.3i, 0.15})
+	x := randVec(r, 300)
+	y := truth.Apply(nil, x)
+	est, err := EstimateFIR(x, y, 5, 295, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth.Taps {
+		if cmplx.Abs(est.Taps[i]-truth.Taps[i]) > 1e-6 {
+			t.Fatalf("tap %d = %v, want %v", i, est.Taps[i], truth.Taps[i])
+		}
+	}
+}
+
+func TestEstimateFIRTooFewSamples(t *testing.T) {
+	x := make([]complex128, 4)
+	if _, err := EstimateFIR(x, x, 0, 2, 3); err == nil {
+		t.Fatal("expected error for underdetermined fit")
+	}
+}

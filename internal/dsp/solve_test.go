@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	m := [][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 2},
+	}
+	// x = (1, 2, 3) ⇒ v = (4, 10, 8)
+	v := []float64{4, 10, 8}
+	x, err := SolveLinear(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	m := [][]float64{{1, 1}, {2, 2}}
+	if _, err := SolveLinear(m, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	m := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveLinear(m, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-5) > 1e-12 {
+		t.Fatalf("x = %v, want [7 5]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	// Fit y = 3x₀ − 2x₁ with noise; 50 equations, 2 unknowns.
+	var a [][]float64
+	var b []float64
+	for i := 0; i < 50; i++ {
+		x0, x1 := r.NormFloat64(), r.NormFloat64()
+		a = append(a, []float64{x0, x1})
+		b = append(b, 3*x0-2*x1+0.01*r.NormFloat64())
+	}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 0.02 || math.Abs(x[1]+2) > 0.02 {
+		t.Fatalf("fit = %v, want ≈ [3 -2]", x)
+	}
+}
+
+func TestLeastSquaresRejectsBadInput(t *testing.T) {
+	if _, err := SolveLeastSquares(nil, nil); err == nil {
+		t.Fatal("nil input should error")
+	}
+	if _, err := SolveLeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("dimension mismatch should error")
+	}
+	if _, err := SolveLeastSquares([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+	if _, err := SolveLeastSquares([][]float64{{0, 0}}, []float64{0}); err == nil {
+		t.Fatal("all-zero matrix should error")
+	}
+}
+
+func TestComplexLeastSquares(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	truth := []complex128{2 - 1i, 0.5i}
+	var a [][]complex128
+	var b []complex128
+	for i := 0; i < 40; i++ {
+		row := []complex128{
+			complex(r.NormFloat64(), r.NormFloat64()),
+			complex(r.NormFloat64(), r.NormFloat64()),
+		}
+		a = append(a, row)
+		b = append(b, row[0]*truth[0]+row[1]*truth[1])
+	}
+	x, err := SolveComplexLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if absC(x[i]-truth[i]) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], truth[i])
+		}
+	}
+}
+
+func TestGainPhase(t *testing.T) {
+	g, p := GainPhase(complex(0, 2))
+	if math.Abs(g-2) > 1e-12 || math.Abs(p-math.Pi/2) > 1e-12 {
+		t.Fatalf("GainPhase = (%v, %v)", g, p)
+	}
+}

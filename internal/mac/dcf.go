@@ -1,0 +1,217 @@
+package mac
+
+import (
+	"math/rand"
+	"time"
+)
+
+// This file is the slotted CSMA/CA simulator that produces collision
+// episodes for the testbed. It substitutes for the paper's 802.11a card
+// layer (§5.2): the paper used real cards only to learn *when* packets
+// collide, then replayed those schedules through the USRPs; we generate
+// the schedules directly from an explicit carrier-sense matrix.
+
+// Station is one sender in the DCF simulation.
+type Station struct {
+	ID uint8
+	// Pending is how many packets the station still wants to deliver.
+	Pending int
+
+	attempt int // current retry count for the head-of-line packet
+	backoff int // remaining backoff slots
+	seq     int // per-station packet sequence number
+	started bool
+}
+
+// Transmission is one on-air packet attempt.
+type Transmission struct {
+	Station uint8
+	Seq     int  // per-station packet id
+	Retry   bool // retransmission flag
+	Start   time.Duration
+	End     time.Duration
+}
+
+// Episode is a maximal set of time-overlapping transmissions as heard at
+// the AP: one reception buffer in PHY terms.
+type Episode struct {
+	Transmissions []Transmission
+	Start, End    time.Duration
+}
+
+// Arbiter decides which transmissions of an episode were successfully
+// received (and hence acked). The testbed plugs the actual PHY receivers
+// in here; unit tests use simple rules.
+type Arbiter interface {
+	Deliver(ep Episode) []bool
+}
+
+// ArbiterFunc adapts a function to the Arbiter interface.
+type ArbiterFunc func(Episode) []bool
+
+// Deliver implements Arbiter.
+func (f ArbiterFunc) Deliver(ep Episode) []bool { return f(ep) }
+
+// Sim is a slotted DCF simulation of stations contending for one AP.
+type Sim struct {
+	// Senses[i][j] reports whether station i can carrier-sense station
+	// j's transmissions. Hidden terminals are pairs with false entries.
+	Senses [][]bool
+	// Airtime is the duration of one data packet on the air.
+	Airtime time.Duration
+	// Stations are the contenders. Index into Senses matches the slice
+	// index, not Station.ID.
+	Stations []*Station
+	// Rng drives the backoff draws.
+	Rng *rand.Rand
+	// MaxTime stops the simulation.
+	MaxTime time.Duration
+
+	// Outcome counters, per station index.
+	Delivered []int
+	Dropped   []int
+
+	now time.Duration
+}
+
+// Result summarises a finished simulation for one station.
+type Result struct {
+	Station   uint8
+	Delivered int
+	Dropped   int
+	// Airtime is the total time the medium carried this station's
+	// delivered packets.
+	Airtime time.Duration
+}
+
+// Run executes the simulation against the arbiter, returning all
+// episodes in order (for diagnostics) and filling the outcome counters.
+func (s *Sim) Run(arb Arbiter) []Episode {
+	n := len(s.Stations)
+	s.Delivered = make([]int, n)
+	s.Dropped = make([]int, n)
+	for _, st := range s.Stations {
+		st.attempt = 0
+		st.started = false
+	}
+	var episodes []Episode
+	s.now = 0
+	for s.now < s.MaxTime {
+		// Draw backoffs for stations that need one.
+		active := false
+		for _, st := range s.Stations {
+			if st.Pending <= 0 {
+				continue
+			}
+			active = true
+			if !st.started {
+				st.backoff = s.Rng.Intn(CWForAttempt(st.attempt) + 1)
+				st.started = true
+			}
+		}
+		if !active {
+			break
+		}
+		// Find the earliest transmission start: stations count down
+		// their backoff in DIFS-deferred slots; a station freezes while
+		// it senses another transmission. We process one "busy period"
+		// at a time.
+		type cand struct {
+			idx   int
+			slots int
+		}
+		first := cand{-1, 0}
+		for i, st := range s.Stations {
+			if st.Pending <= 0 {
+				continue
+			}
+			if first.idx < 0 || st.backoff < first.slots {
+				first = cand{i, st.backoff}
+			}
+		}
+		if first.idx < 0 {
+			break
+		}
+		// The episode starts when the earliest station's backoff
+		// expires. Stations that cannot sense it keep counting and join
+		// the episode if their start falls before its end.
+		epStart := s.now + DIFS + time.Duration(first.slots)*SlotTime
+		ep := Episode{Start: epStart}
+		type launch struct {
+			idx   int
+			start time.Duration
+		}
+		launches := []launch{{first.idx, epStart}}
+		epEnd := epStart + s.Airtime
+		for i, st := range s.Stations {
+			if i == first.idx || st.Pending <= 0 {
+				continue
+			}
+			start := s.now + DIFS + time.Duration(st.backoff)*SlotTime
+			if st.backoff == first.slots && i != first.idx {
+				// Same slot: simultaneous start regardless of sensing.
+				launches = append(launches, launch{i, start})
+				if start+s.Airtime > epEnd {
+					epEnd = start + s.Airtime
+				}
+				continue
+			}
+			if s.Senses[i][first.idx] {
+				// Senses the ongoing transmission: freezes with the
+				// remaining backoff.
+				st.backoff -= first.slots
+				if st.backoff < 0 {
+					st.backoff = 0
+				}
+				continue
+			}
+			// Hidden from the transmitter: keeps counting; joins the
+			// episode if it starts before the air clears.
+			if start < epEnd {
+				launches = append(launches, launch{i, start})
+				if start+s.Airtime > epEnd {
+					epEnd = start + s.Airtime
+				}
+			} else {
+				st.backoff = 0 // will transmit next round
+			}
+		}
+		for _, l := range launches {
+			st := s.Stations[l.idx]
+			ep.Transmissions = append(ep.Transmissions, Transmission{
+				Station: st.ID,
+				Seq:     st.seq,
+				Retry:   st.attempt > 0,
+				Start:   l.start,
+				End:     l.start + s.Airtime,
+			})
+		}
+		ep.End = epEnd
+		acked := arb.Deliver(ep)
+		for k, l := range launches {
+			st := s.Stations[l.idx]
+			ok := k < len(acked) && acked[k]
+			if ok {
+				st.Pending--
+				st.seq++
+				st.attempt = 0
+				s.Delivered[l.idx]++
+			} else {
+				st.attempt++
+				if st.attempt > MaxRetries {
+					st.Pending--
+					st.seq++
+					st.attempt = 0
+					s.Dropped[l.idx]++
+				}
+			}
+			st.started = false
+		}
+		episodes = append(episodes, ep)
+		s.now = epEnd + SIFS + ACKDuration
+	}
+	return episodes
+}
+
+// Elapsed returns the simulated time consumed by Run.
+func (s *Sim) Elapsed() time.Duration { return s.now }

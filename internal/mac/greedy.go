@@ -1,0 +1,229 @@
+package mac
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// This file implements the offset-domain simulation behind Fig 4-7: how
+// often the linear-time greedy chunk algorithm of §4.5 can fully decode
+// a general configuration of collisions, as a function of the number of
+// colliding nodes. It works on abstract intervals (no PHY): a packet is
+// an interval of unit-time, a collision is a set of start offsets, and a
+// stretch of a packet is decodable in a collision when every other
+// packet overlapping it has already been decoded there.
+
+// span is a half-open interval [Lo, Hi) in slot units.
+type span struct{ Lo, Hi int }
+
+// spanSet is a normalized (sorted, disjoint) set of spans.
+type spanSet []span
+
+// add merges s into the set.
+func (ss spanSet) add(s span) spanSet {
+	if s.Hi <= s.Lo {
+		return ss
+	}
+	out := append(ss, s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	merged := out[:1]
+	for _, v := range out[1:] {
+		last := &merged[len(merged)-1]
+		if v.Lo <= last.Hi {
+			if v.Hi > last.Hi {
+				last.Hi = v.Hi
+			}
+			continue
+		}
+		merged = append(merged, v)
+	}
+	return merged
+}
+
+// covered reports whether [lo, hi) is fully inside the set.
+func (ss spanSet) covered(lo, hi int) bool {
+	for _, v := range ss {
+		if v.Lo <= lo && hi <= v.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// total returns the summed length.
+func (ss spanSet) total() int {
+	n := 0
+	for _, v := range ss {
+		n += v.Hi - v.Lo
+	}
+	return n
+}
+
+// GreedyDecodable runs the §4.5 greedy algorithm on a configuration of
+// collisions. offsets[c][p] is packet p's start slot in collision c (a
+// packet may appear in every collision, as with 802.11 retransmissions);
+// length is the packet length in slots (all packets equal, as in the
+// paper's simulation). It reports whether every packet becomes fully
+// decoded.
+//
+// The algorithm alternates the paper's two steps until a fixed point:
+// decode every stretch that is interference-free given what has been
+// subtracted, then subtract the known stretches wherever they appear.
+func GreedyDecodable(offsets [][]int, length int) bool {
+	if len(offsets) == 0 || length <= 0 {
+		return false
+	}
+	n := len(offsets[0])
+	decoded := make([]spanSet, n) // in packet-local slot units
+	done := func() bool {
+		for _, ss := range decoded {
+			if !ss.covered(0, length) {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		progress := false
+		for _, coll := range offsets {
+			if len(coll) != n {
+				return false
+			}
+			for p := 0; p < n; p++ {
+				// Decodable stretches of packet p in this collision:
+				// positions where every other packet is absent or
+				// already decoded.
+				for _, s := range cleanStretches(coll, decoded, p, length) {
+					before := decoded[p].total()
+					decoded[p] = decoded[p].add(s)
+					if decoded[p].total() > before {
+						progress = true
+					}
+				}
+			}
+		}
+		if done() {
+			return true
+		}
+		if !progress {
+			return false
+		}
+	}
+}
+
+// cleanStretches returns the packet-local spans of packet p that are
+// interference-free in a collision, treating other packets' decoded
+// spans as subtracted.
+func cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
+	start := coll[p]
+	// Build the "dirty" set in absolute slots: each other packet's
+	// not-yet-decoded portions. Collect first, then sort and merge once.
+	raw := make([]span, 0, 2*len(coll))
+	for q := range coll {
+		if q == p {
+			continue
+		}
+		qs := coll[q]
+		// Complement of decoded[q] within [0, length), shifted to
+		// absolute slots.
+		cur := 0
+		for _, d := range decoded[q] {
+			if d.Lo > cur {
+				raw = append(raw, span{qs + cur, qs + d.Lo})
+			}
+			cur = d.Hi
+		}
+		if cur < length {
+			raw = append(raw, span{qs + cur, qs + length})
+		}
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i].Lo < raw[j].Lo })
+	dirty := raw[:0]
+	for _, v := range raw {
+		if n := len(dirty); n > 0 && v.Lo <= dirty[n-1].Hi {
+			if v.Hi > dirty[n-1].Hi {
+				dirty[n-1].Hi = v.Hi
+			}
+			continue
+		}
+		dirty = append(dirty, v)
+	}
+	// Clean absolute spans of packet p = [start, start+length) minus dirty.
+	var out []span
+	cur := start
+	for _, d := range dirty {
+		if d.Hi <= cur {
+			continue
+		}
+		if d.Lo >= start+length {
+			break
+		}
+		if d.Lo > cur {
+			hi := d.Lo
+			if hi > start+length {
+				hi = start + length
+			}
+			out = append(out, span{cur - start, hi - start})
+		}
+		if d.Hi > cur {
+			cur = d.Hi
+		}
+	}
+	if cur < start+length {
+		out = append(out, span{cur - start, length})
+	}
+	return out
+}
+
+// BackoffMode selects how nodes draw their transmission slots in the
+// Fig 4-7 simulation.
+type BackoffMode int
+
+const (
+	// FixedCW: every node picks uniformly from a constant window
+	// (Fig 4-7a).
+	FixedCW BackoffMode = iota
+	// ExponentialBackoff: the window starts at CWMin+1 and doubles per
+	// collision up to CWMax+1 (Fig 4-7b).
+	ExponentialBackoff
+)
+
+// GreedyFailureProbability estimates the probability that the greedy
+// algorithm cannot decode a random collision configuration of n nodes
+// (Fig 4-7). Each trial draws n successive collisions of the same n
+// packets: in collision k every node independently picks a start slot
+// from its window. length is the packet length in slots (1500 B at
+// 500 kb/s spans far more slots than any window, so overlaps are total;
+// the default used by the benchmarks is 600).
+func GreedyFailureProbability(n, cw, length, trials int, mode BackoffMode, rng *rand.Rand) float64 {
+	if trials <= 0 {
+		trials = 10000
+	}
+	// Larger configurations cost ~n² per trial; keep the total budget
+	// roughly constant across the Fig 4-7 sweep.
+	if n > 3 {
+		trials = trials * 9 / (n * n)
+		if trials < 200 {
+			trials = 200
+		}
+	}
+	fails := 0
+	for t := 0; t < trials; t++ {
+		offsets := make([][]int, n)
+		for c := 0; c < n; c++ {
+			w := cw
+			if mode == ExponentialBackoff {
+				w = CWForAttempt(c) + 1
+			}
+			row := make([]int, n)
+			for p := 0; p < n; p++ {
+				row[p] = rng.Intn(w)
+			}
+			offsets[c] = row
+		}
+		if !GreedyDecodable(offsets, length) {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials)
+}

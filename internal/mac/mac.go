@@ -1,0 +1,46 @@
+// Package mac implements the 802.11 DCF machinery the evaluation depends
+// on: standard timing constants, the synchronous-ACK feasibility analysis
+// of §4.4 (Lemma 4.4.1), the offset-domain greedy-decodability simulation
+// behind Fig 4-7, and a slotted CSMA/CA simulator with per-pair carrier
+// sensing that generates the collision episodes the testbed replays
+// through the PHY (§5.2's methodology, with the 802.11a card layer
+// replaced by this simulator).
+package mac
+
+import "time"
+
+// 802.11g timing (backward-compatible mode), as used in Appendix A.
+const (
+	// SlotTime is the 802.11g slot duration S.
+	SlotTime = 20 * time.Microsecond
+	// SIFS is the short interframe space.
+	SIFS = 10 * time.Microsecond
+	// ACKDuration is the ACK transmission time.
+	ACKDuration = 30 * time.Microsecond
+	// DIFS is SIFS + 2 slots.
+	DIFS = SIFS + 2*SlotTime
+)
+
+// Contention window bounds (§4.5 footnote 5).
+const (
+	// CWMin is the initial contention window.
+	CWMin = 31
+	// CWMax is the cap reached through exponential backoff.
+	CWMax = 1023
+	// MaxRetries is the 802.11 retry limit before a frame is dropped.
+	MaxRetries = 7
+)
+
+// CWForAttempt returns the contention window for the given transmission
+// attempt (0 = first transmission), doubling from CWMin and saturating
+// at CWMax: cw = min((CWMin+1)·2^attempt − 1, CWMax).
+func CWForAttempt(attempt int) int {
+	cw := CWMin
+	for i := 0; i < attempt; i++ {
+		cw = (cw+1)*2 - 1
+		if cw >= CWMax {
+			return CWMax
+		}
+	}
+	return cw
+}

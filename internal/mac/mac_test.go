@@ -1,0 +1,265 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCWForAttempt(t *testing.T) {
+	cases := []struct{ attempt, want int }{
+		{0, 31}, {1, 63}, {2, 127}, {3, 255}, {4, 511}, {5, 1023}, {6, 1023}, {10, 1023},
+	}
+	for _, c := range cases {
+		if got := CWForAttempt(c.attempt); got != c.want {
+			t.Errorf("CWForAttempt(%d) = %d, want %d", c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestAckOffsetBoundIsLemma441(t *testing.T) {
+	// Lemma 4.4.1: at least 93.7% for 802.11g.
+	if b := AckOffsetBound(); math.Abs(b-0.9375) > 1e-12 {
+		t.Fatalf("bound = %v, want 0.9375", b)
+	}
+}
+
+func TestAckOffsetProbabilityAboveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := AckOffsetProbability(200000, rng)
+	if p < AckOffsetBound() {
+		t.Fatalf("MC probability %.4f below analytic bound %.4f", p, AckOffsetBound())
+	}
+	if p > 1 {
+		t.Fatalf("probability %v > 1", p)
+	}
+}
+
+func TestSpanSet(t *testing.T) {
+	var ss spanSet
+	ss = ss.add(span{10, 20})
+	ss = ss.add(span{30, 40})
+	ss = ss.add(span{18, 32}) // bridges the two
+	if len(ss) != 1 || ss[0] != (span{10, 40}) {
+		t.Fatalf("merge failed: %v", ss)
+	}
+	if !ss.covered(15, 35) || ss.covered(5, 15) {
+		t.Fatal("covered wrong")
+	}
+	if ss.total() != 30 {
+		t.Fatalf("total = %d", ss.total())
+	}
+	if got := ss.add(span{5, 5}); len(got) != 1 {
+		t.Fatal("empty span should be ignored")
+	}
+}
+
+func TestGreedyDecodableCanonicalPair(t *testing.T) {
+	// Fig 1-2: two packets, two collisions, different offsets — decodable.
+	offsets := [][]int{{0, 10}, {0, 25}}
+	if !GreedyDecodable(offsets, 100) {
+		t.Fatal("canonical pair should decode")
+	}
+}
+
+func TestGreedyDecodableIdenticalOffsetsFails(t *testing.T) {
+	offsets := [][]int{{0, 10}, {0, 10}}
+	if GreedyDecodable(offsets, 100) {
+		t.Fatal("identical offsets must not decode")
+	}
+}
+
+func TestGreedyDecodableThreeCollisions(t *testing.T) {
+	// Fig 4-6a-like: three packets, three collisions with distinct
+	// pairwise combinations.
+	offsets := [][]int{
+		{0, 10, 20},
+		{0, 4, 30},
+		{12, 0, 25},
+	}
+	if !GreedyDecodable(offsets, 100) {
+		t.Fatal("three-way configuration should decode")
+	}
+}
+
+func TestGreedyDecodableSoloPacket(t *testing.T) {
+	// A single packet in a single "collision" is trivially decodable.
+	if !GreedyDecodable([][]int{{0}}, 50) {
+		t.Fatal("solo packet should decode")
+	}
+	if GreedyDecodable(nil, 50) || GreedyDecodable([][]int{{0}}, 0) {
+		t.Fatal("degenerate inputs should fail")
+	}
+}
+
+func TestGreedyConditionOfAssertion451(t *testing.T) {
+	// §4.5: for any pair of packets there must exist two collisions in
+	// which they combine differently. Violate it for packets (0,1) while
+	// varying packet 2 — decoding must fail.
+	offsets := [][]int{
+		{0, 10, 20},
+		{0, 10, 35},
+		{0, 10, 50},
+	}
+	if GreedyDecodable(offsets, 100) {
+		t.Fatal("pairwise-identical offsets should not decode")
+	}
+}
+
+func TestGreedyFailureDecreasesWithCW(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f8 := GreedyFailureProbability(3, 8, 600, 1200, FixedCW, rng)
+	f32 := GreedyFailureProbability(3, 32, 600, 1200, FixedCW, rng)
+	if f32 > f8 {
+		t.Fatalf("failure should drop with CW: cw8=%v cw32=%v", f8, f32)
+	}
+	if f8 > 0.2 {
+		t.Fatalf("cw=8 failure %v implausibly high", f8)
+	}
+}
+
+func TestGreedyFailureExponentialBelowFixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fExp := GreedyFailureProbability(4, 16, 600, 800, ExponentialBackoff, rng)
+	fFix := GreedyFailureProbability(4, 8, 600, 800, FixedCW, rng)
+	if fExp > fFix+0.01 {
+		t.Fatalf("exponential backoff (%v) should not fail more than cw=8 (%v)", fExp, fFix)
+	}
+}
+
+func TestDCFNoContention(t *testing.T) {
+	// A single station delivers everything when the arbiter accepts all.
+	sim := &Sim{
+		Senses:   [][]bool{{true}},
+		Airtime:  2 * time.Millisecond,
+		Stations: []*Station{{ID: 1, Pending: 10}},
+		Rng:      rand.New(rand.NewSource(4)),
+		MaxTime:  10 * time.Second,
+	}
+	eps := sim.Run(ArbiterFunc(func(ep Episode) []bool {
+		acks := make([]bool, len(ep.Transmissions))
+		for i := range acks {
+			acks[i] = true
+		}
+		return acks
+	}))
+	if sim.Delivered[0] != 10 || sim.Dropped[0] != 0 {
+		t.Fatalf("delivered %d dropped %d", sim.Delivered[0], sim.Dropped[0])
+	}
+	for _, ep := range eps {
+		if len(ep.Transmissions) != 1 {
+			t.Fatalf("unexpected collision: %+v", ep)
+		}
+	}
+}
+
+func TestDCFHiddenTerminalsCollide(t *testing.T) {
+	// Two stations that cannot sense each other collide massively when
+	// the arbiter rejects collisions (current-802.11 behaviour).
+	senses := [][]bool{{true, false}, {false, true}}
+	sim := &Sim{
+		Senses:  senses,
+		Airtime: 2 * time.Millisecond,
+		Stations: []*Station{
+			{ID: 1, Pending: 30},
+			{ID: 2, Pending: 30},
+		},
+		Rng:     rand.New(rand.NewSource(5)),
+		MaxTime: 20 * time.Second,
+	}
+	collisions := 0
+	sim.Run(ArbiterFunc(func(ep Episode) []bool {
+		acks := make([]bool, len(ep.Transmissions))
+		if len(ep.Transmissions) == 1 {
+			acks[0] = true
+		} else {
+			collisions++
+		}
+		return acks
+	}))
+	if collisions == 0 {
+		t.Fatal("hidden terminals never collided")
+	}
+	drops := sim.Dropped[0] + sim.Dropped[1]
+	if drops == 0 {
+		t.Fatal("expected drops under persistent collisions")
+	}
+}
+
+func TestDCFSensingPreventsMostCollisions(t *testing.T) {
+	// Mutually-sensing stations rarely collide (only same-slot draws).
+	senses := [][]bool{{true, true}, {true, true}}
+	sim := &Sim{
+		Senses:  senses,
+		Airtime: 2 * time.Millisecond,
+		Stations: []*Station{
+			{ID: 1, Pending: 50},
+			{ID: 2, Pending: 50},
+		},
+		Rng:     rand.New(rand.NewSource(6)),
+		MaxTime: 30 * time.Second,
+	}
+	single, multi := 0, 0
+	sim.Run(ArbiterFunc(func(ep Episode) []bool {
+		acks := make([]bool, len(ep.Transmissions))
+		if len(ep.Transmissions) == 1 {
+			acks[0] = true
+			single++
+		} else {
+			multi++
+		}
+		return acks
+	}))
+	if multi*5 > single {
+		t.Fatalf("too many collisions with carrier sense: %d vs %d", multi, single)
+	}
+	if sim.Delivered[0]+sim.Delivered[1] < 90 {
+		t.Fatalf("delivered only %d", sim.Delivered[0]+sim.Delivered[1])
+	}
+}
+
+func TestDCFRetryFlagAndSeq(t *testing.T) {
+	// Rejected packets retry with the Retry flag and the same Seq, then
+	// advance Seq on delivery.
+	sim := &Sim{
+		Senses:   [][]bool{{true}},
+		Airtime:  time.Millisecond,
+		Stations: []*Station{{ID: 7, Pending: 2}},
+		Rng:      rand.New(rand.NewSource(7)),
+		MaxTime:  5 * time.Second,
+	}
+	var seen []Transmission
+	count := 0
+	sim.Run(ArbiterFunc(func(ep Episode) []bool {
+		seen = append(seen, ep.Transmissions[0])
+		count++
+		return []bool{count%2 == 0} // fail every other attempt
+	}))
+	if len(seen) < 4 {
+		t.Fatalf("only %d transmissions", len(seen))
+	}
+	if seen[0].Retry || seen[0].Seq != 0 {
+		t.Fatalf("first attempt wrong: %+v", seen[0])
+	}
+	if !seen[1].Retry || seen[1].Seq != 0 {
+		t.Fatalf("retry flag missing: %+v", seen[1])
+	}
+	if seen[2].Retry || seen[2].Seq != 1 {
+		t.Fatalf("sequence did not advance: %+v", seen[2])
+	}
+}
+
+func TestDCFTimeBound(t *testing.T) {
+	sim := &Sim{
+		Senses:   [][]bool{{true}},
+		Airtime:  time.Millisecond,
+		Stations: []*Station{{ID: 1, Pending: 1 << 30}},
+		Rng:      rand.New(rand.NewSource(8)),
+		MaxTime:  100 * time.Millisecond,
+	}
+	sim.Run(ArbiterFunc(func(ep Episode) []bool { return []bool{true} }))
+	if sim.Elapsed() > sim.MaxTime+10*time.Millisecond {
+		t.Fatalf("ran past MaxTime: %v", sim.Elapsed())
+	}
+}

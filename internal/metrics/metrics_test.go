@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanQuantile(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || s.Mean() != 3 {
+		t.Fatalf("N=%d mean=%v", s.N(), s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	var empty Sample
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty sample should be NaN")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 200; i++ {
+		s.Add(r.NormFloat64())
+	}
+	pts := s.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if last := pts[len(pts)-1].Y; math.Abs(last-1) > 1e-12 {
+		t.Fatalf("CDF must end at 1, got %v", last)
+	}
+}
+
+func TestCDFDuplicatesCollapse(t *testing.T) {
+	var s Sample
+	for i := 0; i < 10; i++ {
+		s.Add(7)
+	}
+	pts := s.CDF()
+	if len(pts) != 1 || pts[0].X != 7 || pts[0].Y != 1 {
+		t.Fatalf("CDF = %+v", pts)
+	}
+}
+
+func TestQuantileMatchesSortedIndexProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		var clean []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+			clean = append(clean, v)
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		return s.Quantile(0) == clean[0] && s.Quantile(1) == clean[len(clean)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowStats(t *testing.T) {
+	f := FlowStats{Sent: 10, Delivered: 8}
+	if math.Abs(f.LossRate()-0.2) > 1e-12 {
+		t.Fatalf("loss = %v", f.LossRate())
+	}
+	if (FlowStats{}).LossRate() != 0 {
+		t.Fatal("empty flow loss should be 0")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{Title: "Micro", Headers: []string{"metric", "value"}}
+	tb.AddRow("False Positives", "3.1%")
+	tb.AddRow("False Negatives", "1.9%")
+	out := tb.Format()
+	if !strings.Contains(out, "False Positives") || !strings.Contains(out, "# Micro") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+}
+
+func TestSeriesAndCDFFormat(t *testing.T) {
+	s := Series{Name: "ber", Points: []Point{{1, 0.1}, {2, 0.01}}}
+	if !strings.Contains(s.Format(), "# series: ber") {
+		t.Fatal("series header missing")
+	}
+	if !strings.Contains(FormatCDF("x", []Point{{0, 1}}), "# CDF: x") {
+		t.Fatal("cdf header missing")
+	}
+}

@@ -1,0 +1,255 @@
+// Package modem implements the modulation schemes ZigZag's black-box
+// decoder operates under. The paper's prototype uses BPSK (the 802.11
+// low-rate modulation, §5.1b) but the design explicitly works with any
+// modulation because chunks are interference-free by the time they are
+// decoded (§1, §4.2.3a); we provide BPSK, QPSK and 16-QAM so that mixed-
+// rate collisions can be exercised.
+//
+// All constellations are normalized to unit average symbol energy so SNR
+// accounting is uniform across schemes.
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a modulation.
+type Scheme int
+
+const (
+	// BPSK maps one bit per symbol: "0" → −1, "1" → +1 (§3 of the paper).
+	BPSK Scheme = iota
+	// QPSK (4-QAM) maps two bits per symbol, Gray coded.
+	QPSK
+	// QAM16 maps four bits per symbol, Gray coded per axis.
+	QAM16
+)
+
+// String returns the conventional name of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// BitsPerSymbol returns the number of bits one constellation point
+// carries.
+func (s Scheme) BitsPerSymbol() int {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	default:
+		panic("modem: unknown scheme")
+	}
+}
+
+// qam16Level maps 2 Gray-coded bits to an amplitude level in
+// {−3,−1,+1,+3}/√10 (unit average energy for 16-QAM).
+func qam16Level(b1, b0 byte) float64 {
+	// Gray: 00→−3, 01→−1, 11→+1, 10→+3
+	var l float64
+	switch b1<<1 | b0 {
+	case 0b00:
+		l = -3
+	case 0b01:
+		l = -1
+	case 0b11:
+		l = 1
+	case 0b10:
+		l = 3
+	}
+	return l / math.Sqrt(10)
+}
+
+// qam16Bits inverts qam16Level by nearest level.
+func qam16Bits(v float64) (b1, b0 byte) {
+	l := v * math.Sqrt(10)
+	switch {
+	case l < -2:
+		return 0, 0
+	case l < 0:
+		return 0, 1
+	case l < 2:
+		return 1, 1
+	default:
+		return 1, 0
+	}
+}
+
+const invSqrt2 = 1 / math.Sqrt2
+
+// Modulate maps a bit slice to constellation symbols, appending to dst.
+// Bits are consumed MSB-of-symbol first. A trailing group of fewer bits
+// than BitsPerSymbol is zero-padded (the framing layer pads frames so
+// this does not happen in practice).
+func Modulate(dst []complex128, s Scheme, bits []byte) []complex128 {
+	bps := s.BitsPerSymbol()
+	bit := func(i int) byte {
+		if i < len(bits) {
+			return bits[i] & 1
+		}
+		return 0
+	}
+	for i := 0; i < len(bits); i += bps {
+		var sym complex128
+		switch s {
+		case BPSK:
+			sym = complex(2*float64(bit(i))-1, 0)
+		case QPSK:
+			sym = complex((2*float64(bit(i))-1)*invSqrt2, (2*float64(bit(i+1))-1)*invSqrt2)
+		case QAM16:
+			sym = complex(qam16Level(bit(i), bit(i+1)), qam16Level(bit(i+2), bit(i+3)))
+		}
+		dst = append(dst, sym)
+	}
+	return dst
+}
+
+// Demodulate makes hard decisions on symbols and appends the decoded bits
+// to dst.
+func Demodulate(dst []byte, s Scheme, syms []complex128) []byte {
+	for _, sym := range syms {
+		switch s {
+		case BPSK:
+			dst = append(dst, hard(real(sym)))
+		case QPSK:
+			dst = append(dst, hard(real(sym)), hard(imag(sym)))
+		case QAM16:
+			b1, b0 := qam16Bits(real(sym))
+			b3, b2 := qam16Bits(imag(sym))
+			dst = append(dst, b1, b0, b3, b2)
+		}
+	}
+	return dst
+}
+
+// Slice returns the nearest constellation point to sym: the decision the
+// black-box decoder makes, and the clean symbol ZigZag re-encodes before
+// subtraction (§4.2.3b uses decided symbols, not raw observations).
+func Slice(s Scheme, sym complex128) complex128 {
+	switch s {
+	case BPSK:
+		if real(sym) >= 0 {
+			return 1
+		}
+		return -1
+	case QPSK:
+		re, im := -invSqrt2, -invSqrt2
+		if real(sym) >= 0 {
+			re = invSqrt2
+		}
+		if imag(sym) >= 0 {
+			im = invSqrt2
+		}
+		return complex(re, im)
+	case QAM16:
+		b1, b0 := qam16Bits(real(sym))
+		b3, b2 := qam16Bits(imag(sym))
+		return complex(qam16Level(b1, b0), qam16Level(b3, b2))
+	default:
+		panic("modem: unknown scheme")
+	}
+}
+
+// SymbolCount returns how many symbols nbits bits occupy under s
+// (rounding a partial final symbol up).
+func SymbolCount(s Scheme, nbits int) int {
+	bps := s.BitsPerSymbol()
+	return (nbits + bps - 1) / bps
+}
+
+// MinDistance returns the minimum distance between constellation points,
+// used by analytical BER sanity checks in tests.
+func (s Scheme) MinDistance() float64 {
+	switch s {
+	case BPSK:
+		return 2
+	case QPSK:
+		return 2 * invSqrt2
+	case QAM16:
+		return 2 / math.Sqrt(10)
+	default:
+		panic("modem: unknown scheme")
+	}
+}
+
+func hard(v float64) byte {
+	if v >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// Upsample expands symbols to samples-per-symbol samples each using a
+// rectangular pulse (each symbol value repeated sps times), appending to
+// dst. This matches the prototype's GNU Radio configuration of 2 samples
+// per symbol (§5.1c).
+func Upsample(dst []complex128, syms []complex128, sps int) []complex128 {
+	if sps < 1 {
+		panic("modem: samples per symbol must be ≥ 1")
+	}
+	for _, s := range syms {
+		for k := 0; k < sps; k++ {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// Downsample picks one sample per symbol at the given intra-symbol phase
+// (0 ≤ phase < sps), appending to dst.
+func Downsample(dst []complex128, samples []complex128, sps, phase int) []complex128 {
+	if sps < 1 {
+		panic("modem: samples per symbol must be ≥ 1")
+	}
+	if phase < 0 || phase >= sps {
+		panic("modem: bad downsample phase")
+	}
+	for i := phase; i < len(samples); i += sps {
+		dst = append(dst, samples[i])
+	}
+	return dst
+}
+
+// MRC combines two independent observations of the same symbol, received
+// through channels with (already-removed) gains whose magnitudes were g1
+// and g2, using Maximal Ratio Combining [Brennan 1955]: the estimates are
+// weighted by their channel SNRs. Both inputs must already be
+// channel-equalized (i.e. be estimates of the transmitted symbol x̂).
+// With equal weights this degenerates to the paper's footnote example:
+// the average of the two receptions (§4.1 footnote 1).
+func MRC(x1 complex128, g1 float64, x2 complex128, g2 float64) complex128 {
+	w1, w2 := g1*g1, g2*g2
+	if w1+w2 == 0 {
+		return 0
+	}
+	return (x1*complex(w1, 0) + x2*complex(w2, 0)) / complex(w1+w2, 0)
+}
+
+// MRCSlices combines two equal-length estimate vectors with per-vector
+// channel gains, writing into dst (allocated if nil).
+func MRCSlices(dst, x1 []complex128, g1 float64, x2 []complex128, g2 float64) []complex128 {
+	n := len(x1)
+	if len(x2) < n {
+		n = len(x2)
+	}
+	if dst == nil || len(dst) != n {
+		dst = make([]complex128, n)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = MRC(x1[i], g1, x2[i], g2)
+	}
+	return dst
+}

@@ -1,0 +1,251 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allSchemes = []Scheme{BPSK, QPSK, QAM16}
+
+func randBits(r *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(r.Intn(2))
+	}
+	return bits
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, s := range allSchemes {
+		bps := s.BitsPerSymbol()
+		for trial := 0; trial < 25; trial++ {
+			bits := randBits(r, bps*(8+r.Intn(64)))
+			syms := Modulate(nil, s, bits)
+			if len(syms) != len(bits)/bps {
+				t.Fatalf("%v: %d symbols for %d bits", s, len(syms), len(bits))
+			}
+			back := Demodulate(nil, s, syms)
+			for i := range bits {
+				if bits[i] != back[i] {
+					t.Fatalf("%v: bit %d mismatch", s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, s := range allSchemes {
+		bits := randBits(r, s.BitsPerSymbol()*4096)
+		syms := Modulate(nil, s, bits)
+		var e float64
+		for _, v := range syms {
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+		avg := e / float64(len(syms))
+		if math.Abs(avg-1) > 0.05 {
+			t.Fatalf("%v average symbol energy = %v, want ≈1", s, avg)
+		}
+	}
+}
+
+func TestSliceIsIdempotentAndNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, s := range allSchemes {
+		for trial := 0; trial < 200; trial++ {
+			bits := randBits(r, s.BitsPerSymbol())
+			clean := Modulate(nil, s, bits)[0]
+			if Slice(s, clean) != clean {
+				t.Fatalf("%v: Slice not idempotent on %v", s, clean)
+			}
+			// Perturb by less than half the minimum distance: decision
+			// must not change.
+			d := s.MinDistance() * 0.49
+			ang := r.Float64() * 2 * math.Pi
+			noisy := clean + complex(d*math.Cos(ang), d*math.Sin(ang))
+			if Slice(s, noisy) != clean {
+				t.Fatalf("%v: Slice moved %v -> %v under %v perturbation",
+					s, clean, Slice(s, noisy), d)
+			}
+		}
+	}
+}
+
+func TestSliceDemodulateConsistent(t *testing.T) {
+	// Demodulating a sliced symbol and re-modulating must reproduce it.
+	r := rand.New(rand.NewSource(4))
+	for _, s := range allSchemes {
+		for trial := 0; trial < 100; trial++ {
+			raw := complex(r.NormFloat64(), r.NormFloat64())
+			pt := Slice(s, raw)
+			bits := Demodulate(nil, s, []complex128{raw})
+			again := Modulate(nil, s, bits)[0]
+			if cmplx.Abs(again-pt) > 1e-12 {
+				t.Fatalf("%v: slice/demod disagree: %v vs %v", s, pt, again)
+			}
+		}
+	}
+}
+
+func TestGrayCodingSingleAxisError(t *testing.T) {
+	// Gray coding: crossing one decision boundary flips exactly one bit.
+	cases := []struct{ a, b float64 }{{-3, -1}, {-1, 1}, {1, 3}}
+	for _, c := range cases {
+		b1a, b0a := qam16Bits(c.a / math.Sqrt(10))
+		b1b, b0b := qam16Bits(c.b / math.Sqrt(10))
+		flips := 0
+		if b1a != b1b {
+			flips++
+		}
+		if b0a != b0b {
+			flips++
+		}
+		if flips != 1 {
+			t.Fatalf("levels %v→%v flip %d bits, want 1", c.a, c.b, flips)
+		}
+	}
+}
+
+func TestUpsampleDownsampleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	syms := make([]complex128, 50)
+	for i := range syms {
+		syms[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	for sps := 1; sps <= 4; sps++ {
+		samples := Upsample(nil, syms, sps)
+		if len(samples) != len(syms)*sps {
+			t.Fatalf("sps=%d: %d samples", sps, len(samples))
+		}
+		for phase := 0; phase < sps; phase++ {
+			back := Downsample(nil, samples, sps, phase)
+			for i := range syms {
+				if back[i] != syms[i] {
+					t.Fatalf("sps=%d phase=%d mismatch at %d", sps, phase, i)
+				}
+			}
+		}
+	}
+}
+
+func TestUpsamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Upsample(sps=0) should panic")
+		}
+	}()
+	Upsample(nil, []complex128{1}, 0)
+}
+
+func TestMRCPaperFootnoteExample(t *testing.T) {
+	// §4.1 footnote: receptions −0.2 and +0.5 with equal channels
+	// average to +0.15 ⇒ decode as "1". (The footnote's arithmetic
+	// prints 0.1 but the operation is the equal-weight average.)
+	got := MRC(complex(-0.2, 0), 1, complex(0.5, 0), 1)
+	if math.Abs(real(got)-0.15) > 1e-12 {
+		t.Fatalf("MRC = %v, want 0.15", got)
+	}
+	if Slice(BPSK, got) != 1 {
+		t.Fatal("MRC result should decode as +1")
+	}
+}
+
+func TestMRCWeighting(t *testing.T) {
+	// A much stronger channel dominates the combination.
+	got := MRC(1, 10, -1, 1)
+	if real(got) < 0.9 {
+		t.Fatalf("strong-channel MRC = %v, want ≈1", got)
+	}
+	if MRC(1, 0, 1, 0) != 0 {
+		t.Fatal("zero-gain MRC should be 0")
+	}
+}
+
+func TestMRCSlices(t *testing.T) {
+	x1 := []complex128{1, -1, 1}
+	x2 := []complex128{-1, -1, 1, 1}
+	out := MRCSlices(nil, x1, 1, x2, 1)
+	if len(out) != 3 {
+		t.Fatalf("len=%d, want min length 3", len(out))
+	}
+	if out[0] != 0 || out[1] != -1 || out[2] != 1 {
+		t.Fatalf("MRCSlices = %v", out)
+	}
+}
+
+func TestMRCReducesErrorProbability(t *testing.T) {
+	// Property at the heart of §4.3b: combining two noisy observations
+	// of the same BPSK symbol yields fewer decision errors than either
+	// observation alone.
+	r := rand.New(rand.NewSource(6))
+	const n = 20000
+	const sigma = 0.9
+	errSingle, errMRC := 0, 0
+	for i := 0; i < n; i++ {
+		x := complex(2*float64(r.Intn(2))-1, 0)
+		y1 := x + complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+		y2 := x + complex(sigma*r.NormFloat64(), sigma*r.NormFloat64())
+		if Slice(BPSK, y1) != x {
+			errSingle++
+		}
+		if Slice(BPSK, MRC(y1, 1, y2, 1)) != x {
+			errMRC++
+		}
+	}
+	if errMRC*2 >= errSingle {
+		t.Fatalf("MRC errors %d not well below single-branch errors %d", errMRC, errSingle)
+	}
+}
+
+func TestSymbolCount(t *testing.T) {
+	if SymbolCount(BPSK, 7) != 7 || SymbolCount(QPSK, 7) != 4 || SymbolCount(QAM16, 7) != 2 {
+		t.Fatal("SymbolCount wrong")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if BPSK.String() != "BPSK" || QPSK.String() != "QPSK" || QAM16.String() != "16-QAM" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(99).String() == "" {
+		t.Fatal("unknown scheme should still render")
+	}
+}
+
+func TestModulatePadsPartialSymbol(t *testing.T) {
+	syms := Modulate(nil, QAM16, []byte{1, 1}) // 2 bits for a 4-bit symbol
+	if len(syms) != 1 {
+		t.Fatalf("got %d symbols", len(syms))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		// Pad to a QPSK symbol boundary.
+		for len(bits)%2 != 0 {
+			bits = append(bits, 0)
+		}
+		back := Demodulate(nil, QPSK, Modulate(nil, QPSK, bits))
+		if len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

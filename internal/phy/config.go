@@ -1,0 +1,109 @@
+// Package phy implements the physical layer of the reproduction: the
+// transmitter that turns frames into complex baseband waveforms, the
+// standard 802.11-style receiver chain that ZigZag uses as its black-box
+// decoder (§4.2.3a), the preamble synchronizer/collision detector
+// (§4.2.1), and the channel modeler that re-encodes decoded symbols into
+// the image a collision contains so it can be subtracted (§4.2.3b,
+// §4.2.4).
+//
+// The receiver chain mirrors a practical decoder as described in the
+// paper's Chapter 3: preamble correlation for detection and channel
+// estimation, coarse per-client frequency offset knowledge refined by
+// decision-directed phase tracking, fractional-sample interpolation for
+// the sampling offset, and a least-squares symbol-spaced equalizer for
+// ISI.
+package phy
+
+import (
+	"zigzag/internal/dsp"
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+)
+
+// Config holds the PHY parameters shared by transmitter and receiver.
+// The zero value is NOT usable; call Default() or fill every field.
+type Config struct {
+	// SamplesPerSymbol is the oversampling factor (the prototype's GNU
+	// Radio configuration uses 2, §5.1c).
+	SamplesPerSymbol int
+
+	// PreambleBits is the length of the known preamble in bits; the
+	// preamble is always BPSK so this is also its symbol count (§5.1c
+	// uses 32).
+	PreambleBits int
+
+	// EqTaps is the one-sided length of the symbol-spaced equalizer;
+	// the filter has 2·EqTaps+1 taps.
+	EqTaps int
+
+	// ModelTaps is the one-sided length of the sample-spaced FIR fitted
+	// when re-encoding a chunk (§4.2.4d).
+	ModelTaps int
+
+	// PLLGain and PLLFreqGain are the proportional and integral gains of
+	// the decision-directed phase tracking loop (§4.2.4b).
+	PLLGain     float64
+	PLLFreqGain float64
+
+	// TrackAlpha is the paper's α multiplier for the residual frequency
+	// offset update δf += α·δφ/δt performed while re-encoding chunks.
+	TrackAlpha float64
+
+	// DisablePhaseTracking turns off both the decoder PLL and the
+	// re-encoding phase tracker. Used by the Table 5.1 micro-evaluation.
+	DisablePhaseTracking bool
+
+	// DisableEqualizer turns off the decoder-side ISI equalizer.
+	DisableEqualizer bool
+
+	// DisableISIModel turns off fitting the re-encoding FIR; chunk
+	// images are then built with the bare channel gain. Used by the
+	// Table 5.1 ISI-filter micro-evaluation (§5.3c).
+	DisableISIModel bool
+
+	// Interp is the fractional-delay interpolator.
+	Interp dsp.Interpolator
+}
+
+// Default returns the configuration the evaluation uses, mirroring the
+// prototype parameters of §5.1c.
+func Default() Config {
+	return Config{
+		SamplesPerSymbol: 2,
+		PreambleBits:     frame.DefaultPreambleBits,
+		EqTaps:           2,
+		ModelTaps:        3,
+		PLLGain:          0.25,
+		PLLFreqGain:      0.02,
+		TrackAlpha:       0.5,
+		Interp:           dsp.Interpolator{Taps: 4},
+	}
+}
+
+// PreambleSymbols returns the preamble as BPSK constellation points.
+func (c Config) PreambleSymbols() []complex128 {
+	return modem.Modulate(nil, modem.BPSK, frame.PreambleN(c.PreambleBits))
+}
+
+// PreambleWave returns the preamble chip waveform (upsampled symbols),
+// the reference the correlator slides over received samples.
+func (c Config) PreambleWave() []complex128 {
+	return modem.Upsample(nil, c.PreambleSymbols(), c.SamplesPerSymbol)
+}
+
+// FrameSymbols returns how many data symbols (excluding preamble) an
+// encoded frame of nbits occupies under scheme.
+func (c Config) FrameSymbols(scheme modem.Scheme, nbits int) int {
+	return modem.SymbolCount(scheme, nbits)
+}
+
+// TotalSymbols returns preamble + data symbols for a frame of nbits.
+func (c Config) TotalSymbols(scheme modem.Scheme, nbits int) int {
+	return c.PreambleBits + c.FrameSymbols(scheme, nbits)
+}
+
+// TotalSamples returns the waveform length in samples for a frame of
+// nbits.
+func (c Config) TotalSamples(scheme modem.Scheme, nbits int) int {
+	return c.TotalSymbols(scheme, nbits) * c.SamplesPerSymbol
+}

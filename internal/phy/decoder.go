@@ -1,0 +1,236 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"zigzag/internal/dsp"
+	"zigzag/internal/modem"
+)
+
+// SymbolDecoder is the standard decoder ZigZag drives as a black box
+// (§4.2.3a). One instance holds the decoding state for one packet within
+// one reception: the synchronization (fractional start, channel gain,
+// coarse frequency offset), the symbol-spaced equalizer, and the
+// decision-directed phase tracking loop. Because chunks are decoded only
+// after interference has been subtracted, this is exactly the decoder a
+// collision-free 802.11 receiver would run.
+type SymbolDecoder struct {
+	cfg    Config
+	sync   Sync
+	scheme modem.Scheme
+	interp dsp.Interpolator
+	invAmp float64
+
+	// Equalizer: symbol-spaced taps applied as
+	// z[k] = Σ_{l=-T..T} eq[T+l]·raw[k−l]; nil means pass-through.
+	eq []complex128
+
+	// Phase tracking loop (2nd order): the correction e^{−j·phase} is
+	// applied to each equalized symbol; the loop integrates the decision
+	// error into phase and freqAdj (§4.2.4b).
+	phase   float64
+	freqAdj float64
+}
+
+// NewSymbolDecoder builds a decoder for one packet occurrence.
+func NewSymbolDecoder(cfg Config, s Sync, scheme modem.Scheme) *SymbolDecoder {
+	amp := cmplx.Abs(s.H)
+	inv := 1.0
+	if amp > 0 {
+		inv = 1 / amp
+	}
+	return &SymbolDecoder{cfg: cfg, sync: s, scheme: scheme, interp: cfg.Interp, invAmp: inv}
+}
+
+// Sync returns the synchronization this decoder was built from.
+func (d *SymbolDecoder) Sync() Sync { return d.sync }
+
+// Scheme returns the modulation this decoder demaps.
+func (d *SymbolDecoder) Scheme() modem.Scheme { return d.scheme }
+
+// Fork returns a decoder sharing the sync and trained equalizer but with
+// fresh phase-tracking state. Backward decoding (§4.3b) runs on a fork so
+// the forward pass's loop state is untouched.
+func (d *SymbolDecoder) Fork() *SymbolDecoder {
+	c := *d
+	if d.eq != nil {
+		c.eq = append([]complex128(nil), d.eq...)
+	}
+	c.phase, c.freqAdj = 0, 0
+	return &c
+}
+
+// WithSync returns a fork of the decoder re-anchored to a different
+// synchronization (e.g. one whose frequency estimate was refined by the
+// re-encoding tracker), keeping the trained equalizer.
+func (d *SymbolDecoder) WithSync(s Sync) *SymbolDecoder {
+	c := d.Fork()
+	c.sync = s
+	amp := cmplx.Abs(s.H)
+	c.invAmp = 1.0
+	if amp > 0 {
+		c.invAmp = 1 / amp
+	}
+	return c
+}
+
+// chipAt estimates transmitted chip m from the buffer: interpolate at the
+// fractional position, remove the carrier rotation model, normalize by
+// |Ĥ|.
+func (d *SymbolDecoder) chipAt(rx []complex128, m int) complex128 {
+	pos := d.sync.Start + float64(m)
+	v := d.interp.At(rx, pos)
+	th := d.sync.Theta(pos)
+	return v * cmplx.Exp(complex(0, -th)) * complex(d.invAmp, 0)
+}
+
+// RawSymbol returns the matched-filter output for symbol k (mean of its
+// chips), before equalization and phase tracking. Symbol 0 is the first
+// preamble symbol.
+func (d *SymbolDecoder) RawSymbol(rx []complex128, k int) complex128 {
+	sps := d.cfg.SamplesPerSymbol
+	var acc complex128
+	for j := 0; j < sps; j++ {
+		acc += d.chipAt(rx, k*sps+j)
+	}
+	return acc / complex(float64(sps), 0)
+}
+
+// TrainEqualizer fits the symbol-spaced equalizer by least squares so
+// that filtered raw symbols match the known symbols starting at symbol
+// index at. It needs at least 2·EqTaps+1 known symbols; the 32-symbol
+// preamble is ample. A failed fit leaves the pass-through equalizer.
+func (d *SymbolDecoder) TrainEqualizer(rx []complex128, known []complex128, at int) error {
+	if d.cfg.DisableEqualizer {
+		return nil
+	}
+	t := d.cfg.EqTaps
+	m := 2*t + 1
+	if len(known) < m+2 {
+		return fmt.Errorf("phy: %d known symbols insufficient to train %d taps", len(known), m)
+	}
+	// Precompute raw observations covering the needed neighbourhood.
+	raw := make([]complex128, len(known)+2*t)
+	for i := range raw {
+		raw[i] = d.RawSymbol(rx, at-t+i)
+	}
+	rows := make([][]complex128, 0, len(known))
+	rhs := make([]complex128, 0, len(known))
+	for k := range known {
+		row := make([]complex128, m)
+		for l := -t; l <= t; l++ {
+			// raw index for symbol at+k−l is (k−l)+t in raw.
+			row[l+t] = raw[k-l+t]
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, known[k])
+	}
+	taps, err := dsp.SolveComplexLeastSquares(rows, rhs)
+	if err != nil {
+		return err
+	}
+	// Validate the fit against the known symbols: a training sequence
+	// drowned in residual interference produces a wild equalizer that is
+	// far worse than the pass-through fallback. Accept the taps only if
+	// the post-fit error is a small fraction of the symbol energy.
+	var mse float64
+	for k := range known {
+		var z complex128
+		for l := -t; l <= t; l++ {
+			z += taps[l+t] * raw[k-l+t]
+		}
+		e := z - known[k]
+		mse += real(e)*real(e) + imag(e)*imag(e)
+	}
+	mse /= float64(len(known))
+	if mse > 0.5 {
+		return fmt.Errorf("phy: equalizer fit rejected (mse %.3f)", mse)
+	}
+	d.eq = taps
+	return nil
+}
+
+// equalize applies the trained equalizer around symbol k given a raw
+// fetcher.
+func (d *SymbolDecoder) equalize(raw func(int) complex128, k int) complex128 {
+	if d.eq == nil {
+		return raw(k)
+	}
+	t := d.cfg.EqTaps
+	var z complex128
+	for l := -t; l <= t; l++ {
+		z += d.eq[l+t] * raw(k-l)
+	}
+	return z
+}
+
+// DecodeRange decodes symbols [from, to) of the packet from rx. If
+// reverse is true the range is processed from to−1 down to from, which is
+// how the backward pass of §4.3b consumes chunks. It returns the hard
+// decisions (constellation points) and the soft (equalized,
+// phase-corrected) observations, both indexed so that index i corresponds
+// to symbol from+i regardless of direction.
+func (d *SymbolDecoder) DecodeRange(rx []complex128, from, to int, reverse bool) (decisions, soft []complex128) {
+	n := to - from
+	if n <= 0 {
+		return nil, nil
+	}
+	decisions = make([]complex128, n)
+	soft = make([]complex128, n)
+	t := d.cfg.EqTaps
+	// Cache raw symbols for the range plus the equalizer skirt.
+	raw := make([]complex128, n+2*t)
+	for i := range raw {
+		raw[i] = d.RawSymbol(rx, from-t+i)
+	}
+	fetch := func(k int) complex128 { return raw[k-from+t] }
+	idx := func(step int) int {
+		if reverse {
+			return to - 1 - step
+		}
+		return from + step
+	}
+	for s := 0; s < n; s++ {
+		k := idx(s)
+		z := d.equalize(fetch, k)
+		z *= cmplx.Exp(complex(0, -d.phase))
+		dec := modem.Slice(d.scheme, z)
+		soft[k-from] = z
+		decisions[k-from] = dec
+		if !d.cfg.DisablePhaseTracking {
+			err := phaseError(z, dec)
+			d.freqAdj += d.cfg.PLLFreqGain * err
+			d.phase += d.cfg.PLLGain*err + d.freqAdj
+			d.phase = dsp.WrapPhase(d.phase)
+		}
+	}
+	return decisions, soft
+}
+
+// DecodeBits decodes symbols [from, to) and demaps them to bits.
+func (d *SymbolDecoder) DecodeBits(rx []complex128, from, to int) []byte {
+	dec, _ := d.DecodeRange(rx, from, to, false)
+	return modem.Demodulate(nil, d.scheme, dec)
+}
+
+// phaseError measures the wrapped angle between an observation and its
+// decision, clamped to ±π/4 so a single bad decision cannot slam the
+// loop.
+func phaseError(z, dec complex128) float64 {
+	if dec == 0 || z == 0 {
+		return 0
+	}
+	e := cmplx.Phase(z * cmplx.Conj(dec))
+	const lim = math.Pi / 4
+	if e > lim {
+		e = lim
+	} else if e < -lim {
+		e = -lim
+	}
+	return e
+}
+
+// PLLState exposes the loop state for diagnostics and tests.
+func (d *SymbolDecoder) PLLState() (phase, freqAdj float64) { return d.phase, d.freqAdj }

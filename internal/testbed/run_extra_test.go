@@ -1,0 +1,82 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPartialHiddenBetweenExtremes(t *testing.T) {
+	// A partial pair (one-way sensing) under 802.11 should lose less
+	// than a fully hidden pair: the sensing direction avoids half the
+	// collisions.
+	lossOf := func(kind PairKind) float64 {
+		cfg := HiddenPairConfig(13, 13, kind, 4, 1500, 0.05, 9)
+		res := Run(cfg, Current80211)
+		return (res.Flows[0].Stats.LossRate() + res.Flows[1].Stats.LossRate()) / 2
+	}
+	hidden := lossOf(FullyHidden)
+	partial := lossOf(PartialHidden)
+	mutual := lossOf(MutualSensing)
+	t.Logf("802.11 loss: hidden %.2f, partial %.2f, mutual %.2f", hidden, partial, mutual)
+	if mutual > partial || partial > hidden {
+		t.Fatalf("loss ordering violated: mutual %.2f ≤ partial %.2f ≤ hidden %.2f expected",
+			mutual, partial, hidden)
+	}
+}
+
+func TestSaturatedRunBoundsTime(t *testing.T) {
+	cfg := HiddenPairConfig(13, 13, MutualSensing, 3, 200, 0.05, 10)
+	cfg.Saturated = true
+	res := Run(cfg, Current80211)
+	if res.Elapsed > 2*time.Second {
+		t.Fatalf("saturated run too long: %v", res.Elapsed)
+	}
+	for _, f := range res.Flows {
+		if f.Stats.Sent == 0 {
+			t.Fatal("saturated accounting produced no attempts")
+		}
+		if f.Stats.Delivered > f.Stats.Sent {
+			t.Fatal("delivered exceeds attempted")
+		}
+	}
+}
+
+func TestRunDisableBackwardStillDelivers(t *testing.T) {
+	cfg := HiddenPairConfig(14, 14, FullyHidden, 4, 60, 0.05, 12)
+	cfg.DisableBackward = true
+	res := Run(cfg, ZigZag)
+	delivered := res.Flows[0].Stats.Delivered + res.Flows[1].Stats.Delivered
+	if delivered < 6 {
+		t.Fatalf("forward-only zigzag delivered only %d/8", delivered)
+	}
+}
+
+func TestSNRBetweenMonotone(t *testing.T) {
+	a := Node{ID: 1, X: 0, Y: 0}
+	near := Node{ID: 2, X: 2, Y: 0}
+	far := Node{ID: 3, X: 12, Y: 0}
+	if SNRBetween(a, near) <= SNRBetween(a, far) {
+		t.Fatal("closer node should have higher SNR")
+	}
+	// Sub-meter distances clamp to the reference.
+	tight := Node{ID: 4, X: 0.1, Y: 0}
+	if SNRBetween(a, tight) != refSNRdB {
+		t.Fatal("reference clamp missing")
+	}
+}
+
+func TestFlowBERAccounting(t *testing.T) {
+	cfg := HiddenPairConfig(14, 14, MutualSensing, 3, 60, 0.05, 13)
+	res := Run(cfg, ZigZag)
+	for _, f := range res.Flows {
+		if f.BitsTotal == 0 {
+			t.Fatal("no bits accounted")
+		}
+		if f.BER() < 0 || f.BER() > 1 {
+			t.Fatalf("BER %v out of range", f.BER())
+		}
+	}
+	if (FlowResult{}).BER() != 0 {
+		t.Fatal("empty flow BER should be 0")
+	}
+}

@@ -1,0 +1,134 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTopologyMix(t *testing.T) {
+	top := DefaultTopology()
+	if len(top.Nodes) != 14 {
+		t.Fatalf("nodes = %d", len(top.Nodes))
+	}
+	mix := top.PairMix()
+	total := mix[MutualSensing] + mix[PartialHidden] + mix[FullyHidden]
+	if total == 0 {
+		t.Fatal("no usable pairs")
+	}
+	if mix[FullyHidden] == 0 {
+		t.Fatal("topology has no hidden terminals")
+	}
+	if mix[MutualSensing]*2 < total {
+		t.Fatalf("mutual sensing should dominate: %v", mix)
+	}
+	t.Logf("pair mix: %d mutual, %d partial, %d hidden (of %d)",
+		mix[MutualSensing], mix[PartialHidden], mix[FullyHidden], total)
+}
+
+func TestTopologySymmetryAndSelf(t *testing.T) {
+	top := DefaultTopology()
+	for i := range top.Nodes {
+		if !top.Senses[i][i] || !math.IsInf(top.SNR[i][i], 1) {
+			t.Fatal("self relations wrong")
+		}
+		for j := range top.Nodes {
+			// Shadowing makes links asymmetric, but only mildly.
+			if i != j && math.Abs(top.SNR[i][j]-top.SNR[j][i]) > 8*ShadowingSigmaDB {
+				t.Fatal("SNR asymmetry implausibly large")
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	top := &Topology{
+		Nodes:  []Node{{ID: 1}, {ID: 2}},
+		Senses: [][]bool{{true, false}, {true, true}},
+	}
+	if top.Classify(0, 1) != PartialHidden {
+		t.Fatal("partial misclassified")
+	}
+	if MutualSensing.String() != "mutual" || FullyHidden.String() != "hidden" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestPayloadDeterministic(t *testing.T) {
+	a := Payload(3, 7, 64)
+	b := Payload(3, 7, 64)
+	c := Payload(3, 8, 64)
+	if string(a) != string(b) {
+		t.Fatal("payload not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seqs should differ")
+	}
+}
+
+func TestRunCollisionFreeDeliversEverything(t *testing.T) {
+	cfg := HiddenPairConfig(14, 14, FullyHidden, 6, 60, 0.05, 1)
+	res := Run(cfg, CollisionFree)
+	for _, f := range res.Flows {
+		if f.Stats.Delivered != cfg.Packets {
+			t.Fatalf("sender %d delivered %d/%d", f.Sender, f.Stats.Delivered, cfg.Packets)
+		}
+		if f.BER() > 1e-3 {
+			t.Fatalf("sender %d BER %v", f.Sender, f.BER())
+		}
+	}
+	if agg := res.AggregateThroughput(); agg <= 0 || agg > 1 {
+		t.Fatalf("aggregate throughput %v out of range", agg)
+	}
+}
+
+func TestRunMutualSensingAllSchemesDeliver(t *testing.T) {
+	for _, scheme := range []Scheme{Current80211, ZigZag} {
+		cfg := HiddenPairConfig(14, 14, MutualSensing, 5, 60, 0.05, 2)
+		res := Run(cfg, scheme)
+		for _, f := range res.Flows {
+			if f.Stats.LossRate() > 0.25 {
+				t.Fatalf("%v: sender %d loss %v too high without hidden terminals",
+					scheme, f.Sender, f.Stats.LossRate())
+			}
+		}
+	}
+}
+
+func TestRunHiddenTerminals80211Starves(t *testing.T) {
+	// The airtime must exceed the largest backoff window for collisions
+	// to persist across every retry: the paper's 1500 B at 500 kb/s
+	// spans 24.6 ms > CWmax·slot = 20.5 ms, so hidden terminals can
+	// never escape by backoff alone — the physics behind the paper's
+	// 82–100% loss. Shorter packets would escape at high attempt counts.
+	cfg := HiddenPairConfig(13, 13, FullyHidden, 4, 1500, 0.05, 3)
+	res := Run(cfg, Current80211)
+	loss := (res.Flows[0].Stats.LossRate() + res.Flows[1].Stats.LossRate()) / 2
+	if loss < 0.6 {
+		t.Fatalf("hidden terminals under 802.11 lost only %v", loss)
+	}
+	if res.Collisions == 0 {
+		t.Fatal("no collisions recorded")
+	}
+}
+
+func TestRunHiddenTerminalsZigZagRecovers(t *testing.T) {
+	cfg := HiddenPairConfig(13, 13, FullyHidden, 6, 60, 0.05, 3)
+	res := Run(cfg, ZigZag)
+	for _, f := range res.Flows {
+		if f.Stats.LossRate() > 0.2 {
+			t.Fatalf("ZigZag sender %d loss %v", f.Sender, f.Stats.LossRate())
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if ZigZag.String() != "ZigZag" || Current80211.String() != "802.11" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestClampSNR(t *testing.T) {
+	if ClampSNR(40) != 26 || ClampSNR(0) != 6 || ClampSNR(15) != 15 {
+		t.Fatal("clamp wrong")
+	}
+}

@@ -1,0 +1,85 @@
+package zigzag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the whole public API surface: build frames,
+// render a hidden-terminal collision pair through the channel, decode
+// jointly.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	tx := NewTransmitter(cfg.PHY)
+	rng := rand.New(rand.NewSource(1))
+	const noise = 0.05
+
+	var waves [][]complex128
+	var metas []PacketMeta
+	var links []*ChannelParams
+	for i := 0; i < 2; i++ {
+		payload := make([]byte, 200)
+		rng.Read(payload)
+		f := &Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: BPSK, Payload: payload}
+		w, err := tx.Waveform(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waves = append(waves, w)
+		freq := []float64{0.003, -0.002}[i]
+		link := &ChannelParams{Gain: complex(SNRToGain(13, noise), 0), FreqOffset: freq, ISI: TypicalISI(1)}
+		links = append(links, link)
+		metas = append(metas, PacketMeta{Scheme: BPSK, Freq: freq * 0.98})
+	}
+
+	sy := NewSynchronizer(cfg.PHY)
+	mkRec := func(off2 int) *Reception {
+		air := &Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
+		rx := air.Mix(off2+len(waves[1])+80,
+			Emission{Samples: waves[0], Link: links[0], Offset: 40},
+			Emission{Samples: waves[1], Link: links[1], Offset: off2},
+		)
+		rec := &Reception{Samples: rx}
+		for i, off := range []int{40, off2} {
+			s, ok := sy.Measure(rx, off, 3, metas[i].Freq)
+			if !ok {
+				t.Fatal("sync failed")
+			}
+			rec.Packets = append(rec.Packets, Occurrence{Packet: i, Sync: s})
+		}
+		return rec
+	}
+	rec1 := mkRec(40 + 700)
+	rec2 := mkRec(40 + 260)
+
+	res, err := Decode(cfg, metas, []*Reception{rec1, rec2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllOK() {
+		t.Fatalf("decode failed: %v / %v", res.Packets[0].Err, res.Packets[1].Err)
+	}
+	if res.Packets[0].Frame.Src != 1 || res.Packets[1].Frame.Src != 2 {
+		t.Fatal("wrong senders")
+	}
+
+	// Matching also works through the facade.
+	if _, ok := MatchCollisions(cfg, rec1, rec2); !ok {
+		t.Fatal("collisions should match")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if AckOffsetBound() < 0.937 {
+		t.Fatal("Lemma 4.4.1 bound wrong")
+	}
+	if DefaultPHY().SamplesPerSymbol != 2 {
+		t.Fatal("default PHY should use 2 samples/symbol")
+	}
+	if BPSK.BitsPerSymbol() != 1 || QAM16.BitsPerSymbol() != 4 {
+		t.Fatal("scheme re-exports wrong")
+	}
+	if !TypicalISI(0).IsIdentity() {
+		t.Fatal("zero-strength ISI should be identity")
+	}
+}
