@@ -1,0 +1,40 @@
+# Build/test entry points for CI and local development.
+#
+#   make build      — compile everything
+#   make vet        — go vet
+#   make test       — full-fidelity suite (slow; shrinks with core count)
+#   make test-short — reduced-scale suite, well under 30 s
+#   make test-race  — race-enabled short suite
+#   make bench      — paper-figure benchmarks (root package)
+#   make ci         — what a pipeline should run: vet + test-race
+#
+# The experiment suites fan Monte-Carlo trials out across all cores via
+# internal/runner; per-trial seed derivation keeps every figure
+# bit-identical at any worker count, so parallelism is purely a
+# wall-clock lever.
+
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+test-short: build
+	$(GO) test -short ./...
+
+test-race: build
+	$(GO) test -short -race ./...
+
+bench: build
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: vet test-race

@@ -50,14 +50,14 @@ func BenchmarkFig4_2_CorrelationProfile(b *testing.B) {
 
 func BenchmarkFig4_4_ErrorDecay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig44ErrorDecay(100000, 1)
+		res := experiments.Fig44ErrorDecay(100000, 1, 0)
 		b.ReportMetric(res.PropagationProbability, "P(propagate)")
 	}
 }
 
 func BenchmarkLemma4_4_1_AckProbability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Lemma441AckProbability(200000, 1)
+		res := experiments.Lemma441AckProbability(200000, 1, 0)
 		b.ReportMetric(res.Bound, "bound")
 		b.ReportMetric(res.MonteCarlo, "montecarlo")
 	}

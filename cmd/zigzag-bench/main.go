@@ -5,7 +5,12 @@
 //
 //	zigzag-bench [-exp all|fig4-2|fig4-4|lemma4-4-1|fig4-7a|fig4-7b|
 //	              table5-1|fig5-2a|fig5-2b|fig5-3|fig5-4|fig5-5|fig5-9]
-//	             [-scale quick|full] [-seed N]
+//	             [-scale quick|full] [-seed N] [-workers N]
+//
+// -workers sizes the worker pool that Monte-Carlo trials fan out across
+// (0 = all cores); per-trial seed derivation keeps every figure
+// bit-identical at any worker count, so -workers only changes the
+// wall-clock.
 //
 // Every output block is labelled with the paper artifact it reproduces;
 // EXPERIMENTS.md records paper-vs-measured values for each.
@@ -25,12 +30,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (see -h)")
 	scaleName := flag.String("scale", "quick", "quick|full")
 	seed := flag.Int64("seed", 1, "root RNG seed")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
 	flag.Parse()
 
 	sc := experiments.Quick
 	if *scaleName == "full" {
 		sc = experiments.Full
 	}
+	sc.Workers = *workers
 
 	runners := []struct {
 		name string
@@ -78,14 +85,14 @@ func fig42(seed int64) {
 }
 
 func fig44(sc experiments.Scale, seed int64) {
-	res := experiments.Fig44ErrorDecay(sc.Trials*20, seed)
+	res := experiments.Fig44ErrorDecay(sc.Trials*20, seed, sc.Workers)
 	fmt.Print(res.Series.Format())
 	fmt.Printf("# measured propagation probability: %.4f (worst-case BPSK model; paper quotes 1/6 — see EXPERIMENTS.md)\n",
 		res.PropagationProbability)
 }
 
 func lemma441(sc experiments.Scale, seed int64) {
-	res := experiments.Lemma441AckProbability(sc.Trials*10, seed)
+	res := experiments.Lemma441AckProbability(sc.Trials*10, seed, sc.Workers)
 	fmt.Print(res.Table.Format())
 }
 

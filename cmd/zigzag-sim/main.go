@@ -5,7 +5,11 @@
 //
 //	zigzag-sim [-scheme zigzag|802.11|cf] [-snra 13] [-snrb 13]
 //	           [-kind hidden|partial|mutual] [-packets 20]
-//	           [-payload 400] [-seed 1] [-senders 2]
+//	           [-payload 400] [-seed 1] [-senders 2] [-workers 0]
+//
+// -workers sizes the worker pool for the run's parallel sections (the
+// collision-free scheduler's independent slots; 0 = all cores). Results
+// are bit-identical at any worker count.
 //
 // With -senders 3 the three stations are mutually hidden (the Fig 5-9
 // scenario).
@@ -28,6 +32,7 @@ func main() {
 	payload := flag.Int("payload", 400, "payload bytes")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	senders := flag.Int("senders", 2, "2 or 3 senders")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
 	flag.Parse()
 
 	var scheme testbed.Scheme
@@ -77,6 +82,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg.Workers = *workers
 	res := testbed.Run(cfg, scheme)
 	fmt.Printf("scheme=%s senders=%d payload=%dB packets=%d kind=%s\n",
 		scheme, *senders, *payload, *packets, *kindName)

@@ -1,0 +1,3 @@
+module zigzag
+
+go 1.24

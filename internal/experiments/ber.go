@@ -55,13 +55,33 @@ func Fig53BERvsSNR(sc Scale, seed int64) Fig53Result {
 	return out
 }
 
+// bitCounts accumulates a trial's error/total bit tallies.
+type bitCounts struct{ errBits, totBits int }
+
+func (c bitCounts) rate() float64 {
+	if c.totBits == 0 {
+		return 0
+	}
+	return float64(c.errBits) / float64(c.totBits)
+}
+
+func sumCounts(cs []bitCounts) bitCounts {
+	var t bitCounts
+	for _, c := range cs {
+		t.errBits += c.errBits
+		t.totBits += c.totBits
+	}
+	return t
+}
+
 // berAt measures ZigZag's BER over collision pairs at a symmetric SNR.
+// Pairs run as independent trials on the worker pool.
 func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 	cfg := core.DefaultConfig()
 	cfg.DisableBackward = fwdOnly
-	rng := rand.New(rand.NewSource(seed ^ int64(snr*1000)))
-	errBits, totBits := 0, 0
-	for trial := 0; trial < sc.Pairs; trial++ {
+	cfg.Workers = sc.Workers
+	counts := mapTrials(sc.Pairs, cfg.Workers, seed^int64(snr*1000), func(_ int, rng *rand.Rand) bitCounts {
+		var c bitCounts
 		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, 0.05)
 		// The paper's offline processing knows the (fixed) packet size;
 		// give the decoder the same knowledge so header-decode luck does
@@ -72,45 +92,41 @@ func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 		r1, r2 := s.collisionPair(rng)
 		res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
 		for i := range s.truth {
-			totBits += len(s.truth[i])
+			c.totBits += len(s.truth[i])
 			if err != nil || i >= len(res.Packets) {
-				errBits += len(s.truth[i]) / 2
+				c.errBits += len(s.truth[i]) / 2
 				continue
 			}
 			ber := bitutil.BitErrorRate(s.truth[i], res.Packets[i].Bits)
-			errBits += int(ber * float64(len(s.truth[i])))
+			c.errBits += int(ber * float64(len(s.truth[i])))
 		}
-	}
-	if totBits == 0 {
-		return 0
-	}
-	return float64(errBits) / float64(totBits)
+		return c
+	})
+	return sumCounts(counts).rate()
 }
 
 // berCollisionFree measures the same decoder on interference-free
 // packets (each in its own slot).
 func berCollisionFree(sc Scale, seed int64, snr float64) float64 {
 	cfg := core.DefaultConfig()
-	rng := rand.New(rand.NewSource(seed ^ int64(snr*1000) ^ 0x5a5a))
-	rx := phy.NewReceiver(cfg.PHY)
-	errBits, totBits := 0, 0
-	for trial := 0; trial < 2*sc.Pairs; trial++ {
+	cfg.Workers = sc.Workers
+	counts := mapTrials(2*sc.Pairs, cfg.Workers, seed^int64(snr*1000)^0x5a5a, func(_ int, rng *rand.Rand) bitCounts {
+		var c bitCounts
+		rx := phy.NewReceiver(cfg.PHY)
 		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr}, 0.05)
 		air := &channel.Air{NoisePower: 0.05, Rng: rng, RandomizePhase: true}
 		buf := air.Mix(len(s.waves[0])+80, channel.Emission{Samples: s.waves[0], Link: s.links[0], Offset: 40})
 		sy := phy.NewSynchronizer(cfg.PHY)
 		sync, ok := sy.Measure(buf, 40, 3, s.metas[0].Freq)
-		totBits += len(s.truth[0])
+		c.totBits = len(s.truth[0])
 		if !ok {
-			errBits += len(s.truth[0]) / 2
-			continue
+			c.errBits = len(s.truth[0]) / 2
+			return c
 		}
 		res := rx.DecodeKnownLength(buf, sync, modem.BPSK, len(s.truth[0]))
 		ber := bitutil.BitErrorRate(s.truth[0], res.Bits)
-		errBits += int(ber * float64(len(s.truth[0])))
-	}
-	if totBits == 0 {
-		return 0
-	}
-	return float64(errBits) / float64(totBits)
+		c.errBits = int(ber * float64(len(s.truth[0])))
+		return c
+	})
+	return sumCounts(counts).rate()
 }

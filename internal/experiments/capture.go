@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math/rand"
+
 	"zigzag/internal/metrics"
 	"zigzag/internal/testbed"
 )
@@ -30,15 +32,23 @@ func Fig54CaptureSweep(sc Scale, seed int64) Fig54Result {
 	schemes := []testbed.Scheme{testbed.ZigZag, testbed.Current80211, testbed.CollisionFree}
 	sinrs := []float64{0, 2, 4, 6, 8, 10, 12, 14, 16}
 	const snrB = 12.0
-	for _, scheme := range schemes {
+	// Every (scheme, SINR) cell is an independent run whose seed depends
+	// only on the SINR, exactly as the serial sweep had it; the grid
+	// flattens into one trial per cell and reduces in grid order.
+	cells := mapTrials(len(schemes)*len(sinrs), sc.Workers, seed, func(cell int, _ *rand.Rand) testbed.RunResult {
+		scheme, sinr := schemes[cell/len(sinrs)], sinrs[cell%len(sinrs)]
+		cfg := testbed.HiddenPairConfig(snrB+sinr, snrB, testbed.FullyHidden,
+			sc.Packets, sc.TestbedPayload, 0.05, seed+int64(sinr*10))
+		cfg.Saturated = true // the paper's senders transmit at full speed
+		cfg.Workers = 1
+		return testbed.Run(cfg, scheme)
+	})
+	for si, scheme := range schemes {
 		a := metrics.Series{Name: "Fig 5-4a Alice throughput — " + scheme.String()}
 		b := metrics.Series{Name: "Fig 5-4b Bob throughput — " + scheme.String()}
 		tt := metrics.Series{Name: "Fig 5-4c total throughput — " + scheme.String()}
-		for _, sinr := range sinrs {
-			cfg := testbed.HiddenPairConfig(snrB+sinr, snrB, testbed.FullyHidden,
-				sc.Packets, sc.TestbedPayload, 0.05, seed+int64(sinr*10))
-			cfg.Saturated = true // the paper's senders transmit at full speed
-			res := testbed.Run(cfg, scheme)
+		for xi, sinr := range sinrs {
+			res := cells[si*len(sinrs)+xi]
 			a.Points = append(a.Points, metrics.Point{X: sinr, Y: res.Flows[0].Throughput})
 			b.Points = append(b.Points, metrics.Point{X: sinr, Y: res.Flows[1].Throughput})
 			tt.Points = append(tt.Points, metrics.Point{X: sinr, Y: res.AggregateThroughput()})

@@ -14,6 +14,7 @@ import (
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
+	"zigzag/internal/runner"
 )
 
 // Scale controls experiment cost.
@@ -34,6 +35,28 @@ type Scale struct {
 	TestbedPairs int
 	// Trials is the Monte-Carlo count for MAC-level simulations.
 	Trials int
+	// Workers bounds the worker pool that independent trials fan out
+	// across (internal/runner); 0 means GOMAXPROCS. Per-trial seed
+	// derivation makes every experiment's output identical at any
+	// value — the determinism tests assert it.
+	Workers int
+	// Fig47Nodes overrides the node counts swept by Fig 4-7 (nil means
+	// the paper's 2–9). Short-mode tests trim the expensive tail.
+	Fig47Nodes []int
+	// MinStatPairs, when positive, lowers the built-in pair-count
+	// floors of the Table 5.1 micro-evaluation (10/12 for tracking, 24
+	// for the ISI comparison). The floors keep the on/off comparisons
+	// statistically stable at paper fidelity; short-mode tests trade
+	// that stability for speed.
+	MinStatPairs int
+}
+
+// statFloor applies MinStatPairs to one of the built-in pair floors.
+func (sc Scale) statFloor(def int) int {
+	if sc.MinStatPairs > 0 && sc.MinStatPairs < def {
+		return sc.MinStatPairs
+	}
+	return def
 }
 
 // Quick is the scale used by `go test -bench` so the whole suite runs in
@@ -56,6 +79,13 @@ var Full = Scale{
 	TestbedPayload: 1500,
 	TestbedPairs:   30,
 	Trials:         60000,
+}
+
+// mapTrials shortens runner.MustMap for this package's Scale-driven
+// call sites. Results come back in trial order; reductions over them
+// stay serial, keeping every figure bit-identical at any worker count.
+func mapTrials[T any](trials int, workers int, baseSeed int64, fn func(trial int, rng *rand.Rand) T) []T {
+	return runner.MustMap(trials, runner.Options{Workers: workers, BaseSeed: baseSeed}, fn)
 }
 
 // pairScenario builds one hidden-terminal collision pair at the given

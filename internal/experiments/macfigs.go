@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"zigzag/internal/mac"
 	"zigzag/internal/metrics"
@@ -34,28 +33,29 @@ func Fig47ExpOnly(sc Scale, seed int64) Fig47Result { return fig47(sc, seed, fal
 
 func fig47(sc Scale, seed int64, fixed, exp bool) Fig47Result {
 	var out Fig47Result
-	nodes := []int{2, 3, 4, 5, 6, 7, 8, 9}
+	nodes := sc.Fig47Nodes
+	if nodes == nil {
+		nodes = []int{2, 3, 4, 5, 6, 7, 8, 9}
+	}
 	const length = 600 // packet length in slots; ≫ any window
-	if !fixed {
-		goto exponential
-	}
-	for _, cw := range []int{8, 16, 32} {
-		s := metrics.Series{Name: fmt.Sprintf("Fig 4-7a failure probability, cw=%d", cw)}
-		rng := rand.New(rand.NewSource(seed + int64(cw)))
-		for _, n := range nodes {
-			p := mac.GreedyFailureProbability(n, cw, length, sc.Trials, mac.FixedCW, rng)
-			s.Points = append(s.Points, metrics.Point{X: float64(n), Y: p})
+	if fixed {
+		for _, cw := range []int{8, 16, 32} {
+			s := metrics.Series{Name: fmt.Sprintf("Fig 4-7a failure probability, cw=%d", cw)}
+			for _, n := range nodes {
+				p := mac.GreedyFailureProbability(n, cw, length, sc.Trials, mac.FixedCW,
+					seed+int64(cw)*1000+int64(n), sc.Workers)
+				s.Points = append(s.Points, metrics.Point{X: float64(n), Y: p})
+			}
+			out.FixedCW = append(out.FixedCW, s)
 		}
-		out.FixedCW = append(out.FixedCW, s)
 	}
-exponential:
 	if !exp {
 		return out
 	}
 	out.Exponential = metrics.Series{Name: "Fig 4-7b failure probability, exponential backoff"}
-	rng := rand.New(rand.NewSource(seed + 999))
 	for _, n := range nodes {
-		p := mac.GreedyFailureProbability(n, 0, length, sc.Trials, mac.ExponentialBackoff, rng)
+		p := mac.GreedyFailureProbability(n, 0, length, sc.Trials, mac.ExponentialBackoff,
+			seed+999000+int64(n), sc.Workers)
 		out.Exponential.Points = append(out.Exponential.Points, metrics.Point{X: float64(n), Y: p})
 	}
 	return out
@@ -71,11 +71,12 @@ type Lemma441Result struct {
 
 // Lemma441AckProbability reproduces Lemma 4.4.1: in 802.11g the offset
 // between two colliding packets suffices for a synchronous ACK with
-// probability at least 93.75%.
-func Lemma441AckProbability(trials int, seed int64) Lemma441Result {
+// probability at least 93.75%. workers sizes the trial pool
+// (0 = GOMAXPROCS).
+func Lemma441AckProbability(trials int, seed int64, workers int) Lemma441Result {
 	var out Lemma441Result
 	out.Bound = mac.AckOffsetBound()
-	out.MonteCarlo = mac.AckOffsetProbability(trials, rand.New(rand.NewSource(seed)))
+	out.MonteCarlo = mac.AckOffsetProbability(trials, seed, workers)
 	t := metrics.Table{
 		Title:   "Lemma 4.4.1 — synchronous-ACK feasibility (802.11g)",
 		Headers: []string{"quantity", "value"},

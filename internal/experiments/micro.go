@@ -11,6 +11,7 @@ import (
 	"zigzag/internal/metrics"
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
+	"zigzag/internal/runner"
 )
 
 // Fig42CorrelationProfile reproduces Fig 4-2: the magnitude of the
@@ -47,37 +48,56 @@ type Fig44Result struct {
 // quotes 1/6 from the same geometry; the discrepancy is noted in
 // EXPERIMENTS.md. Either constant gives the figure's message: error
 // runs die exponentially fast.)
-func Fig44ErrorDecay(trials int, seed int64) Fig44Result {
+//
+// Individual draws are sub-microsecond, so the worker pool maps over
+// fixed-size batches of them; workers is the pool size (0 = GOMAXPROCS).
+func Fig44ErrorDecay(trials int, seed int64, workers int) Fig44Result {
 	if trials <= 0 {
 		trials = 200000
 	}
-	rng := rand.New(rand.NewSource(seed))
-	propagate := 0
 	// Worst case per §4.3a: the AP adds YA instead of subtracting, so
 	// the estimate of YB becomes YB + 2·YA. A BPSK flip needs the
 	// perturbed vector to cross the decision boundary, which for equal
 	// amplitudes happens iff the angle between YB and YA is within 60°
 	// of π (the vectors oppose within 60°).
-	runLens := map[int]int{}
-	for i := 0; i < trials; i++ {
-		run := 0
-		for {
-			phiA := rng.Float64() * 2 * 3.141592653589793
-			// YB = +1 (real); YA random phase, equal magnitude.
-			yb := complex(1, 0)
-			ya := cmplx.Rect(1, phiA)
-			est := yb + 2*ya
-			if real(est) >= 0 {
-				break // decision survives: error died
+	type tally struct {
+		propagate int
+		runLens   [32]int // run length capped at 30 by the inner loop
+	}
+	batches := runner.Batches(trials, 8192)
+	tallies := mapTrials(len(batches), workers, seed, func(bi int, rng *rand.Rand) tally {
+		var t tally
+		for i := batches[bi].Lo; i < batches[bi].Hi; i++ {
+			run := 0
+			for {
+				phiA := rng.Float64() * 2 * 3.141592653589793
+				// YB = +1 (real); YA random phase, equal magnitude.
+				yb := complex(1, 0)
+				ya := cmplx.Rect(1, phiA)
+				est := yb + 2*ya
+				if real(est) >= 0 {
+					break // decision survives: error died
+				}
+				run++
+				if run > 30 {
+					break
+				}
 			}
-			run++
-			if run > 30 {
-				break
+			t.runLens[run]++
+			if run > 0 {
+				t.propagate++
 			}
 		}
-		runLens[run]++
-		if run > 0 {
-			propagate++
+		return t
+	})
+	propagate := 0
+	runLens := map[int]int{}
+	for _, t := range tallies {
+		propagate += t.propagate
+		for l, c := range t.runLens {
+			if c > 0 {
+				runLens[l] += c
+			}
 		}
 	}
 	res := Fig44Result{PropagationProbability: float64(propagate) / float64(trials)}
@@ -151,47 +171,54 @@ func Table51MicroEval(sc Scale, seed int64) Table51Result {
 
 // correlationRates measures the collision detector (§5.3a): false
 // positives on clean packets, false negatives on collisions, across SNRs
-// 6–20 dB.
+// 6–20 dB. The SNR×pair grid flattens into one trial per cell.
 func correlationRates(sc Scale, seed int64) (fp, fn float64) {
 	cfg := core.DefaultConfig()
+	cfg.Workers = sc.Workers
 	beta := cfg.DetectBeta
 	if beta == 0 {
 		beta = core.DefaultDetectBeta
 	}
-	rng := rand.New(rand.NewSource(seed))
-	sy := phy.NewSynchronizer(cfg.PHY)
-	nFP, nFN, total := 0, 0, 0
-	for _, snr := range []float64{6, 10, 14, 20} {
-		for trial := 0; trial < sc.Pairs; trial++ {
-			noise := 0.05
-			s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, noise)
-			// Clean packet: an accepted peak anywhere but the packet's own
-			// start is a false positive ("packets mistaken as
-			// collisions", §5.3a).
-			clean := s.reception(rng, []int{40, -1})
-			amp1 := s.links[1].Amplitude()
-			peaks := sy.DetectFor(clean.Samples, s.metas[1].Freq, beta, amp1)
-			for _, p := range filterPlausible(peaks, amp1) {
-				if p.RefPos > 40+32 || p.RefPos < 40-32 {
-					nFP++
-					break
-				}
+	snrs := []float64{6, 10, 14, 20}
+	type rates struct{ fp, fn int }
+	cells := mapTrials(len(snrs)*sc.Pairs, cfg.Workers, seed, func(trial int, rng *rand.Rand) rates {
+		var r rates
+		snr := snrs[trial/sc.Pairs]
+		sy := phy.NewSynchronizer(cfg.PHY)
+		noise := 0.05
+		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, noise)
+		// Clean packet: an accepted peak anywhere but the packet's own
+		// start is a false positive ("packets mistaken as
+		// collisions", §5.3a).
+		clean := s.reception(rng, []int{40, -1})
+		amp1 := s.links[1].Amplitude()
+		peaks := sy.DetectFor(clean.Samples, s.metas[1].Freq, beta, amp1)
+		for _, p := range filterPlausible(peaks, amp1) {
+			if p.RefPos > 40+32 || p.RefPos < 40-32 {
+				r.fp = 1
+				break
 			}
-			// Collision: missing the second packet's peak is a false
-			// negative.
-			coll := s.reception(rng, []int{40, 40 + 600})
-			peaks = sy.DetectFor(coll.Samples, s.metas[1].Freq, beta, amp1)
-			found := false
-			for _, p := range filterPlausible(peaks, amp1) {
-				if p.RefPos > 40+32 {
-					found = true
-				}
-			}
-			if !found {
-				nFN++
-			}
-			total++
 		}
+		// Collision: missing the second packet's peak is a false
+		// negative.
+		coll := s.reception(rng, []int{40, 40 + 600})
+		peaks = sy.DetectFor(coll.Samples, s.metas[1].Freq, beta, amp1)
+		found := false
+		for _, p := range filterPlausible(peaks, amp1) {
+			if p.RefPos > 40+32 {
+				found = true
+			}
+		}
+		if !found {
+			r.fn = 1
+		}
+		return r
+	})
+	nFP, nFN, total := 0, 0, 0
+	for _, r := range cells {
+		nFP += r.fp
+		nFN += r.fn
+		total++
 	}
 	return float64(nFP) / float64(total), float64(nFN) / float64(total)
 }
@@ -214,29 +241,50 @@ func filterPlausible(peaks []phy.Sync, amp float64) []phy.Sync {
 func trackingSuccess(sc Scale, seed int64, payload int, disable bool) float64 {
 	cfg := core.DefaultConfig()
 	cfg.PHY.DisablePhaseTracking = disable
-	rng := rand.New(rand.NewSource(seed))
-	ok, total := 0, 0
+	cfg.Workers = sc.Workers
 	pairs := sc.Pairs
-	if pairs < 10 {
-		pairs = 10
+	if floor := sc.statFloor(10); pairs < floor {
+		pairs = floor
 	}
-	if payload >= 1500 && pairs > 12 {
-		pairs = 12 // long packets dominate runtime
+	if payload >= 1500 && pairs > sc.statFloor(12) {
+		pairs = sc.statFloor(12) // long packets dominate runtime
 	}
-	for trial := 0; trial < pairs; trial++ {
-		s := newPairScenario(cfg, rng, payload, []float64{18, 18}, 0.02)
+	return successRate(successCounts(cfg, pairs, seed, func(rng *rand.Rand) *pairScenario {
+		return newPairScenario(cfg, rng, payload, []float64{18, 18}, 0.02)
+	}))
+}
+
+// okTotal accumulates a trial's decode-success tally.
+type okTotal struct{ ok, total int }
+
+// successCounts runs decode-success trials on the worker pool: each
+// trial builds a scenario, decodes its collision pair, and reports how
+// many of the two packets met the §5.1f criterion.
+func successCounts(cfg core.Config, pairs int, seed int64, scenario func(rng *rand.Rand) *pairScenario) []okTotal {
+	return mapTrials(pairs, cfg.Workers, seed, func(_ int, rng *rand.Rand) okTotal {
+		var c okTotal
+		s := scenario(rng)
 		r1, r2 := s.collisionPair(rng)
 		res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
 		if err != nil {
-			total += 2
-			continue
+			c.total = 2
+			return c
 		}
 		for i := range res.Packets {
-			total++
+			c.total++
 			if decodable(s.truth[i], res.Packets[i].Bits) {
-				ok++
+				c.ok++
 			}
 		}
+		return c
+	})
+}
+
+func successRate(counts []okTotal) float64 {
+	ok, total := 0, 0
+	for _, c := range counts {
+		ok += c.ok
+		total += c.total
 	}
 	if total == 0 {
 		return 0
@@ -255,36 +303,20 @@ func decodable(truth, got []byte) bool {
 func isiSuccess(sc Scale, seed int64, snr float64, disable bool) float64 {
 	cfg := core.DefaultConfig()
 	cfg.PHY.DisableISIModel = disable
-	rng := rand.New(rand.NewSource(seed))
-	ok, total := 0, 0
+	cfg.Workers = sc.Workers
 	pairs := sc.Pairs
-	if pairs < 24 {
-		pairs = 24 // keep the on/off comparison statistically stable
+	if floor := sc.statFloor(24); pairs < floor {
+		pairs = floor // keep the on/off comparison statistically stable
 	}
-	for trial := 0; trial < pairs; trial++ {
+	return successRate(successCounts(cfg, pairs, seed, func(rng *rand.Rand) *pairScenario {
 		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, 0.05)
 		// Strong testbed-like ISI makes the reconstruction filter
 		// matter.
 		for _, l := range s.links {
 			l.ISI = typicalStrongISI()
 		}
-		r1, r2 := s.collisionPair(rng)
-		res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
-		if err != nil {
-			total += 2
-			continue
-		}
-		for i := range res.Packets {
-			total++
-			if decodable(s.truth[i], res.Packets[i].Bits) {
-				ok++
-			}
-		}
-	}
-	if total == 0 {
-		return 0
-	}
-	return float64(ok) / float64(total)
+		return s
+	}))
 }
 
 func typicalStrongISI() dsp.FIR {

@@ -71,8 +71,16 @@ func RunTestbed(sc Scale, seed int64) TestbedResult {
 		pairs = kept
 	}
 
-	for pi, p := range pairs {
-		kind := top.Classify(p.i, p.j)
+	// Every sampled pair is an independent simulation whose seed is
+	// already derived from the pair index, so pairs fan out across the
+	// worker pool and the serial reduction below sees them in pair
+	// order — identical output at any worker count.
+	type pairOutcome struct {
+		kind    testbed.PairKind
+		zz, std testbed.RunResult
+	}
+	outcomes := mapTrials(len(pairs), sc.Workers, seed, func(pi int, _ *rand.Rand) pairOutcome {
+		p := pairs[pi]
 		cfg := testbed.RunConfig{
 			SNRs: []float64{
 				testbed.ClampSNR(top.SNR[p.ap][p.i]),
@@ -86,10 +94,17 @@ func RunTestbed(sc Scale, seed int64) TestbedResult {
 			Payload: sc.TestbedPayload,
 			Noise:   0.05,
 			Seed:    seed + int64(pi)*101,
+			Workers: 1, // pair-level parallelism already saturates the pool
 		}
-		zz := testbed.Run(cfg, testbed.ZigZag)
-		std := testbed.Run(cfg, testbed.Current80211)
+		return pairOutcome{
+			kind: top.Classify(p.i, p.j),
+			zz:   testbed.Run(cfg, testbed.ZigZag),
+			std:  testbed.Run(cfg, testbed.Current80211),
+		}
+	})
 
+	for _, oc := range outcomes {
+		kind, zz, std := oc.kind, oc.zz, oc.std
 		out.ThroughputZigZag.Add(zz.AggregateThroughput())
 		out.Throughput80211.Add(std.AggregateThroughput())
 		for f := 0; f < 2; f++ {
@@ -138,8 +153,8 @@ func Fig59ThreeHiddenTerminals(sc Scale, seed int64) Fig59Result {
 		{false, false, true},
 	}
 	var sums [3]float64
-	runs := 0
-	for r := 0; r < maxInt(2, sc.TestbedPairs/3); r++ {
+	runs := maxInt(2, sc.TestbedPairs/3)
+	results := mapTrials(runs, sc.Workers, seed, func(r int, _ *rand.Rand) testbed.RunResult {
 		cfg := testbed.RunConfig{
 			SNRs:    []float64{13, 13, 13},
 			Senses:  senses,
@@ -147,14 +162,16 @@ func Fig59ThreeHiddenTerminals(sc Scale, seed int64) Fig59Result {
 			Payload: sc.TestbedPayload,
 			Noise:   0.05,
 			Seed:    seed + int64(r)*31,
+			Workers: 1,
 		}
-		res := testbed.Run(cfg, testbed.ZigZag)
+		return testbed.Run(cfg, testbed.ZigZag)
+	})
+	for _, res := range results {
 		for f := 0; f < 3; f++ {
 			th := res.Flows[f].Throughput
 			out.CDF.Add(th)
 			sums[f] += th
 		}
-		runs++
 	}
 	lo, hi := 1e9, -1e9
 	for f := 0; f < 3; f++ {

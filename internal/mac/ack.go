@@ -1,6 +1,10 @@
 package mac
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"zigzag/internal/runner"
+)
 
 // AckOffsetBound returns the analytic lower bound of Lemma 4.4.1: the
 // probability that the time offset between two colliding packets in the
@@ -19,23 +23,32 @@ func AckOffsetBound() float64 {
 // senders pick a uniform slot in a window of 2·(CWMin+1) slots and the
 // offset must be at least SIFS+ACK. It converges to slightly above the
 // analytic bound (the bound is loose because it ignores edge effects).
-func AckOffsetProbability(trials int, rng *rand.Rand) float64 {
+//
+// The draws are so cheap that individual dispatch would be all
+// overhead, so the engine maps over fixed-size batches; each batch owns
+// one seed-derived stream, keeping the estimate worker-count-invariant.
+func AckOffsetProbability(trials int, seed int64, workers int) float64 {
 	if trials <= 0 {
 		trials = 100000
 	}
 	window := 2 * (CWMin + 1)
 	neededSlots := int((SIFS + ACKDuration + SlotTime - 1) / SlotTime)
-	ok := 0
-	for i := 0; i < trials; i++ {
-		a := rng.Intn(window)
-		b := rng.Intn(window)
-		d := a - b
-		if d < 0 {
-			d = -d
-		}
-		if d >= neededSlots {
-			ok++
-		}
-	}
+	batches := runner.Batches(trials, 8192)
+	ok := runner.SumInt(len(batches), runner.Options{Workers: workers, BaseSeed: seed},
+		func(bi int, rng *rand.Rand) int {
+			ok := 0
+			for i := batches[bi].Lo; i < batches[bi].Hi; i++ {
+				a := rng.Intn(window)
+				b := rng.Intn(window)
+				d := a - b
+				if d < 0 {
+					d = -d
+				}
+				if d >= neededSlots {
+					ok++
+				}
+			}
+			return ok
+		})
 	return float64(ok) / float64(trials)
 }

@@ -1,0 +1,55 @@
+package mac
+
+import (
+	"runtime"
+	"testing"
+)
+
+func macWorkerSweep() []int {
+	ws := []int{2}
+	if n := runtime.NumCPU(); n > 2 {
+		ws = append(ws, n)
+	}
+	return ws
+}
+
+func TestGreedyFailureWorkerInvariant(t *testing.T) {
+	ref := GreedyFailureProbability(4, 16, 600, 240, FixedCW, 7, 1)
+	for _, w := range macWorkerSweep() {
+		if got := GreedyFailureProbability(4, 16, 600, 240, FixedCW, 7, w); got != ref {
+			t.Fatalf("workers=%d: %v != serial %v", w, got, ref)
+		}
+	}
+	refExp := GreedyFailureProbability(3, 0, 600, 240, ExponentialBackoff, 7, 1)
+	for _, w := range macWorkerSweep() {
+		if got := GreedyFailureProbability(3, 0, 600, 240, ExponentialBackoff, 7, w); got != refExp {
+			t.Fatalf("exp workers=%d: %v != serial %v", w, got, refExp)
+		}
+	}
+}
+
+// TestMonteCarloGoldens pins exact probabilities captured from this
+// implementation under the runner's seed derivation; both are integer
+// ratios, exact in float64. They catch accidental drift of the seeding
+// discipline (a worker-count change must NOT move them — the
+// invariance tests prove that separately).
+func TestMonteCarloGoldens(t *testing.T) {
+	if got := GreedyFailureProbability(4, 16, 600, 240, FixedCW, 7, 2); got != 0.014814814814814815 {
+		t.Errorf("greedy failure probability = %v", got)
+	}
+	if got := AckOffsetProbability(50000, 9, 2); got != 0.953 {
+		t.Errorf("ack offset probability = %v", got)
+	}
+}
+
+func TestAckOffsetWorkerInvariant(t *testing.T) {
+	ref := AckOffsetProbability(50000, 9, 1)
+	for _, w := range macWorkerSweep() {
+		if got := AckOffsetProbability(50000, 9, w); got != ref {
+			t.Fatalf("workers=%d: %v != serial %v", w, got, ref)
+		}
+	}
+	if ref < AckOffsetBound() || ref > 1 {
+		t.Fatalf("probability %v out of plausible range", ref)
+	}
+}

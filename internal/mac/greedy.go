@@ -3,6 +3,8 @@ package mac
 import (
 	"math/rand"
 	"sort"
+
+	"zigzag/internal/runner"
 )
 
 // This file implements the offset-domain simulation behind Fig 4-7: how
@@ -195,35 +197,49 @@ const (
 // from its window. length is the packet length in slots (1500 B at
 // 500 kb/s spans far more slots than any window, so overlaps are total;
 // the default used by the benchmarks is 600).
-func GreedyFailureProbability(n, cw, length, trials int, mode BackoffMode, rng *rand.Rand) float64 {
+//
+// Trials fan out across workers goroutines (0 = GOMAXPROCS); every
+// trial draws from its own seed-derived stream, so the estimate is
+// identical at any worker count.
+func GreedyFailureProbability(n, cw, length, trials int, mode BackoffMode, seed int64, workers int) float64 {
 	if trials <= 0 {
 		trials = 10000
 	}
 	// Larger configurations cost ~n² per trial; keep the total budget
-	// roughly constant across the Fig 4-7 sweep.
+	// roughly constant across the Fig 4-7 sweep. The floor follows the
+	// requested budget down (short-mode tests) but never exceeds the
+	// historical 200.
 	if n > 3 {
+		floor := trials / 4
+		if floor < 50 {
+			floor = 50
+		}
+		if floor > 200 {
+			floor = 200
+		}
 		trials = trials * 9 / (n * n)
-		if trials < 200 {
-			trials = 200
+		if trials < floor {
+			trials = floor
 		}
 	}
-	fails := 0
-	for t := 0; t < trials; t++ {
-		offsets := make([][]int, n)
-		for c := 0; c < n; c++ {
-			w := cw
-			if mode == ExponentialBackoff {
-				w = CWForAttempt(c) + 1
+	fails := runner.SumInt(trials, runner.Options{Workers: workers, BaseSeed: seed},
+		func(_ int, rng *rand.Rand) int {
+			offsets := make([][]int, n)
+			for c := 0; c < n; c++ {
+				w := cw
+				if mode == ExponentialBackoff {
+					w = CWForAttempt(c) + 1
+				}
+				row := make([]int, n)
+				for p := 0; p < n; p++ {
+					row[p] = rng.Intn(w)
+				}
+				offsets[c] = row
 			}
-			row := make([]int, n)
-			for p := 0; p < n; p++ {
-				row[p] = rng.Intn(w)
+			if !GreedyDecodable(offsets, length) {
+				return 1
 			}
-			offsets[c] = row
-		}
-		if !GreedyDecodable(offsets, length) {
-			fails++
-		}
-	}
+			return 0
+		})
 	return float64(fails) / float64(trials)
 }

@@ -26,8 +26,11 @@ func TestAckOffsetBoundIsLemma441(t *testing.T) {
 }
 
 func TestAckOffsetProbabilityAboveBound(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	p := AckOffsetProbability(200000, rng)
+	trials := 200000
+	if testing.Short() {
+		trials = 50000
+	}
+	p := AckOffsetProbability(trials, 1, 0)
 	if p < AckOffsetBound() {
 		t.Fatalf("MC probability %.4f below analytic bound %.4f", p, AckOffsetBound())
 	}
@@ -108,9 +111,12 @@ func TestGreedyConditionOfAssertion451(t *testing.T) {
 }
 
 func TestGreedyFailureDecreasesWithCW(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	f8 := GreedyFailureProbability(3, 8, 600, 1200, FixedCW, rng)
-	f32 := GreedyFailureProbability(3, 32, 600, 1200, FixedCW, rng)
+	trials := 1200
+	if testing.Short() {
+		trials = 240
+	}
+	f8 := GreedyFailureProbability(3, 8, 600, trials, FixedCW, 2, 0)
+	f32 := GreedyFailureProbability(3, 32, 600, trials, FixedCW, 2, 0)
 	if f32 > f8 {
 		t.Fatalf("failure should drop with CW: cw8=%v cw32=%v", f8, f32)
 	}
@@ -120,9 +126,12 @@ func TestGreedyFailureDecreasesWithCW(t *testing.T) {
 }
 
 func TestGreedyFailureExponentialBelowFixed(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	fExp := GreedyFailureProbability(4, 16, 600, 800, ExponentialBackoff, rng)
-	fFix := GreedyFailureProbability(4, 8, 600, 800, FixedCW, rng)
+	trials := 800
+	if testing.Short() {
+		trials = 240
+	}
+	fExp := GreedyFailureProbability(4, 16, 600, trials, ExponentialBackoff, 3, 0)
+	fFix := GreedyFailureProbability(4, 8, 600, trials, FixedCW, 3, 0)
 	if fExp > fFix+0.01 {
 		t.Fatalf("exponential backoff (%v) should not fail more than cw=8 (%v)", fExp, fFix)
 	}

@@ -1,0 +1,29 @@
+package testbed
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestCollisionFreeWorkerInvariant pins the parallel collision-free
+// scheduler to its serial reference: every slot draws from its own
+// seed-derived stream, so delivery counts, BER tallies, and throughput
+// must be byte-identical at any worker count.
+func TestCollisionFreeWorkerInvariant(t *testing.T) {
+	run := func(w int) RunResult {
+		cfg := HiddenPairConfig(14, 14, FullyHidden, 4, 80, 0.05, 5)
+		cfg.Workers = w
+		return Run(cfg, CollisionFree)
+	}
+	ref := run(1)
+	sweep := []int{2}
+	if n := runtime.NumCPU(); n > 2 {
+		sweep = append(sweep, n)
+	}
+	for _, w := range sweep {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from serial reference\nserial: %+v\n   got: %+v", w, ref, got)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"zigzag/internal/metrics"
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
+	"zigzag/internal/runner"
 )
 
 // Scheme selects one of the compared receiver designs (§5.1e).
@@ -77,6 +79,13 @@ type RunConfig struct {
 	// capture-starved sender simply delivers its backlog after the
 	// strong sender drains — which saturated senders never allow.
 	Saturated bool
+	// Workers sizes the worker pool for the parts of a run that are
+	// embarrassingly parallel (currently the collision-free scheduler,
+	// whose slots are independent single-packet decodes); 0 means
+	// GOMAXPROCS. The DCF schemes are inherently sequential — each
+	// episode's backoffs depend on the previous episode's ACKs — so
+	// Workers does not affect them. Results are identical at any value.
+	Workers int
 }
 
 // FlowResult is the outcome of one sender's flow.
@@ -176,6 +185,7 @@ func Run(cfg RunConfig, scheme Scheme) RunResult {
 		bitTot:    make([]int, n),
 	}
 	r.coreCfg.DisableBackward = cfg.DisableBackward
+	r.coreCfg.Workers = cfg.Workers
 	r.tx = phy.NewTransmitter(r.phyCfg)
 	r.rx = phy.NewReceiver(r.phyCfg)
 	r.air = &channel.Air{NoisePower: cfg.Noise, Rng: r.rng, RandomizePhase: true}
@@ -408,7 +418,10 @@ func (r *run) deliverZigZag(rx []complex128, frames []*frame.Frame, acks []bool)
 }
 
 // runCollisionFree schedules every packet in its own slot: the same
-// decoder, zero interference, full MAC overhead per packet.
+// decoder, zero interference, full MAC overhead per packet. Slots are
+// independent single-packet decodes, so they fan out across the worker
+// pool; each slot draws noise and phase from its own seed-derived
+// stream and the tallies reduce in slot order.
 func (r *run) runCollisionFree(airtime time.Duration) RunResult {
 	n := len(r.cfg.SNRs)
 	res := RunResult{}
@@ -416,27 +429,55 @@ func (r *run) runCollisionFree(airtime time.Duration) RunResult {
 	elapsed := time.Duration(0)
 	delivered := make([]int, n)
 	const lead = 40
-	for seq := 0; seq < r.cfg.Packets; seq++ {
-		for i := 0; i < n; i++ {
+	type slotOutcome struct {
+		aired, delivered bool
+		errBits, totBits int
+	}
+	slots, mapErr := runner.Map(context.Background(), r.cfg.Packets*n,
+		runner.Options{Workers: r.cfg.Workers, BaseSeed: r.cfg.Seed ^ 0x3c6e},
+		func(_ context.Context, slot int, rng *rand.Rand) (slotOutcome, error) {
+			var oc slotOutcome
+			seq, i := slot/n, slot%n
 			tr := mac.Transmission{Station: uint8(i + 1), Seq: seq}
 			f := frameFor(tr, r.cfg.Payload)
 			wave, err := r.tx.Waveform(f)
 			if err != nil {
-				continue
+				return oc, nil // never airs: no airtime, no accounting
 			}
-			rx := r.air.Mix(len(wave)+2*lead, channel.Emission{Samples: wave, Link: r.links[i], Offset: lead})
-			res2, err := r.rx.Receive(rx, modem.BPSK, r.freqs[i]*0.98, 0, r.links[i].Amplitude())
-			elapsed += perPacket
-			var got []byte
-			if err == nil && res2.OK() && res2.Frame.Src == f.Src && res2.Frame.Seq == f.Seq {
-				delivered[i]++
-				got = res2.Bits
-			} else if err == nil {
-				got = res2.Bits
+			oc.aired = true
+			truth, terr := f.Bits(nil)
+			if terr != nil {
+				return oc, nil
 			}
-			r.accountBits(f, got)
-			res.Episodes++
+			oc.totBits = len(truth)
+			oc.errBits = len(truth) / 2 // random-guess equivalent until decoded
+			air := &channel.Air{NoisePower: r.cfg.Noise, Rng: rng, RandomizePhase: true}
+			rx := air.Mix(len(wave)+2*lead, channel.Emission{Samples: wave, Link: r.links[i], Offset: lead})
+			res2, err := phy.NewReceiver(r.phyCfg).Receive(rx, modem.BPSK, r.freqs[i]*0.98, 0, r.links[i].Amplitude())
+			if err != nil {
+				return oc, nil
+			}
+			if res2.OK() && res2.Frame.Src == f.Src && res2.Frame.Seq == f.Seq {
+				oc.delivered = true
+			}
+			oc.errBits = int(bitutil.BitErrorRate(truth, res2.Bits) * float64(len(truth)))
+			return oc, nil
+		})
+	if mapErr != nil {
+		panic(mapErr) // slots never return errors; only a bug panics
+	}
+	for slot, oc := range slots {
+		if !oc.aired {
+			continue
 		}
+		i := slot % n
+		elapsed += perPacket
+		if oc.delivered {
+			delivered[i]++
+		}
+		r.bitErr[i] += oc.errBits
+		r.bitTot[i] += oc.totBits
+		res.Episodes++
 	}
 	if elapsed == 0 {
 		elapsed = time.Microsecond

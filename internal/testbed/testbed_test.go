@@ -100,7 +100,11 @@ func TestRunHiddenTerminals80211Starves(t *testing.T) {
 	// spans 24.6 ms > CWmax·slot = 20.5 ms, so hidden terminals can
 	// never escape by backoff alone — the physics behind the paper's
 	// 82–100% loss. Shorter packets would escape at high attempt counts.
-	cfg := HiddenPairConfig(13, 13, FullyHidden, 4, 1500, 0.05, 3)
+	packets := 4
+	if testing.Short() {
+		packets = 2 // the physics is per-collision; fewer packets suffice
+	}
+	cfg := HiddenPairConfig(13, 13, FullyHidden, packets, 1500, 0.05, 3)
 	res := Run(cfg, Current80211)
 	loss := (res.Flows[0].Stats.LossRate() + res.Flows[1].Stats.LossRate()) / 2
 	if loss < 0.6 {
