@@ -6,7 +6,8 @@
 #   make test-short — reduced-scale suite, well under 30 s
 #   make test-race  — race-enabled short suite
 #   make bench      — paper-figure benchmarks (root package)
-#   make ci         — what a pipeline should run: vet + test-race
+#   make bench-correlate — naive-vs-FFT correlation engine benchmarks
+#   make ci         — what a pipeline should run: vet + race suites
 #
 # The experiment suites fan Monte-Carlo trials out across all cores via
 # internal/runner; per-trial seed derivation keeps every figure
@@ -15,7 +16,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-race bench ci
+# Packages touched by the correlation engine; test-race-correlate runs
+# them twice under the race detector so the reused scratch buffers
+# (Synchronizer/Receiver state, the per-plan-size pools) are exercised
+# across repeated steady-state calls.
+CORRELATE_PKGS = ./internal/dsp/... ./internal/phy/... ./internal/core/...
+
+.PHONY: all build vet test test-short test-race test-race-correlate bench bench-correlate ci
 
 all: build
 
@@ -34,7 +41,14 @@ test-short: build
 test-race: build
 	$(GO) test -short -race ./...
 
+test-race-correlate: build
+	$(GO) test -short -race -count=2 $(CORRELATE_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-ci: vet test-race
+bench-correlate: build
+	$(GO) test -bench='BenchmarkCorrelateProfile|BenchmarkCrossover|BenchmarkFFT' -benchmem -run='^$$' ./internal/dsp/fft
+	$(GO) test -bench='BenchmarkLocatePacket' -benchmem -run='^$$' ./internal/core
+
+ci: vet test-race test-race-correlate

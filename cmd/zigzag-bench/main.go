@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"zigzag/internal/dsp/fft"
 	"zigzag/internal/experiments"
 	"zigzag/internal/metrics"
 )
@@ -31,7 +32,10 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick|full")
 	seed := flag.Int64("seed", 1, "root RNG seed")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
+	naiveCorrelate := flag.Bool("naive-correlate", false,
+		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	flag.Parse()
+	fft.SetForceNaive(*naiveCorrelate)
 
 	sc := experiments.Quick
 	if *scaleName == "full" {

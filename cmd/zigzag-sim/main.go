@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"zigzag/internal/dsp/fft"
 	"zigzag/internal/testbed"
 )
 
@@ -33,7 +34,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	senders := flag.Int("senders", 2, "2 or 3 senders")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
+	naiveCorrelate := flag.Bool("naive-correlate", false,
+		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	flag.Parse()
+	fft.SetForceNaive(*naiveCorrelate)
 
 	var scheme testbed.Scheme
 	switch *schemeName {

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/fft"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
 )
@@ -112,6 +113,24 @@ type LocateResult struct {
 // already removed). Up to max candidates are returned, best first, at
 // least a preamble apart.
 func LocatePacket(cfg Config, stored []complex128, storedStart float64, fresh []complex128, max int) []LocateResult {
+	var s locateScratch
+	return locatePacket(cfg, stored, storedStart, fresh, max, &s)
+}
+
+// locateScratch carries the wide-window matcher's reusable working
+// storage: the correlation engine's transform buffers plus the profile
+// and rolling-energy vectors, which are as long as the fresh reception
+// and would otherwise dominate per-lookup allocation.
+type locateScratch struct {
+	corr   fft.Scratch
+	prof   []complex128
+	energy []float64
+}
+
+// locatePacket is LocatePacket with the working storage threaded in;
+// the online Receiver passes its own locateScratch so repeated store
+// lookups allocate nothing in steady state.
+func locatePacket(cfg Config, stored []complex128, storedStart float64, fresh []complex128, max int, s *locateScratch) []LocateResult {
 	skip := (cfg.PHY.PreambleBits + modem.SymbolCount(modem.BPSK, frame.HeaderBits)) * cfg.PHY.SamplesPerSymbol
 	is := int(storedStart) + skip
 	if is < 0 || is >= len(stored) {
@@ -129,10 +148,14 @@ func LocatePacket(cfg Config, stored []complex128, storedStart float64, fresh []
 	if refE == 0 {
 		return nil
 	}
-	prof := dsp.CorrelateProfile(fresh, ref, 0)
+	s.prof = fft.Correlate(s.prof, fresh, ref, 0, &s.corr)
+	prof := s.prof
 	// Normalize per position by the local window energy.
 	var run float64
-	energy := make([]float64, len(prof))
+	if cap(s.energy) < len(prof) {
+		s.energy = make([]float64, len(prof))
+	}
+	energy := s.energy[:len(prof)]
 	for i := 0; i < len(fresh); i++ {
 		v := fresh[i]
 		run += real(v)*real(v) + imag(v)*imag(v)
@@ -144,33 +167,32 @@ func LocatePacket(cfg Config, stored []complex128, storedStart float64, fresh []
 			energy[i-w+1] = run
 		}
 	}
-	type scored struct {
-		pos   int
-		score float64
-	}
-	var all []scored
-	for i := range prof {
-		if energy[i] <= 0 {
-			continue
-		}
-		m := real(prof[i])*real(prof[i]) + imag(prof[i])*imag(prof[i])
-		all = append(all, scored{i, m / (refE * energy[i])})
-	}
-	// Pick peaks greedily, spaced at least a preamble apart.
+	// Pick peaks greedily, spaced at least a preamble apart, scanning
+	// the normalized scores in place (max is tiny, so re-deriving the
+	// score per pass beats materializing a profile-sized candidate
+	// list).
 	minSp := cfg.PHY.PreambleBits * cfg.PHY.SamplesPerSymbol
 	var out []LocateResult
 	for len(out) < max {
 		best, bi := 0.0, -1
-		for _, s := range all {
+		for i := range prof {
+			if energy[i] <= 0 {
+				continue
+			}
+			m := real(prof[i])*real(prof[i]) + imag(prof[i])*imag(prof[i])
+			score := m / (refE * energy[i])
+			if score <= best {
+				continue
+			}
 			tooClose := false
 			for _, o := range out {
-				if abs(s.pos-skip-o.Pos) < minSp {
+				if abs(i-skip-o.Pos) < minSp {
 					tooClose = true
 					break
 				}
 			}
-			if !tooClose && s.score > best {
-				best, bi = s.score, s.pos
+			if !tooClose {
+				best, bi = score, i
 			}
 		}
 		if bi < 0 {

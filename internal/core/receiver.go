@@ -46,6 +46,13 @@ type Receiver struct {
 	sync    *phy.Synchronizer
 	clients map[uint8]Client
 
+	// loc is the wide-window store matcher's working storage
+	// (LocatePacket: transform buffers, profile, rolling energy); the
+	// preamble detector's scratch lives inside sync. Receivers are
+	// single-goroutine, so the buffers are reused across receptions
+	// without locking.
+	loc locateScratch
+
 	// MaxStored bounds the unmatched-collision store; 802.11
 	// retransmissions arrive promptly, so a few suffice (§4.2.2).
 	MaxStored int
@@ -460,7 +467,7 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 	var positions []int
 	for i, oc := range st.rec.Packets {
 		client := z.clients[st.clients[i]]
-		cands := LocatePacket(z.cfg, st.rec.Samples, oc.Sync.Start, rx, 3)
+		cands := locatePacket(z.cfg, st.rec.Samples, oc.Sync.Start, rx, 3, &z.loc)
 		var chosen *phy.Sync
 		for _, c := range cands {
 			if c.Score < z.cfg.matchThreshold() {

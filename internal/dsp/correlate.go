@@ -3,6 +3,7 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+	"sort"
 )
 
 // CorrelateProfile slides the known reference waveform ref across y and
@@ -20,36 +21,66 @@ func CorrelateProfile(y, ref []complex128, freqStep float64) []complex128 {
 	if len(ref) == 0 || len(y) < len(ref) {
 		return nil
 	}
-	cref := make([]complex128, len(ref))
+	return CorrelateWithRef(nil, y, ConjRotatedRef(nil, ref, freqStep))
+}
+
+// ConjRotatedRef returns dst[k] = conj(ref[k]) · e^{−j·freqStep·k}: the
+// conjugated, frequency-compensated reference block the sliding
+// correlator multiplies against received samples. The incremental
+// rotator is renormalized every 1024 samples (matching Rotate) so long
+// references do not drift in amplitude. The construction is shared by
+// the naive kernel and the FFT overlap-save engine so the two paths see
+// bit-identical references and agree to rounding error.
+//
+// dst is reused when its capacity allows, otherwise a new slice is
+// allocated.
+func ConjRotatedRef(dst, ref []complex128, freqStep float64) []complex128 {
+	dst = ensure(dst, len(ref))
 	if freqStep == 0 {
 		for k, v := range ref {
-			cref[k] = cmplx.Conj(v)
+			dst[k] = cmplx.Conj(v)
 		}
-	} else {
-		rot := complex(1, 0)
-		inc := cmplx.Exp(complex(0, -freqStep)) // conj of +freqStep rotation
-		for k, v := range ref {
-			cref[k] = cmplx.Conj(v) * rot
-			rot *= inc
-			if k&0x3ff == 0x3ff {
-				rot /= complex(cmplx.Abs(rot), 0)
-			}
+		return dst
+	}
+	rot := complex(1, 0)
+	inc := cmplx.Exp(complex(0, -freqStep)) // conj of +freqStep rotation
+	for k, v := range ref {
+		dst[k] = cmplx.Conj(v) * rot
+		rot *= inc
+		if k&0x3ff == 0x3ff {
+			rot /= complex(cmplx.Abs(rot), 0)
 		}
 	}
-	out := make([]complex128, len(y)-len(ref)+1)
-	for d := range out {
+	return dst
+}
+
+// CorrelateWithRef computes the sliding correlation of y against a
+// reference that has already been conjugated (and, if needed,
+// pre-rotated) by ConjRotatedRef: dst[d] = Σ_k cref[k]·y[d+k]. dst is
+// reused when its capacity allows. This is the naive O(N·M) kernel; see
+// internal/dsp/fft for the overlap-save engine used above the crossover
+// length.
+func CorrelateWithRef(dst, y, cref []complex128) []complex128 {
+	if len(cref) == 0 || len(y) < len(cref) {
+		return nil
+	}
+	dst = ensure(dst, len(y)-len(cref)+1)
+	for d := range dst {
 		var acc complex128
-		win := y[d : d+len(ref)]
+		win := y[d : d+len(cref)]
 		for k, c := range cref {
 			acc += c * win[k]
 		}
-		out[d] = acc
+		dst[d] = acc
 	}
-	return out
+	return dst
 }
 
 // CorrelateAt computes the correlation Γ(Δ) at a single alignment with
-// frequency compensation, without building the whole profile.
+// frequency compensation, without building the whole profile. It applies
+// the same periodic rotator renormalization as CorrelateProfile, so the
+// two agree at every alignment even for references much longer than the
+// renormalization period.
 func CorrelateAt(y, ref []complex128, delta int, freqStep float64) complex128 {
 	if delta < 0 || delta+len(ref) > len(y) {
 		return 0
@@ -60,6 +91,9 @@ func CorrelateAt(y, ref []complex128, delta int, freqStep float64) complex128 {
 	for k, v := range ref {
 		acc += cmplx.Conj(v) * rot * y[delta+k]
 		rot *= inc
+		if k&0x3ff == 0x3ff {
+			rot /= complex(cmplx.Abs(rot), 0)
+		}
 	}
 	return acc
 }
@@ -144,13 +178,20 @@ func (pd PeakDetector) Threshold(refEnergy float64) float64 {
 // Find returns all local maxima of |profile| that exceed the threshold,
 // sorted by position, at least MinSpacing apart (keeping the larger
 // magnitude when two candidates are closer).
+//
+// Suppression is greedy by magnitude: the strongest candidate always
+// survives, and each further candidate survives only if it is at least
+// MinSpacing from every already-kept peak. An earlier version resolved
+// spacing conflicts against the immediately preceding survivor only, so
+// a chain of close-by candidates with rising magnitudes displaced one
+// another in place and legitimately spaced earlier peaks were lost.
 func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
 	thr := pd.Threshold(refEnergy)
 	minSp := pd.MinSpacing
 	if minSp <= 0 {
 		minSp = 1
 	}
-	var peaks []Peak
+	var cands []Peak
 	for i := range profile {
 		m := cmplx.Abs(profile[i])
 		if m <= thr {
@@ -162,16 +203,42 @@ func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
 		if i < len(profile)-1 && cmplx.Abs(profile[i+1]) >= m {
 			continue
 		}
-		p := Peak{Pos: i, Mag: m, Value: profile[i], Frac: parabolicPeak(profile, i)}
-		if n := len(peaks); n > 0 && p.Pos-peaks[n-1].Pos < minSp {
-			if p.Mag > peaks[n-1].Mag {
-				peaks[n-1] = p
-			}
-			continue
-		}
-		peaks = append(peaks, p)
+		cands = append(cands, Peak{Pos: i, Mag: m, Value: profile[i], Frac: parabolicPeak(profile, i)})
 	}
-	return peaks
+	if len(cands) <= 1 {
+		return cands
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		pa, pb := cands[order[a]], cands[order[b]]
+		if pa.Mag != pb.Mag {
+			return pa.Mag > pb.Mag
+		}
+		return pa.Pos < pb.Pos
+	})
+	keep := make([]Peak, 0, len(cands))
+	for _, ci := range order {
+		c := cands[ci]
+		ok := true
+		for _, k := range keep {
+			d := c.Pos - k.Pos
+			if d < 0 {
+				d = -d
+			}
+			if d < minSp {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, c)
+		}
+	}
+	sort.Slice(keep, func(a, b int) bool { return keep[a].Pos < keep[b].Pos })
+	return keep
 }
 
 // parabolicPeak refines a local maximum of |profile| at index i by fitting

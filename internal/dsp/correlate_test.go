@@ -72,6 +72,25 @@ func TestCorrelateAtMatchesProfile(t *testing.T) {
 	}
 }
 
+func TestCorrelateAtMatchesProfileLongRef(t *testing.T) {
+	// Regression: CorrelateAt used to skip the periodic rotator
+	// renormalization that CorrelateProfile applies every 1024 samples,
+	// so the two diverged on references much longer than the
+	// renormalization period. With the shared discipline they are
+	// bit-identical (same reference construction, same summation order).
+	r := rand.New(rand.NewSource(48))
+	ref := bpskRef(r, 5000) // ≫ 1024: crosses the renormalization 4 times
+	y := randVec(r, 6000)
+	const step = 0.21 // strong offset so rotator drift would be visible
+	prof := CorrelateProfile(y, ref, step)
+	for _, d := range []int{0, 1, 500, 1000} {
+		got, want := CorrelateAt(y, ref, d, step), prof[d]
+		if !approxC(got, want, 1e-12) {
+			t.Fatalf("CorrelateAt(%d) = %v, profile has %v", d, got, want)
+		}
+	}
+}
+
 func TestCorrelateDegenerateInputs(t *testing.T) {
 	if CorrelateProfile(nil, []complex128{1}, 0) != nil {
 		t.Fatal("short y should give nil profile")
@@ -161,6 +180,35 @@ func TestPeakDetectorSubsampleRefinement(t *testing.T) {
 	// must at least have the right sign and rough size.
 	if p.Frac < 0.1 || p.Frac > 0.5 {
 		t.Fatalf("fractional refinement %v, want ≈0.3", p.Frac)
+	}
+}
+
+func TestPeakDetectorMinSpacingChain(t *testing.T) {
+	// Regression for the replacement path: three spikes 8 apart with
+	// rising magnitudes and MinSpacing 10. The old code let each spike
+	// displace the previous survivor in place, so the first spike —
+	// legitimately 16 from the final winner — was lost and only one peak
+	// came back. Magnitude-greedy suppression keeps {100, 116}.
+	profile := make([]complex128, 200)
+	profile[100] = 6
+	profile[108] = 7
+	profile[116] = 9
+	pd := PeakDetector{Beta: 0.5, RefAmp: 1, MinSpacing: 10}
+	peaks := pd.Find(profile, 2) // threshold 1: all three are candidates
+	if len(peaks) != 2 || peaks[0].Pos != 100 || peaks[1].Pos != 116 {
+		t.Fatalf("peaks = %+v, want positions 100 and 116", peaks)
+	}
+	for i := 1; i < len(peaks); i++ {
+		if d := peaks[i].Pos - peaks[i-1].Pos; d < pd.MinSpacing {
+			t.Fatalf("peaks %d and %d only %d apart (MinSpacing %d)", i-1, i, d, pd.MinSpacing)
+		}
+	}
+	// The strongest of a close cluster still wins: drop the far spike
+	// and the middle one must lose to its bigger neighbour.
+	profile[100] = 0
+	peaks = pd.Find(profile, 2)
+	if len(peaks) != 1 || peaks[0].Pos != 116 {
+		t.Fatalf("peaks = %+v, want the single strongest at 116", peaks)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package fft
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose sync.Pool instrumentation defeats pooling and makes
+// allocation counts meaningless for the pooled paths.
+const raceEnabled = true

@@ -3,7 +3,10 @@
 // sample streams, windowed-sinc fractional-delay interpolation, FIR
 // filtering, small dense least-squares solves, and the sliding preamble
 // correlator (plain and frequency-offset-compensated) that the paper's
-// collision detector is built on (§4.2.1 of the ZigZag paper).
+// collision detector is built on (§4.2.1 of the ZigZag paper). The
+// correlator here is the naive O(N·M) reference kernel; the detection
+// stack dispatches long correlations to the overlap-save engine in the
+// dsp/fft subpackage, which reproduces it to rounding error.
 //
 // Signals are represented as []complex128 throughout, matching the paper's
 // Chapter 3 model of a wireless signal as a stream of discrete complex

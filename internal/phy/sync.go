@@ -4,6 +4,7 @@ import (
 	"math/cmplx"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/fft"
 )
 
 // Sync describes one detected packet start within a received buffer: the
@@ -42,10 +43,19 @@ func (s Sync) Theta(n float64) float64 {
 }
 
 // Synchronizer runs preamble detection over received buffers.
+//
+// Correlation profiles are computed by the internal/dsp/fft engine
+// (overlap-save above the crossover length, the naive kernel below),
+// with the working buffers owned by the Synchronizer and reused across
+// calls so steady-state detection allocates nothing per buffer. A
+// Synchronizer must therefore not be shared by concurrent goroutines;
+// the Monte-Carlo harnesses construct one per trial.
 type Synchronizer struct {
 	cfg    Config
 	wave   []complex128 // preamble chip waveform
 	energy float64      // Σ|s[k]|²
+	corr   fft.Scratch  // correlation engine working storage
+	prof   []complex128 // reusable profile buffer (Detect only)
 }
 
 // NewSynchronizer builds a synchronizer for the configuration.
@@ -68,9 +78,9 @@ func (sy *Synchronizer) PreambleSamples() []complex128 { return sy.wave }
 // The returned syncs are sorted by position. A spike in the middle of a
 // reception is exactly the paper's collision indicator (Fig 4-2).
 func (sy *Synchronizer) Detect(rx []complex128, freq, beta, refAmp float64) []Sync {
-	prof := dsp.CorrelateProfile(rx, sy.wave, freq)
+	sy.prof = fft.Correlate(sy.prof, rx, sy.wave, freq, &sy.corr)
 	pd := dsp.PeakDetector{Beta: beta, RefAmp: refAmp, MinSpacing: len(sy.wave) / 2}
-	peaks := pd.Find(prof, sy.energy)
+	peaks := pd.Find(sy.prof, sy.energy)
 	syncs := make([]Sync, 0, len(peaks))
 	for _, p := range peaks {
 		syncs = append(syncs, sy.syncFromPeak(p))
@@ -79,9 +89,11 @@ func (sy *Synchronizer) Detect(rx []complex128, freq, beta, refAmp float64) []Sy
 }
 
 // Profile exposes the raw correlation profile for a given coarse
-// frequency offset; the Fig 4-2 experiment plots it directly.
+// frequency offset; the Fig 4-2 experiment plots it directly. The
+// returned slice is freshly allocated (unlike Detect's internal buffer)
+// and remains valid across further Synchronizer calls.
 func (sy *Synchronizer) Profile(rx []complex128, freq float64) []complex128 {
-	return dsp.CorrelateProfile(rx, sy.wave, freq)
+	return fft.Correlate(nil, rx, sy.wave, freq, &sy.corr)
 }
 
 // Measure re-estimates the sync at a known approximate position (±slack
