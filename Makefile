@@ -7,6 +7,7 @@
 #   make test-race  — race-enabled short suite
 #   make bench      — paper-figure benchmarks (root package)
 #   make bench-correlate — naive-vs-FFT correlation engine benchmarks
+#   make bench-decode — naive-vs-polyphase decode hot-path benchmarks
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The experiment suites fan Monte-Carlo trials out across all cores via
@@ -22,7 +23,14 @@ GO ?= go
 # across repeated steady-state calls.
 CORRELATE_PKGS = ./internal/dsp/... ./internal/phy/... ./internal/core/...
 
-.PHONY: all build vet test test-short test-race test-race-correlate bench bench-correlate ci
+# Packages touched by the polyphase decode engine; test-race-decode runs
+# them twice under the race detector so the per-modeler/per-decoder
+# scratch (wave/img/chip buffers, phase-FIR coefficients, Air work
+# buffers) is exercised across repeated steady-state calls on both
+# interpolation paths.
+DECODE_PKGS = ./internal/dsp/... ./internal/channel/... ./internal/phy/... ./internal/core/...
+
+.PHONY: all build vet test test-short test-race test-race-correlate test-race-decode bench bench-correlate bench-decode ci
 
 all: build
 
@@ -44,6 +52,10 @@ test-race: build
 test-race-correlate: build
 	$(GO) test -short -race -count=2 $(CORRELATE_PKGS)
 
+test-race-decode: build
+	$(GO) test -short -race -count=2 $(DECODE_PKGS)
+	ZIGZAG_NAIVE_INTERP=1 $(GO) test -short -race -count=2 $(DECODE_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -51,4 +63,10 @@ bench-correlate: build
 	$(GO) test -bench='BenchmarkCorrelateProfile|BenchmarkCrossover|BenchmarkFFT' -benchmem -run='^$$' ./internal/dsp/fft
 	$(GO) test -bench='BenchmarkLocatePacket' -benchmem -run='^$$' ./internal/core
 
-ci: vet test-race test-race-correlate
+bench-decode: build
+	$(GO) test -bench='BenchmarkBuildImage|BenchmarkTrackAndSubtract|BenchmarkSubtract|BenchmarkDecodeRange|BenchmarkShiftDrift' -benchmem -run='^$$' ./internal/phy
+
+# test-race-correlate is not a ci prerequisite: test-race-decode's
+# default-path run covers the same packages (plus channel) with the
+# same flags, so listing both would race-test dsp/phy/core twice.
+ci: vet test-race test-race-decode

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
 	"zigzag/internal/experiments"
 	"zigzag/internal/metrics"
@@ -34,8 +35,11 @@ func main() {
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
 	naiveCorrelate := flag.Bool("naive-correlate", false,
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
+	naiveInterp := flag.Bool("naive-interp", false,
+		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
+	dsp.SetNaiveInterp(*naiveInterp)
 
 	sc := experiments.Quick
 	if *scaleName == "full" {

@@ -72,16 +72,29 @@ func (p *Params) Amplitude() float64 { return cmplx.Abs(p.gain()) }
 // continuous waveform at offset positions, and the carrier offset
 // contributes a progressive rotation at those sampling instants.
 func (p *Params) Apply(dst, x []complex128) []complex128 {
-	cur := x
 	var tmp []complex128
+	var rs dsp.Resampler
+	return p.applyWith(dst, &tmp, &rs, x)
+}
+
+// applyWith is Apply with the intermediate ISI buffer and the
+// resampler's phase-FIR scratch threaded through tmp and rs, so callers
+// rendering many emissions (Air.Mix in a Monte-Carlo loop) reuse all
+// working storage instead of allocating per emission. dst and *tmp must
+// not alias x or each other; both are grown as needed and the (possibly
+// reallocated) result is returned / stored back.
+func (p *Params) applyWith(dst []complex128, tmp *[]complex128, rs *dsp.Resampler, x []complex128) []complex128 {
+	cur := x
 	if len(p.ISI.Taps) > 0 && !p.ISI.IsIdentity() {
-		tmp = p.ISI.Apply(nil, cur)
-		cur = tmp
+		*tmp = p.ISI.Apply(dsp.Ensure(*tmp, len(cur)), cur)
+		cur = *tmp
 	}
 	if p.SamplingOffset != 0 || p.SamplingDrift != 0 {
-		cur = p.Interp.ShiftDrift(nil, cur, p.SamplingOffset, p.SamplingDrift)
+		rs.Interp = p.Interp
+		dst = rs.EvalDrift(dsp.Ensure(dst, len(cur)), cur, p.SamplingOffset, p.SamplingDrift)
+		cur = dst
 	}
-	dst = dsp.Scale(dst, p.gain(), cur)
+	dst = dsp.Scale(dsp.Ensure(dst, len(cur)), p.gain(), cur)
 	if p.FreqOffset != 0 || p.Phase0 != 0 {
 		dst = dsp.Rotate(dst, dst, p.Phase0, p.FreqOffset)
 	}
@@ -127,6 +140,13 @@ type Air struct {
 	// phase, overriding the link's Phase0, as real asynchronous
 	// transmitters would.
 	RandomizePhase bool
+
+	// work and work2 are the per-emission rendering buffers and rsc the
+	// resampler scratch Mix reuses across emissions and calls. An Air is
+	// single-goroutine by construction (it owns an Rng), so no locking
+	// is needed.
+	work, work2 []complex128
+	rsc         dsp.Resampler
 }
 
 // Mix renders a reception window of length n samples containing all the
@@ -143,8 +163,8 @@ func (a *Air) Mix(n int, emissions ...Emission) []complex128 {
 		if a.RandomizePhase {
 			p.Phase0 = a.Rng.Float64() * 2 * math.Pi
 		}
-		rx := p.Apply(nil, e.Samples)
-		dsp.AddAt(out, e.Offset, rx)
+		a.work = p.applyWith(a.work, &a.work2, &a.rsc, e.Samples)
+		dsp.AddAt(out, e.Offset, a.work)
 	}
 	a.AddNoise(out)
 	return out

@@ -168,19 +168,20 @@ func (p *pktState) setLength(d *decoder, bits int) {
 	p.grow(d, p.nsym)
 }
 
-// grow ensures the per-symbol state arrays cover at least n symbols.
+// grow ensures the per-symbol state arrays cover at least n symbols,
+// zero-extending each slice with a single amortized append.
 func (p *pktState) grow(d *decoder, n int) {
-	for len(p.decided) < n {
-		p.decided = append(p.decided, 0)
-		p.soft = append(p.soft, 0)
-		p.weight = append(p.weight, 0)
-		p.decidedB = append(p.decidedB, 0)
-		p.softB = append(p.softB, 0)
-		p.weightB = append(p.weightB, 0)
+	if k := n - len(p.decided); k > 0 {
+		p.decided = append(p.decided, make([]complex128, k)...)
+		p.soft = append(p.soft, make([]complex128, k)...)
+		p.weight = append(p.weight, make([]float64, k)...)
+		p.decidedB = append(p.decidedB, make([]complex128, k)...)
+		p.softB = append(p.softB, make([]complex128, k)...)
+		p.weightB = append(p.weightB, make([]float64, k)...)
 	}
-	for len(p.chips) < n*d.sps {
-		p.chips = append(p.chips, 0)
-		p.chipsB = append(p.chipsB, 0)
+	if k := n*d.sps - len(p.chips); k > 0 {
+		p.chips = append(p.chips, make([]complex128, k)...)
+		p.chipsB = append(p.chipsB, make([]complex128, k)...)
 	}
 }
 
@@ -388,7 +389,7 @@ func r_res(q *occState, backward bool) []complex128 {
 	return q.r.res
 }
 
-// cleanPiece clips// cleanPiece clips [winLo, winHi) by each occurrence's dirty interval and
+// cleanPiece clips [winLo, winHi) by each occurrence's dirty interval and
 // returns the longest remaining piece if it is usefully long, else an
 // empty interval.
 func (d *decoder) cleanPiece(r *recState, winLo, winHi float64, dirty func(*occState) interval) interval {

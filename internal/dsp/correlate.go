@@ -42,14 +42,9 @@ func ConjRotatedRef(dst, ref []complex128, freqStep float64) []complex128 {
 		}
 		return dst
 	}
-	rot := complex(1, 0)
-	inc := cmplx.Exp(complex(0, -freqStep)) // conj of +freqStep rotation
+	rot := NewRotator(0, -freqStep) // conj of +freqStep rotation
 	for k, v := range ref {
-		dst[k] = cmplx.Conj(v) * rot
-		rot *= inc
-		if k&0x3ff == 0x3ff {
-			rot /= complex(cmplx.Abs(rot), 0)
-		}
+		dst[k] = cmplx.Conj(v) * rot.Next()
 	}
 	return dst
 }
@@ -86,14 +81,9 @@ func CorrelateAt(y, ref []complex128, delta int, freqStep float64) complex128 {
 		return 0
 	}
 	var acc complex128
-	rot := complex(1, 0)
-	inc := cmplx.Exp(complex(0, -freqStep))
+	rot := NewRotator(0, -freqStep)
 	for k, v := range ref {
-		acc += cmplx.Conj(v) * rot * y[delta+k]
-		rot *= inc
-		if k&0x3ff == 0x3ff {
-			rot /= complex(cmplx.Abs(rot), 0)
-		}
+		acc += cmplx.Conj(v) * rot.Next() * y[delta+k]
 	}
 	return acc
 }

@@ -45,28 +45,66 @@ func (f FIR) IsIdentity() bool {
 }
 
 // Apply filters x into dst (same length, edges read zeros). dst must not
-// alias x; if dst is nil a new slice is allocated.
+// alias x; if dst is nil a new slice is allocated. Outputs whose full tap
+// window lies inside x take an interior fast path with no per-tap bounds
+// or zero checks; the edge regions keep the checked evaluation.
 func (f FIR) Apply(dst, x []complex128) []complex128 {
 	dst = ensure(dst, len(x))
 	if len(f.Taps) == 0 {
 		copy(dst, x)
 		return dst
 	}
-	for n := range dst {
-		var acc complex128
+	// Output n reads x[n+Center−(L−1) : n+Center+1); the window is fully
+	// supported for n ∈ [L−1−Center, len(x)−1−Center].
+	l := len(f.Taps)
+	e1 := l - 1 - f.Center
+	if e1 < 0 {
+		e1 = 0
+	}
+	if e1 > len(dst) {
+		e1 = len(dst)
+	}
+	i2 := len(x) - f.Center
+	if i2 < e1 {
+		i2 = e1
+	}
+	if i2 > len(dst) {
+		i2 = len(dst)
+	}
+	for n := 0; n < e1; n++ {
+		dst[n] = f.edgeAt(x, n)
+	}
+	for n := e1; n < i2; n++ {
+		base := n + f.Center
+		var re, im float64
 		for k, t := range f.Taps {
-			if t == 0 {
-				continue
-			}
-			i := n + f.Center - k
-			if i < 0 || i >= len(x) {
-				continue
-			}
-			acc += t * x[i]
+			v := x[base-k]
+			re += real(t)*real(v) - imag(t)*imag(v)
+			im += real(t)*imag(v) + imag(t)*real(v)
 		}
-		dst[n] = acc
+		dst[n] = complex(re, im)
+	}
+	for n := i2; n < len(dst); n++ {
+		dst[n] = f.edgeAt(x, n)
 	}
 	return dst
+}
+
+// edgeAt evaluates output n with per-tap bounds checks, reading zeros
+// beyond x's edges.
+func (f FIR) edgeAt(x []complex128, n int) complex128 {
+	var acc complex128
+	for k, t := range f.Taps {
+		if t == 0 {
+			continue
+		}
+		i := n + f.Center - k
+		if i < 0 || i >= len(x) {
+			continue
+		}
+		acc += t * x[i]
+	}
+	return acc
 }
 
 // String renders the taps for diagnostics.

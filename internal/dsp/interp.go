@@ -60,29 +60,29 @@ func (ip Interpolator) At(x []complex128, pos float64) complex128 {
 // Shift resamples x by a constant fractional delay mu: dst[n] = x(n+mu).
 // dst must not alias x. If dst is nil a new slice of len(x) is allocated.
 // This is how the channel model applies a sampling offset, and how ZigZag
-// re-creates the receiver's view of a re-encoded chunk (§4.2.3b).
+// re-creates the receiver's view of a re-encoded chunk (§4.2.3b). A
+// constant delay means a constant fractional part, so the whole shift
+// runs on a single polyphase FIR (see Resampler); SetNaiveInterp pins it
+// back to per-sample evaluation.
 func (ip Interpolator) Shift(dst, x []complex128, mu float64) []complex128 {
 	dst = ensure(dst, len(x))
 	if mu == 0 {
 		copy(dst, x)
 		return dst
 	}
-	for n := range dst {
-		dst[n] = ip.At(x, float64(n)+mu)
-	}
-	return dst
+	rs := Resampler{Interp: ip}
+	return rs.EvalGrid(dst, x, mu, len(x))
 }
 
 // ShiftDrift resamples x with a linearly drifting sampling offset:
 // dst[n] = x(n + mu0 + n·driftPerSample). A non-zero drift models the
 // clock skew between transmitter and receiver that forces practical
-// decoders to *track* the sampling offset over a packet (§3.1.2).
+// decoders to *track* the sampling offset over a packet (§3.1.2). The
+// drifting fractional part takes the per-sample closed-form polyphase
+// path (Resampler.EvalDrift).
 func (ip Interpolator) ShiftDrift(dst, x []complex128, mu0, driftPerSample float64) []complex128 {
-	dst = ensure(dst, len(x))
-	for n := range dst {
-		dst[n] = ip.At(x, float64(n)+mu0+float64(n)*driftPerSample)
-	}
-	return dst
+	rs := Resampler{Interp: ip}
+	return rs.EvalDrift(ensure(dst, len(x)), x, mu0, driftPerSample)
 }
 
 // sincHann is the Hann-windowed normalized sinc kernel with one-sided

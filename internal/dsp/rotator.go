@@ -1,0 +1,37 @@
+package dsp
+
+import "math/cmplx"
+
+// Rotator generates the progressive carrier rotation e^{j(φ₀ + n·step)}
+// incrementally: one complex multiply per sample instead of a cmplx.Exp
+// call, with the accumulated product renormalized to unit magnitude
+// every 1024 steps so arbitrarily long ramps do not drift in amplitude.
+// The recurrence and its renormalization cadence are shared by Rotate,
+// ConjRotatedRef, CorrelateAt, and the re-encoder's image ramp
+// (§4.2.4b), so every rotation in the system agrees bit for bit with
+// every other.
+type Rotator struct {
+	cur, inc complex128
+	n        int
+}
+
+// NewRotator returns a rotator positioned at phase phase0 advancing by
+// step radians per sample.
+func NewRotator(phase0, step float64) Rotator {
+	return Rotator{
+		cur: cmplx.Exp(complex(0, phase0)),
+		inc: cmplx.Exp(complex(0, step)),
+	}
+}
+
+// Next returns e^{j(φ₀ + n·step)} for the current sample n and advances
+// the rotator.
+func (r *Rotator) Next() complex128 {
+	v := r.cur
+	r.cur *= r.inc
+	if r.n&0x3ff == 0x3ff {
+		r.cur /= complex(cmplx.Abs(r.cur), 0)
+	}
+	r.n++
+	return v
+}

@@ -1,11 +1,13 @@
 // Package dsp provides the complex-baseband signal-processing substrate
 // used by every layer of the ZigZag reproduction: vector arithmetic on
-// sample streams, windowed-sinc fractional-delay interpolation, FIR
-// filtering, small dense least-squares solves, and the sliding preamble
-// correlator (plain and frequency-offset-compensated) that the paper's
-// collision detector is built on (§4.2.1 of the ZigZag paper). The
-// correlator here is the naive O(N·M) reference kernel; the detection
-// stack dispatches long correlations to the overlap-save engine in the
+// sample streams, windowed-sinc fractional-delay interpolation (with a
+// polyphase fast path for grid evaluation — see Resampler — behind the
+// re-encode/subtract and chip-estimation hot loops), FIR filtering,
+// small dense least-squares solves, and the sliding preamble correlator
+// (plain and frequency-offset-compensated) that the paper's collision
+// detector is built on (§4.2.1 of the ZigZag paper). The correlator
+// here is the naive O(N·M) reference kernel; the detection stack
+// dispatches long correlations to the overlap-save engine in the
 // dsp/fft subpackage, which reproduces it to rounding error.
 //
 // Signals are represented as []complex128 throughout, matching the paper's
@@ -96,16 +98,11 @@ func Scale(dst []complex128, c complex128, a []complex128) []complex128 {
 // initial phase phase0 (§3.1.1: y[n] = H·x[n]·e^{j2πnδfT}). dst may alias a.
 func Rotate(dst, a []complex128, phase0, step float64) []complex128 {
 	dst = ensure(dst, len(a))
-	// Use an incrementally updated rotator with periodic renormalization
-	// instead of calling cmplx.Exp per sample.
-	rot := cmplx.Exp(complex(0, phase0))
-	inc := cmplx.Exp(complex(0, step))
+	// Incrementally updated rotator with periodic renormalization
+	// instead of a cmplx.Exp call per sample.
+	rot := NewRotator(phase0, step)
 	for i := range a {
-		dst[i] = a[i] * rot
-		rot *= inc
-		if i&0x3ff == 0x3ff { // renormalize every 1024 samples
-			rot /= complex(cmplx.Abs(rot), 0)
-		}
+		dst[i] = a[i] * rot.Next()
 	}
 	return dst
 }
@@ -206,6 +203,12 @@ func MaxAbs(a []complex128) (int, float64) {
 	}
 	return bi, math.Sqrt(best)
 }
+
+// Ensure returns dst resized to length n, reusing its backing array when
+// the capacity allows and allocating otherwise. Reused memory is not
+// zeroed. It is the scratch-threading primitive the allocation-free hot
+// paths are built on.
+func Ensure(dst []complex128, n int) []complex128 { return ensure(dst, n) }
 
 // ensure returns dst if it has length n, otherwise a fresh slice of length n.
 func ensure(dst []complex128, n int) []complex128 {

@@ -1,0 +1,165 @@
+package phy
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"zigzag/internal/channel"
+	"zigzag/internal/dsp"
+	"zigzag/internal/modem"
+)
+
+// allocScenario builds the fixture the allocation-regression tests run
+// on, mirroring the modeler tests: a realistic link with frequency
+// offset, fractional sampling offset and ISI.
+func allocScenario(t *testing.T, seed int64) (Config, []complex128, []complex128, Sync) {
+	t.Helper()
+	cfg := Default()
+	r := rand.New(rand.NewSource(seed))
+	f := testFrame(r, 200, modem.BPSK)
+	wave, err := NewTransmitter(cfg).Waveform(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := &channel.Params{
+		Gain:           cmplx.Rect(0.9, 1.1),
+		FreqOffset:     0.004,
+		SamplingOffset: 0.37,
+		ISI:            channel.TypicalISI(1),
+	}
+	air := &channel.Air{NoisePower: 1e-4, Rng: rand.New(rand.NewSource(seed + 1))}
+	rx := air.Mix(len(wave)+120, channel.Emission{Samples: wave, Link: link, Offset: 60})
+	s, ok := NewSynchronizer(cfg).Measure(rx, 60, 4, link.FreqOffset*0.99)
+	if !ok {
+		t.Fatal("no sync")
+	}
+	s.Freq = link.FreqOffset
+	return cfg, rx, wave, s
+}
+
+// requireZeroAllocs pins a hot-path operation to zero steady-state
+// allocations after one warm-up call has grown the scratch buffers.
+func requireZeroAllocs(t *testing.T, name string, op func()) {
+	t.Helper()
+	op() // warm up: grow scratch to steady-state size
+	if n := testing.AllocsPerRun(50, op); n != 0 {
+		t.Errorf("%s: %v allocations per run in steady state, want 0", name, n)
+	}
+}
+
+// TestSubtractAllocFree pins the zero-allocation guarantee of the
+// re-encode/subtract engine: once a modeler's scratch has reached
+// steady state, Subtract and TrackAndSubtract allocate nothing.
+func TestSubtractAllocFree(t *testing.T) {
+	was := dsp.NaiveInterp()
+	defer dsp.SetNaiveInterp(was)
+	dsp.SetNaiveInterp(false) // the guarantee is the polyphase path's
+	cfg, rx, wave, s := allocScenario(t, 211)
+	m := NewModeler(cfg, s)
+	if err := m.FitISI(rx, wave, 0, 600); err != nil {
+		t.Fatal(err)
+	}
+	res := dsp.Clone(rx)
+	requireZeroAllocs(t, "Modeler.Subtract", func() {
+		m.Subtract(res, wave, 800, 1200)
+	})
+	requireZeroAllocs(t, "Modeler.TrackAndSubtract", func() {
+		copy(res, rx)
+		m.TrackAndSubtract(res, wave, 800, 1200)
+	})
+	requireZeroAllocs(t, "Modeler.AddBack", func() {
+		m.AddBack(res, wave, 800, 1200)
+	})
+}
+
+// TestDecodeRangeAllocFree pins the zero-allocation guarantee of the
+// black-box decoder: with the chip/raw/decision scratch grown, a
+// steady-state DecodeRange allocates nothing (forward and reverse).
+func TestDecodeRangeAllocFree(t *testing.T) {
+	was := dsp.NaiveInterp()
+	defer dsp.SetNaiveInterp(was)
+	dsp.SetNaiveInterp(false) // the guarantee is the polyphase path's
+	cfg, rx, _, s := allocScenario(t, 223)
+	d := NewSymbolDecoder(cfg, s, modem.BPSK)
+	if err := d.TrainEqualizer(rx, cfg.PreambleSymbols(), 0); err != nil {
+		t.Fatal(err)
+	}
+	pre := cfg.PreambleBits
+	requireZeroAllocs(t, "SymbolDecoder.DecodeRange", func() {
+		d.DecodeRange(rx, pre, pre+200, false)
+	})
+	requireZeroAllocs(t, "SymbolDecoder.DecodeRange(reverse)", func() {
+		d.DecodeRange(rx, pre, pre+200, true)
+	})
+}
+
+// withInterpPath runs fn under the requested interpolation path and
+// restores the previous pin.
+func withInterpPath(naive bool, fn func()) {
+	was := dsp.NaiveInterp()
+	dsp.SetNaiveInterp(naive)
+	defer dsp.SetNaiveInterp(was)
+	fn()
+}
+
+// TestBuildImagePolyphaseMatchesNaive pins the polyphase re-encode
+// engine against the naive per-sample reference on a full modeler
+// (aligned wave + masked chips + ISI filter + rotation ramp): the two
+// images must agree to ≤1e−9 of the image scale.
+func TestBuildImagePolyphaseMatchesNaive(t *testing.T) {
+	cfg, rx, wave, s := allocScenario(t, 227)
+	build := func(naive bool) ([]complex128, int) {
+		var img []complex128
+		var n0 int
+		withInterpPath(naive, func() {
+			m := NewModeler(cfg, s)
+			if err := m.FitISI(rx, wave, 0, 600); err != nil {
+				t.Fatal(err)
+			}
+			got, at := m.BuildImage(wave, 800, 1200)
+			img, n0 = dsp.Clone(got), at
+		})
+		return img, n0
+	}
+	fast, n0f := build(false)
+	naive, n0n := build(true)
+	if n0f != n0n || len(fast) != len(naive) {
+		t.Fatalf("image geometry differs: (%d,%d) vs (%d,%d)", n0f, len(fast), n0n, len(naive))
+	}
+	_, scale := dsp.MaxAbs(naive)
+	for i := range fast {
+		if e := cmplx.Abs(fast[i] - naive[i]); e > 1e-9*scale {
+			t.Fatalf("image[%d]: polyphase %v, naive %v (Δ=%g, scale %g)", i, fast[i], naive[i], e, scale)
+		}
+	}
+}
+
+// TestDecodeRangePolyphaseMatchesNaive checks that the fast chip path
+// leaves the decoder's decisions unchanged and its soft outputs within
+// rounding of the per-sample reference.
+func TestDecodeRangePolyphaseMatchesNaive(t *testing.T) {
+	cfg, rx, _, s := allocScenario(t, 229)
+	run := func(naive bool) (dec, soft []complex128) {
+		withInterpPath(naive, func() {
+			d := NewSymbolDecoder(cfg, s, modem.BPSK)
+			if err := d.TrainEqualizer(rx, cfg.PreambleSymbols(), 0); err != nil {
+				t.Fatal(err)
+			}
+			pre := cfg.PreambleBits
+			dd, ss := d.DecodeRange(rx, pre, pre+200, false)
+			dec, soft = dsp.Clone(dd), dsp.Clone(ss)
+		})
+		return dec, soft
+	}
+	fd, fs := run(false)
+	nd, ns := run(true)
+	for i := range fd {
+		if fd[i] != nd[i] {
+			t.Fatalf("decision %d differs: polyphase %v, naive %v", i, fd[i], nd[i])
+		}
+		if e := cmplx.Abs(fs[i] - ns[i]); e > 1e-9 {
+			t.Fatalf("soft %d: polyphase %v, naive %v (Δ=%g)", i, fs[i], ns[i], e)
+		}
+	}
+}

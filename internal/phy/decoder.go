@@ -32,6 +32,17 @@ type SymbolDecoder struct {
 	// error into phase and freqAdj (§4.2.4b).
 	phase   float64
 	freqAdj float64
+
+	// Reusable working storage: the polyphase chip evaluator and the
+	// chip/raw-symbol/decision buffers DecodeRange fills. With these
+	// threaded, steady-state decoding allocates nothing. Forks get fresh
+	// scratch (never shared), since callers may hold one decoder's
+	// DecodeRange output while running another.
+	rs      dsp.Resampler
+	chipBuf []complex128
+	rawBuf  []complex128
+	decBuf  []complex128
+	softBuf []complex128
 }
 
 // NewSymbolDecoder builds a decoder for one packet occurrence.
@@ -41,7 +52,11 @@ func NewSymbolDecoder(cfg Config, s Sync, scheme modem.Scheme) *SymbolDecoder {
 	if amp > 0 {
 		inv = 1 / amp
 	}
-	return &SymbolDecoder{cfg: cfg, sync: s, scheme: scheme, interp: cfg.Interp, invAmp: inv}
+	return &SymbolDecoder{
+		cfg: cfg, sync: s, scheme: scheme,
+		interp: cfg.Interp, invAmp: inv,
+		rs: dsp.Resampler{Interp: cfg.Interp},
+	}
 }
 
 // Sync returns the synchronization this decoder was built from.
@@ -59,6 +74,10 @@ func (d *SymbolDecoder) Fork() *SymbolDecoder {
 		c.eq = append([]complex128(nil), d.eq...)
 	}
 	c.phase, c.freqAdj = 0, 0
+	// Scratch is per-decoder: the fork must not overwrite buffers whose
+	// contents a caller still holds from the original decoder.
+	c.rs = dsp.Resampler{Interp: d.interp}
+	c.chipBuf, c.rawBuf, c.decBuf, c.softBuf = nil, nil, nil, nil
 	return &c
 }
 
@@ -96,6 +115,33 @@ func (d *SymbolDecoder) RawSymbol(rx []complex128, k int) complex128 {
 		acc += d.chipAt(rx, k*sps+j)
 	}
 	return acc / complex(float64(sps), 0)
+}
+
+// fillRaw computes raw symbols sym0, sym0+1, … into raw using the
+// polyphase engine: all chips of the range are interpolated with one
+// phase FIR (the fractional part of Start+m is constant over the
+// packet), derotated by the recurrence rotator instead of a cmplx.Exp
+// per chip, normalized, and matched-filtered. It reproduces per-symbol
+// RawSymbol to rounding error.
+func (d *SymbolDecoder) fillRaw(rx []complex128, sym0 int, raw []complex128) {
+	sps := d.cfg.SamplesPerSymbol
+	nchips := len(raw) * sps
+	d.chipBuf = dsp.Ensure(d.chipBuf, nchips)
+	pos0 := d.sync.Start + float64(sym0*sps)
+	chips := d.rs.EvalGrid(d.chipBuf, rx, pos0, nchips)
+	d.chipBuf = chips
+	rot := dsp.NewRotator(-d.sync.Theta(pos0), -d.sync.Freq)
+	ia := complex(d.invAmp, 0)
+	den := complex(float64(sps), 0)
+	ci := 0
+	for i := range raw {
+		var acc complex128
+		for j := 0; j < sps; j++ {
+			acc += chips[ci] * rot.Next() * ia
+			ci++
+		}
+		raw[i] = acc / den
+	}
 }
 
 // TrainEqualizer fits the symbol-spaced equalizer by least squares so
@@ -152,16 +198,16 @@ func (d *SymbolDecoder) TrainEqualizer(rx []complex128, known []complex128, at i
 	return nil
 }
 
-// equalize applies the trained equalizer around symbol k given a raw
-// fetcher.
-func (d *SymbolDecoder) equalize(raw func(int) complex128, k int) complex128 {
+// equalizeAt applies the trained equalizer around symbol k. raw holds
+// cached raw symbols with raw[i] = symbol base+i.
+func (d *SymbolDecoder) equalizeAt(raw []complex128, base, k int) complex128 {
 	if d.eq == nil {
-		return raw(k)
+		return raw[k-base]
 	}
 	t := d.cfg.EqTaps
 	var z complex128
 	for l := -t; l <= t; l++ {
-		z += d.eq[l+t] * raw(k-l)
+		z += d.eq[l+t] * raw[k-l-base]
 	}
 	return z
 }
@@ -172,20 +218,31 @@ func (d *SymbolDecoder) equalize(raw func(int) complex128, k int) complex128 {
 // decisions (constellation points) and the soft (equalized,
 // phase-corrected) observations, both indexed so that index i corresponds
 // to symbol from+i regardless of direction.
+//
+// The returned slices are the decoder's reusable scratch: they stay
+// valid until the next DecodeRange/DecodeBits call on this decoder
+// (forks have independent scratch) and must be copied by callers that
+// retain them longer.
 func (d *SymbolDecoder) DecodeRange(rx []complex128, from, to int, reverse bool) (decisions, soft []complex128) {
 	n := to - from
 	if n <= 0 {
 		return nil, nil
 	}
-	decisions = make([]complex128, n)
-	soft = make([]complex128, n)
+	d.decBuf = dsp.Ensure(d.decBuf, n)
+	d.softBuf = dsp.Ensure(d.softBuf, n)
+	decisions, soft = d.decBuf, d.softBuf
 	t := d.cfg.EqTaps
 	// Cache raw symbols for the range plus the equalizer skirt.
-	raw := make([]complex128, n+2*t)
-	for i := range raw {
-		raw[i] = d.RawSymbol(rx, from-t+i)
+	base := from - t
+	d.rawBuf = dsp.Ensure(d.rawBuf, n+2*t)
+	raw := d.rawBuf
+	if dsp.NaiveInterp() {
+		for i := range raw {
+			raw[i] = d.RawSymbol(rx, base+i)
+		}
+	} else {
+		d.fillRaw(rx, base, raw)
 	}
-	fetch := func(k int) complex128 { return raw[k-from+t] }
 	idx := func(step int) int {
 		if reverse {
 			return to - 1 - step
@@ -194,7 +251,7 @@ func (d *SymbolDecoder) DecodeRange(rx []complex128, from, to int, reverse bool)
 	}
 	for s := 0; s < n; s++ {
 		k := idx(s)
-		z := d.equalize(fetch, k)
+		z := d.equalizeAt(raw, base, k)
 		z *= cmplx.Exp(complex(0, -d.phase))
 		dec := modem.Slice(d.scheme, z)
 		soft[k-from] = z

@@ -28,6 +28,15 @@ type Modeler struct {
 	sync   Sync
 	interp dsp.Interpolator
 
+	// rs is the polyphase grid evaluator: the fractional part of
+	// n − sync.Start is the same for every sample of a chunk, so the
+	// whole aligned waveform runs on one phase FIR. wave and img are the
+	// reusable chunk buffers; with them threaded through BuildImage,
+	// steady-state subtraction allocates nothing.
+	rs   dsp.Resampler
+	wave []complex128
+	img  []complex128
+
 	// g is the image filter. Until FitISI succeeds it is the single-tap
 	// Ĥ model; afterwards it captures the full distortion.
 	g      dsp.FIR
@@ -52,6 +61,7 @@ func NewModeler(cfg Config, s Sync) *Modeler {
 		cfg:       cfg,
 		sync:      s,
 		interp:    cfg.Interp,
+		rs:        dsp.Resampler{Interp: cfg.Interp},
 		g:         dsp.FIR{Taps: []complex128{s.H}, Center: 0},
 		freq:      s.Freq,
 		anchorPos: float64(s.RefPos),
@@ -117,12 +127,19 @@ func (m *Modeler) ramp(n float64) float64 {
 // alignedWave evaluates the packet's chip waveform on the reception's
 // integer sample grid over [n0, n1): w[n] = chips(n − Start), using
 // fractional-delay interpolation. Chips outside the decoded set are zero.
+// The returned slice is the modeler's scratch, valid until the next
+// aligned-wave evaluation.
 func (m *Modeler) alignedWave(chips []complex128, n0, n1 int) []complex128 {
-	out := make([]complex128, n1-n0)
-	for n := n0; n < n1; n++ {
-		out[n-n0] = m.interp.At(chips, float64(n)-m.sync.Start)
+	if dsp.NaiveInterp() {
+		out := dsp.Ensure(m.wave, n1-n0)
+		m.wave = out
+		for n := n0; n < n1; n++ {
+			out[n-n0] = m.interp.At(chips, float64(n)-m.sync.Start)
+		}
+		return out
 	}
-	return out
+	m.wave = m.rs.EvalGrid(m.wave, chips, float64(n0)-m.sync.Start, n1-n0)
+	return m.wave
 }
 
 // alignedWaveMasked is alignedWave restricted to chips [chipFrom,
@@ -131,6 +148,12 @@ func (m *Modeler) alignedWave(chips []complex128, n0, n1 int) []complex128 {
 // the per-chunk images built this way tile exactly — subtracting chunk
 // after chunk removes each chip's contribution exactly once, with no
 // double-counting in the filter skirts.
+//
+// Masking no longer clones the chips buffer: interpolating the masked
+// buffer is identical to interpolating the sub-slice chips[chipFrom:
+// chipTo] with the grid origin shifted by chipFrom, since positions
+// outside the sub-slice read zero either way. The returned slice is the
+// modeler's scratch, valid until the next aligned-wave evaluation.
 func (m *Modeler) alignedWaveMasked(chips []complex128, chipFrom, chipTo, n0, n1 int) []complex128 {
 	if chipFrom < 0 {
 		chipFrom = 0
@@ -139,15 +162,26 @@ func (m *Modeler) alignedWaveMasked(chips []complex128, chipFrom, chipTo, n0, n1
 		chipTo = len(chips)
 	}
 	if chipTo <= chipFrom {
-		return make([]complex128, n1-n0)
+		m.wave = dsp.Ensure(m.wave, n1-n0)
+		for i := range m.wave {
+			m.wave[i] = 0
+		}
+		return m.wave
 	}
-	masked := make([]complex128, len(chips))
-	copy(masked[chipFrom:chipTo], chips[chipFrom:chipTo])
-	out := make([]complex128, n1-n0)
-	for n := n0; n < n1; n++ {
-		out[n-n0] = m.interp.At(masked, float64(n)-m.sync.Start)
+	if dsp.NaiveInterp() {
+		// Reference path: evaluate over an explicitly masked clone.
+		masked := make([]complex128, len(chips))
+		copy(masked[chipFrom:chipTo], chips[chipFrom:chipTo])
+		out := dsp.Ensure(m.wave, n1-n0)
+		m.wave = out
+		for n := n0; n < n1; n++ {
+			out[n-n0] = m.interp.At(masked, float64(n)-m.sync.Start)
+		}
+		return out
 	}
-	return out
+	m.wave = m.rs.EvalGrid(m.wave, chips[chipFrom:chipTo],
+		float64(n0)-m.sync.Start-float64(chipFrom), n1-n0)
+	return m.wave
 }
 
 // chunkSampleRange returns the integer sample range [n0, n1) covered by
@@ -165,15 +199,29 @@ func (m *Modeler) chunkSampleRange(chipFrom, chipTo int) (int, int) {
 // chip range by the filter/interpolator skirt (the chunk's energy leaks
 // there), but chips outside the range contribute nothing, so per-chunk
 // images tile exactly under repeated subtraction.
+//
+// The returned image is the modeler's reusable scratch: it is valid
+// until the next image-building call on this modeler and must not be
+// retained across calls.
 func (m *Modeler) BuildImage(chips []complex128, chipFrom, chipTo int) ([]complex128, int) {
 	n0, n1 := m.chunkSampleRange(chipFrom, chipTo)
 	w := m.alignedWaveMasked(chips, chipFrom, chipTo, n0, n1)
-	img := m.g.Apply(nil, w)
-	for i := range img {
-		if img[i] == 0 {
-			continue
+	m.img = m.g.Apply(dsp.Ensure(m.img, len(w)), w)
+	img := m.img
+	if dsp.NaiveInterp() {
+		// Reference path: independent per-sample rotation.
+		for i := range img {
+			if img[i] == 0 {
+				continue
+			}
+			img[i] *= cmplx.Exp(complex(0, m.ramp(float64(n0+i))))
 		}
-		img[i] *= cmplx.Exp(complex(0, m.ramp(float64(n0+i))))
+		return img, n0
+	}
+	// Recurrence rotator: θ(n0+i) = θ(n0) + i·freq.
+	rot := dsp.NewRotator(m.ramp(float64(n0)), m.freq)
+	for i := range img {
+		img[i] *= rot.Next()
 	}
 	return img, n0
 }
