@@ -2,14 +2,21 @@
 #
 #   make build      — compile everything
 #   make vet        — go vet
+#   make lint       — gofmt -l (fails on unformatted files) + go vet
 #   make test       — full-fidelity suite (slow; shrinks with core count)
 #   make test-short — reduced-scale suite, well under 30 s
 #   make test-race  — race-enabled short suite
 #   make bench      — paper-figure benchmarks (root package)
 #   make bench-correlate — naive-vs-FFT correlation engine benchmarks
 #   make bench-decode — naive-vs-polyphase decode hot-path benchmarks
+#   make bench-check — session-engine benchmark-regression gate:
+#                      trimmed sweeps, pooled vs unpooled identity +
+#                      calibrated-unit diff against BENCH_session.json
 #   make ci         — what a pipeline should run: vet + race suites
 #
+# The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
+# and `make test-short` on two Go versions, the race suites and lint as
+# separate jobs, and `make bench-check` as a non-blocking perf canary.
 # The experiment suites fan Monte-Carlo trials out across all cores via
 # internal/runner; per-trial seed derivation keeps every figure
 # bit-identical at any worker count, so parallelism is purely a
@@ -30,7 +37,7 @@ CORRELATE_PKGS = ./internal/dsp/... ./internal/phy/... ./internal/core/...
 # interpolation paths.
 DECODE_PKGS = ./internal/dsp/... ./internal/channel/... ./internal/phy/... ./internal/core/...
 
-.PHONY: all build vet test test-short test-race test-race-correlate test-race-decode bench bench-correlate bench-decode ci
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode bench bench-correlate bench-decode bench-check ci
 
 all: build
 
@@ -38,6 +45,13 @@ build:
 	$(GO) build ./...
 
 vet:
+	$(GO) vet ./...
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) vet ./...
 
 test: build
@@ -65,6 +79,9 @@ bench-correlate: build
 
 bench-decode: build
 	$(GO) test -bench='BenchmarkBuildImage|BenchmarkTrackAndSubtract|BenchmarkSubtract|BenchmarkDecodeRange|BenchmarkShiftDrift' -benchmem -run='^$$' ./internal/phy
+
+bench-check: build
+	$(GO) run ./cmd/zigzag-bench -check
 
 # test-race-correlate is not a ci prerequisite: test-race-decode's
 # default-path run covers the same packages (plus channel) with the

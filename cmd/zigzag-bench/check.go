@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"zigzag/internal/experiments"
+	"zigzag/internal/session"
+)
+
+// The -check mode is the benchmark-regression gate. It runs a trimmed
+// pass of representative figure sweeps and applies three checks:
+//
+//  1. Identity: each sweep runs twice — on pooled sessions and with the
+//     pool disabled (world rebuilt per trial) — and the two results
+//     must be bit-identical. This is the correctness canary for the
+//     whole session engine.
+//  2. Pool floor: pooled mode must not be slower than unpooled beyond
+//     noise (speedup ≥ min_pool_speedup). Most of the arena wins apply
+//     within a trial in both modes, so this ratio sits near 1 for
+//     decode-bound sweeps; the floor catches pooling turning into a
+//     pessimization.
+//  3. Calibrated units: each sweep's wall-clock is divided by the time
+//     of a fixed CPU-bound calibration kernel measured on the same
+//     machine, and the quotient is compared against the committed
+//     reference within a generous tolerance factor. Normalizing by the
+//     kernel makes the gate portable across hosts of different speeds
+//     while still catching gross per-trial cost regressions.
+//
+// The committed reference values live in BENCH_session.json (which also
+// records the measured speedups of this engine against the pre-session
+// per-trial builds — the numbers the gate exists to protect).
+
+// checkScale is the trimmed scale -check runs (mirrors the determinism
+// suites' micro scale: a few seconds per sweep per mode).
+var checkScale = experiments.Scale{
+	Pairs:          3,
+	Packets:        3,
+	Payload:        120,
+	TestbedPayload: 200,
+	TestbedPairs:   4,
+	Trials:         4000,
+	Fig47Nodes:     []int{2, 3, 4},
+	MinStatPairs:   2,
+	Workers:        1, // serial: isolates per-trial cost from scheduling
+}
+
+// checkSweeps are the benchmarked figure sweeps. Each returns a
+// comparable result so the pooled/unpooled identity check is exact.
+var checkSweeps = []struct {
+	name string
+	run  func() any
+}{
+	{"fig4-7a", func() any { return experiments.Fig47FixedOnly(checkScale, 3) }},
+	{"fig5-3", func() any { return experiments.Fig53BERvsSNR(checkScale, 3) }},
+	{"table5-1", func() any { return experiments.Table51MicroEval(checkScale, 3) }},
+	{"fig5-5", func() any { return experiments.RunTestbed(checkScale, 3) }},
+}
+
+// benchFile mirrors the committed BENCH_session.json layout (only the
+// fields -check consumes).
+type benchFile struct {
+	Check struct {
+		ToleranceFactor float64            `json:"tolerance_factor"`
+		MinPoolSpeedup  float64            `json:"min_pool_speedup"`
+		ReferenceUnits  map[string]float64 `json:"reference_units"`
+	} `json:"check"`
+}
+
+// measuredSweep is one sweep's -check measurement.
+type measuredSweep struct {
+	PooledSeconds   float64 `json:"pooled_seconds"`
+	UnpooledSeconds float64 `json:"unpooled_seconds"`
+	PoolSpeedup     float64 `json:"pool_speedup"`
+	Units           float64 `json:"units"` // pooled_seconds / calibration_seconds
+}
+
+// calibrate times the fixed splitmix kernel (100M mixes, min of 3
+// runs): a pure-CPU, allocation-free yardstick for the host's
+// single-thread speed.
+func calibrate() float64 {
+	best := time.Duration(1 << 62)
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		var acc, z uint64
+		for i := 0; i < 100_000_000; i++ {
+			z += 0x9E3779B97F4A7C15
+			x := z
+			x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+			x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+			acc += x ^ (x >> 31)
+		}
+		if acc == 42 { // keep the loop from being optimized away
+			fmt.Fprint(os.Stderr, "")
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+// timeSweep runs fn twice (warm-up + timed) and returns the timed
+// duration and result.
+func timeSweep(fn func() any) (time.Duration, any) {
+	fn() // warm-up: grow pools/arenas (pooled) or page in code (unpooled)
+	start := time.Now()
+	out := fn()
+	return time.Since(start), out
+}
+
+func runBenchCheck(outPath string) int {
+	wasDisabled := session.PoolDisabled()
+	defer session.SetPoolDisabled(wasDisabled)
+
+	var ref benchFile
+	ref.Check.ToleranceFactor = 2.5
+	ref.Check.MinPoolSpeedup = 0.8
+	if data, err := os.ReadFile("BENCH_session.json"); err == nil {
+		if err := json.Unmarshal(data, &ref); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-check: BENCH_session.json unreadable: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "bench-check: BENCH_session.json not found; reporting measurements without unit gating")
+	}
+	if ref.Check.ToleranceFactor <= 0 {
+		ref.Check.ToleranceFactor = 2.5
+	}
+	if ref.Check.MinPoolSpeedup <= 0 {
+		ref.Check.MinPoolSpeedup = 0.8
+	}
+
+	cal := calibrate()
+	fmt.Printf("bench-check calibration kernel: %.3fs\n", cal)
+
+	results := map[string]measuredSweep{}
+	failed := false
+	for _, sw := range checkSweeps {
+		session.SetPoolDisabled(false)
+		pooledDur, pooledOut := timeSweep(sw.run)
+		session.SetPoolDisabled(true)
+		unpooledDur, unpooledOut := timeSweep(sw.run)
+
+		if !reflect.DeepEqual(pooledOut, unpooledOut) {
+			fmt.Fprintf(os.Stderr, "bench-check: %s: pooled and unpooled outputs DIFFER — session reuse broke determinism\n", sw.name)
+			failed = true
+		}
+		m := measuredSweep{
+			PooledSeconds:   pooledDur.Seconds(),
+			UnpooledSeconds: unpooledDur.Seconds(),
+			PoolSpeedup:     unpooledDur.Seconds() / pooledDur.Seconds(),
+			Units:           pooledDur.Seconds() / cal,
+		}
+		results[sw.name] = m
+		verdict := "ok"
+		if m.PoolSpeedup < ref.Check.MinPoolSpeedup {
+			verdict = fmt.Sprintf("POOL REGRESSION (floor %.2fx)", ref.Check.MinPoolSpeedup)
+			failed = true
+		}
+		if refUnits, hasRef := ref.Check.ReferenceUnits[sw.name]; hasRef && m.Units > refUnits*ref.Check.ToleranceFactor {
+			verdict = fmt.Sprintf("PERF REGRESSION (%.1f units > %.1f × %.1f)", m.Units, refUnits, ref.Check.ToleranceFactor)
+			failed = true
+		}
+		fmt.Printf("bench-check %-9s pooled %7.3fs  unpooled %7.3fs  pool-speedup %5.2fx  %6.1f units  %s\n",
+			sw.name, m.PooledSeconds, m.UnpooledSeconds, m.PoolSpeedup, m.Units, verdict)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"calibration_seconds": cal,
+			"sweeps":              results,
+		}, "", "  ")
+		if err == nil {
+			err = os.WriteFile(outPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-check: writing %s: %v\n", outPath, err)
+			return 1
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -26,6 +26,7 @@ import (
 	"zigzag/internal/dsp/fft"
 	"zigzag/internal/experiments"
 	"zigzag/internal/metrics"
+	"zigzag/internal/session"
 )
 
 func main() {
@@ -37,9 +38,19 @@ func main() {
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	naiveInterp := flag.Bool("naive-interp", false,
 		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
+	noSessionPool := flag.Bool("no-session-pool", false,
+		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
+	check := flag.Bool("check", false,
+		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json")
+	benchOut := flag.String("bench-out", "",
+		"with -check: also write the measured numbers to this JSON file")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
+	session.SetPoolDisabled(*noSessionPool)
+	if *check {
+		os.Exit(runBenchCheck(*benchOut))
+	}
 
 	sc := experiments.Quick
 	if *scaleName == "full" {

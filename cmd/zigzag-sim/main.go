@@ -22,6 +22,7 @@ import (
 
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
+	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
 
@@ -39,9 +40,12 @@ func main() {
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	naiveInterp := flag.Bool("naive-interp", false,
 		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
+	noSessionPool := flag.Bool("no-session-pool", false,
+		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
+	session.SetPoolDisabled(*noSessionPool)
 
 	var scheme testbed.Scheme
 	switch *schemeName {

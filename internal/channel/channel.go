@@ -152,8 +152,24 @@ type Air struct {
 // Mix renders a reception window of length n samples containing all the
 // emissions at their offsets, plus noise. Emissions extending beyond the
 // window are clipped. Mix does not modify the emissions.
+//
+// Mix allocates the window; Monte-Carlo loops render into a reusable
+// caller-owned buffer with MixInto instead.
 func (a *Air) Mix(n int, emissions ...Emission) []complex128 {
-	out := make([]complex128, n)
+	return a.MixInto(nil, n, emissions...)
+}
+
+// MixInto is Mix rendering into the caller-owned buffer dst, which is
+// grown as needed (nil is allowed) and returned resliced to n samples.
+// The window is cleared first, so dst's prior contents do not leak into
+// the reception. Callers that retain a reception beyond the next render
+// (e.g. the online receiver's stored-collision window) must copy it out
+// of the buffer they reuse.
+func (a *Air) MixInto(dst []complex128, n int, emissions ...Emission) []complex128 {
+	out := dsp.Ensure(dst, n)
+	for i := range out {
+		out[i] = 0
+	}
 	for _, e := range emissions {
 		link := e.Link
 		if link == nil {
@@ -198,9 +214,18 @@ func TypicalISI(strength float64) dsp.FIR {
 // magnitude bounds, and optional ISI. It is the building block for the
 // testbed topology.
 func RandomParams(rng *rand.Rand, snrDB, noisePower, maxFreqOffset, maxSamplingOffset float64, isi dsp.FIR) *Params {
+	p := &Params{}
+	p.Randomize(rng, snrDB, noisePower, maxFreqOffset, maxSamplingOffset, isi)
+	return p
+}
+
+// Randomize fills p with a RandomParams draw in place (identical draw
+// order, no allocation) — the arena-friendly form the pooled session
+// engine uses.
+func (p *Params) Randomize(rng *rand.Rand, snrDB, noisePower, maxFreqOffset, maxSamplingOffset float64, isi dsp.FIR) {
 	amp := SNRToGain(snrDB, noisePower)
 	phase := rng.Float64() * 2 * math.Pi
-	return &Params{
+	*p = Params{
 		Gain:           complex(amp*math.Cos(phase), amp*math.Sin(phase)),
 		FreqOffset:     (2*rng.Float64() - 1) * maxFreqOffset,
 		SamplingOffset: (2*rng.Float64() - 1) * maxSamplingOffset,

@@ -183,3 +183,46 @@ func TestEmissionClipping(t *testing.T) {
 		t.Fatalf("negative offset clip wrong: %v", out)
 	}
 }
+
+// TestMixIntoMatchesMixAndAllocFree pins MixInto against Mix: identical
+// output bits from identical rng states, and zero steady-state
+// allocations once the destination and render buffers have grown.
+func TestMixIntoMatchesMixAndAllocFree(t *testing.T) {
+	wave := make([]complex128, 400)
+	r := rand.New(rand.NewSource(5))
+	for i := range wave {
+		wave[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	link := &Params{Gain: 0.8 + 0.3i, FreqOffset: 0.003, SamplingOffset: 0.21, ISI: TypicalISI(1)}
+	ems := []Emission{
+		{Samples: wave, Link: link, Offset: 30},
+		{Samples: wave, Link: link, Offset: 210},
+	}
+	mk := func() *Air { return &Air{NoisePower: 0.02, Rng: rand.New(rand.NewSource(9)), RandomizePhase: true} }
+	want := mk().Mix(700, ems...)
+	got := mk().MixInto(nil, 700, ems...)
+	if len(got) != len(want) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Dirty reuse: prior contents must not leak.
+	for i := range got {
+		got[i] = complex(999, -999)
+	}
+	got = mk().MixInto(got, 700, ems...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reused buffer sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	air := mk()
+	buf := air.MixInto(nil, 700, ems...)
+	op := func() { buf = air.MixInto(buf, 700, ems...) }
+	if n := testing.AllocsPerRun(30, op); n != 0 {
+		t.Errorf("MixInto steady state: %v allocs per run, want 0", n)
+	}
+}

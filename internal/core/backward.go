@@ -71,7 +71,7 @@ func (d *decoder) modelerB(o *occState) *phy.Modeler {
 		if o.mod != nil {
 			s.Freq = o.mod.Freq()
 		}
-		o.modB = phy.NewModeler(d.cfg.PHY, s)
+		o.modB = d.sc.modeler(d.cfg.PHY, s)
 		if o.p.hasShape {
 			o.modB.SetShape(o.p.shape)
 		}
@@ -154,7 +154,7 @@ func (d *decoder) prepareB(o *occState) {
 	case o.p.eqDonor != nil && o.p.eqDonor.dec != nil:
 		o.decB = o.p.eqDonor.dec.WithSync(s)
 	default:
-		o.decB = phy.NewSymbolDecoder(d.cfg.PHY, s, o.p.meta.Scheme)
+		o.decB = d.sc.symbolDecoder(d.cfg.PHY, s, o.p.meta.Scheme)
 	}
 }
 
@@ -247,7 +247,8 @@ func (d *decoder) runBackward() int {
 	}
 	// Fresh residuals and tail-anchored state.
 	for _, r := range d.recs {
-		r.resB = dsp.Clone(r.raw)
+		r.resB = dsp.Ensure(r.resB, len(r.raw))
+		copy(r.resB, r.raw)
 		for _, o := range r.occs {
 			ub := d.symUB(o)
 			o.subChipB = ub * d.sps

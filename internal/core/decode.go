@@ -92,6 +92,7 @@ type recState struct {
 }
 
 type decoder struct {
+	sc   *Scratch
 	cfg  Config
 	sync *phy.Synchronizer
 	pkts []*pktState
@@ -103,20 +104,51 @@ type decoder struct {
 	marginSym int
 	iters     int
 
+	// Reusable working storage (kept across decodes on the same
+	// Scratch): header demap bits, the span compaction buffer, the
+	// dirty-interval cuts, and the MRC combination buffer.
+	hdrBits  []byte
+	spanKeep []subSpan
+	cuts     []interval
+	combBuf  []complex128
+	pieceA   []interval
+	pieceB   []interval
+
 	// debugHook, when non-nil, is invoked after each committed chunk
 	// (tests and diagnostics only).
 	debugHook func(pass string, o *occState, lo, hi int)
 }
 
+// newDecoder builds a one-shot decoder on a fresh Scratch (tests and
+// the scratch-free Decode path).
 func newDecoder(cfg Config, metas []PacketMeta, recs []*Reception) (*decoder, error) {
+	var sc Scratch
+	return sc.newDecoder(cfg, metas, recs)
+}
+
+// newDecoder resets the session's decoder onto a new set of receptions,
+// reclaiming every pooled object the previous decode handed out.
+func (sc *Scratch) newDecoder(cfg Config, metas []PacketMeta, recs []*Reception) (*decoder, error) {
 	if len(metas) == 0 || len(recs) == 0 {
 		return nil, errors.New("zigzag: nothing to decode")
 	}
-	d := &decoder{
+	sc.occN, sc.modN, sc.decN = 0, 0, 0
+	d := &sc.dec
+	*d = decoder{
+		sc:   sc,
 		cfg:  cfg,
-		sync: phy.NewSynchronizer(cfg.PHY),
+		sync: sc.synchronizer(cfg.PHY),
 		sps:  cfg.PHY.SamplesPerSymbol,
 		pre:  cfg.PHY.PreambleBits,
+		pkts: d.pkts[:0],
+		recs: d.recs[:0],
+
+		hdrBits:  d.hdrBits[:0],
+		spanKeep: d.spanKeep[:0],
+		cuts:     d.cuts[:0],
+		combBuf:  d.combBuf[:0],
+		pieceA:   d.pieceA[:0],
+		pieceB:   d.pieceB[:0],
 	}
 	interpSyms := (cfg.PHY.Interp.Taps + d.sps - 1) / d.sps
 	if interpSyms == 0 {
@@ -124,14 +156,18 @@ func newDecoder(cfg Config, metas []PacketMeta, recs []*Reception) (*decoder, er
 	}
 	d.marginSym = cfg.PHY.EqTaps + interpSyms + 1
 	for i, m := range metas {
-		p := &pktState{id: i, meta: m, nsym: -1, totalBits: -1}
+		p := sc.pkt(i)
+		p.id, p.meta, p.nsym, p.totalBits = i, m, -1, -1
 		if m.BitLen > 0 {
 			p.setLength(d, m.BitLen)
 		}
 		d.pkts = append(d.pkts, p)
 	}
 	for i, rc := range recs {
-		r := &recState{id: i, raw: rc.Samples, res: dsp.Clone(rc.Samples)}
+		r := sc.rec(i)
+		r.id, r.raw = i, rc.Samples
+		r.res = dsp.Ensure(r.res, len(rc.Samples))
+		copy(r.res, rc.Samples)
 		for _, oc := range rc.Packets {
 			if oc.Packet < 0 || oc.Packet >= len(d.pkts) {
 				return nil, fmt.Errorf("zigzag: occurrence references packet %d of %d", oc.Packet, len(d.pkts))
@@ -140,7 +176,9 @@ func newDecoder(cfg Config, metas []PacketMeta, recs []*Reception) (*decoder, er
 			if s.Freq == 0 {
 				s.Freq = metas[oc.Packet].Freq
 			}
-			r.occs = append(r.occs, &occState{p: d.pkts[oc.Packet], r: r, sync: s})
+			o := sc.occ()
+			o.p, o.r, o.sync = d.pkts[oc.Packet], r, s
+			r.occs = append(r.occs, o)
 		}
 		d.recs = append(d.recs, r)
 	}
@@ -148,7 +186,7 @@ func newDecoder(cfg Config, metas []PacketMeta, recs []*Reception) (*decoder, er
 	// shared preamble, so symbols [0, pre) are decided a priori. This is
 	// what lets chunk 1 of the bootstrap include another packet's
 	// preamble region.
-	preSyms := cfg.PHY.PreambleSymbols()
+	preSyms := sc.preambleSymbols(cfg.PHY)
 	for _, p := range d.pkts {
 		p.grow(d, d.pre)
 		copy(p.decided, preSyms)
@@ -169,19 +207,20 @@ func (p *pktState) setLength(d *decoder, bits int) {
 }
 
 // grow ensures the per-symbol state arrays cover at least n symbols,
-// zero-extending each slice with a single amortized append.
+// zero-extending each slice in place (allocation-free once a pooled
+// packet state has reached steady-state capacity).
 func (p *pktState) grow(d *decoder, n int) {
-	if k := n - len(p.decided); k > 0 {
-		p.decided = append(p.decided, make([]complex128, k)...)
-		p.soft = append(p.soft, make([]complex128, k)...)
-		p.weight = append(p.weight, make([]float64, k)...)
-		p.decidedB = append(p.decidedB, make([]complex128, k)...)
-		p.softB = append(p.softB, make([]complex128, k)...)
-		p.weightB = append(p.weightB, make([]float64, k)...)
+	if n > len(p.decided) {
+		p.decided = growZeroC(p.decided, n)
+		p.soft = growZeroC(p.soft, n)
+		p.weight = growZeroF(p.weight, n)
+		p.decidedB = growZeroC(p.decidedB, n)
+		p.softB = growZeroC(p.softB, n)
+		p.weightB = growZeroF(p.weightB, n)
 	}
-	if k := n*d.sps - len(p.chips); k > 0 {
-		p.chips = append(p.chips, make([]complex128, k)...)
-		p.chipsB = append(p.chipsB, make([]complex128, k)...)
+	if nc := n * d.sps; nc > len(p.chips) {
+		p.chips = growZeroC(p.chips, nc)
+		p.chipsB = growZeroC(p.chipsB, nc)
 	}
 }
 
@@ -263,7 +302,7 @@ func (d *decoder) cleanExtentFwd(o *occState) int {
 // installing the link's ISI shape when available.
 func (d *decoder) modeler(o *occState) *phy.Modeler {
 	if o.mod == nil {
-		o.mod = phy.NewModeler(d.cfg.PHY, o.sync)
+		o.mod = d.sc.modeler(d.cfg.PHY, o.sync)
 	}
 	if o.p.hasShape && !o.mod.ISIFitted() {
 		o.mod.SetShape(o.p.shape)
@@ -352,7 +391,7 @@ func (d *decoder) refineSpans(q *occState, from, to int, backward bool) {
 	if mod == nil {
 		return
 	}
-	var keep []subSpan
+	keep := d.spanKeep[:0]
 	for _, sp := range spans {
 		lo, hi := sp.From, sp.To
 		if lo < from {
@@ -375,10 +414,11 @@ func (d *decoder) refineSpans(q *occState, from, to int, backward bool) {
 		}
 	}
 	if backward {
-		q.spansB = keep
+		q.spansB = append(q.spansB[:0], keep...)
 	} else {
-		q.spans = keep
+		q.spans = append(q.spans[:0], keep...)
 	}
+	d.spanKeep = keep[:0]
 }
 
 // r_res selects the residual buffer for a direction.
@@ -396,12 +436,17 @@ func (d *decoder) cleanPiece(r *recState, winLo, winHi float64, dirty func(*occS
 	if winHi-winLo < float64(d.cfg.minTrackChips()) {
 		return interval{}
 	}
-	cuts := make([]interval, 0, len(r.occs))
+	cuts := d.cuts[:0]
 	for _, o := range r.occs {
 		cuts = append(cuts, dirty(o))
 	}
+	d.cuts = cuts[:0]
+	// subtractAll on the decoder's reusable piece buffers (no per-chunk
+	// garbage).
+	out, spare := (interval{winLo, winHi}).subtractAllInto(d.pieceA, d.pieceB, cuts)
+	d.pieceA, d.pieceB = out[:0], spare[:0]
 	var best interval
-	for _, p := range (interval{winLo, winHi}).subtractAll(cuts) {
+	for _, p := range out {
 		if p.Hi-p.Lo > best.Hi-best.Lo {
 			best = p
 		}
@@ -437,9 +482,9 @@ func (d *decoder) prepare(o *occState) {
 				o.sync = s
 			}
 		}
-		o.dec = phy.NewSymbolDecoder(d.cfg.PHY, o.sync, p.meta.Scheme)
+		o.dec = d.sc.symbolDecoder(d.cfg.PHY, o.sync, p.meta.Scheme)
 		if !d.cfg.PHY.DisableEqualizer {
-			if err := o.dec.TrainEqualizer(o.r.res, d.cfg.PHY.PreambleSymbols(), 0); err == nil && p.eqDonor == nil {
+			if err := o.dec.TrainEqualizer(o.r.res, d.sc.preambleSymbols(d.cfg.PHY), 0); err == nil && p.eqDonor == nil {
 				p.eqDonor = o
 			}
 		}
@@ -454,7 +499,7 @@ func (d *decoder) prepare(o *occState) {
 		o.dec = p.eqDonor.dec.WithSync(s)
 		return
 	}
-	o.dec = phy.NewSymbolDecoder(d.cfg.PHY, s, p.meta.Scheme)
+	o.dec = d.sc.symbolDecoder(d.cfg.PHY, s, p.meta.Scheme)
 }
 
 // tryHeader parses the frame length out of the forward-decoded header
@@ -469,7 +514,8 @@ func (d *decoder) tryHeader(p *pktState) {
 	if p.fwdUpTo < d.pre+hdrSyms {
 		return
 	}
-	bits := modem.Demodulate(nil, p.meta.Scheme, p.decided[d.pre:d.pre+hdrSyms])
+	d.hdrBits = modem.Demodulate(d.hdrBits[:0], p.meta.Scheme, p.decided[d.pre:d.pre+hdrSyms])
+	bits := d.hdrBits
 	total, err := frame.PeekLength(bits)
 	if err != nil {
 		return // header unreadable or check failed; length stays unknown

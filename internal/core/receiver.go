@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 	"sort"
 
+	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
@@ -48,10 +49,12 @@ type Receiver struct {
 
 	// loc is the wide-window store matcher's working storage
 	// (LocatePacket: transform buffers, profile, rolling energy); the
-	// preamble detector's scratch lives inside sync. Receivers are
-	// single-goroutine, so the buffers are reused across receptions
-	// without locking.
+	// preamble detector's scratch lives inside sync, and dec is the
+	// joint-decoder session threaded through every Decode this receiver
+	// runs. Receivers are single-goroutine, so the buffers are reused
+	// across receptions without locking.
 	loc locateScratch
+	dec Scratch
 
 	// MaxStored bounds the unmatched-collision store; 802.11
 	// retransmissions arrive promptly, so a few suffice (§4.2.2).
@@ -62,6 +65,9 @@ type Receiver struct {
 	Trace func(format string, args ...any)
 
 	stored []*storedCollision
+	// bufFree recycles the sample buffers of evicted/consumed stored
+	// collisions.
+	bufFree [][]complex128
 }
 
 func (z *Receiver) tracef(format string, args ...any) {
@@ -72,22 +78,44 @@ func (z *Receiver) tracef(format string, args ...any) {
 
 type storedCollision struct {
 	rec     *Reception
-	clients []uint8 // per occurrence
+	clients []uint8      // per occurrence
+	buf     []complex128 // receiver-owned backing of rec.Samples
 }
 
 // NewReceiver builds an online ZigZag receiver.
 func NewReceiver(cfg Config, clients []Client) *Receiver {
-	m := make(map[uint8]Client, len(clients))
+	z := &Receiver{}
+	z.Reinit(cfg, clients)
+	return z
+}
+
+// Reinit resets the receiver to the state NewReceiver(cfg, clients)
+// would build — client table rebuilt, collision store emptied, Trace
+// and MaxStored back to defaults — while keeping all working storage
+// (locator/synchronizer scratch, the decode session, stored-collision
+// buffers). Pooled simulation sessions recycle receivers across
+// Monte-Carlo trials through this.
+func (z *Receiver) Reinit(cfg Config, clients []Client) {
+	if z.phy == nil || z.cfg.PHY != cfg.PHY {
+		z.phy = phy.NewReceiver(cfg.PHY)
+		z.sync = phy.NewSynchronizer(cfg.PHY)
+	}
+	z.cfg = cfg
+	if z.clients == nil {
+		z.clients = make(map[uint8]Client, len(clients))
+	} else {
+		clear(z.clients)
+	}
 	for _, c := range clients {
-		m[c.ID] = c
+		z.clients[c.ID] = c
 	}
-	return &Receiver{
-		cfg:       cfg,
-		phy:       phy.NewReceiver(cfg.PHY),
-		sync:      phy.NewSynchronizer(cfg.PHY),
-		clients:   m,
-		MaxStored: 4,
+	z.MaxStored = 4
+	z.Trace = nil
+	for i := range z.stored {
+		z.bufFree = append(z.bufFree, z.stored[i].buf)
+		z.stored[i] = nil
 	}
+	z.stored = z.stored[:0]
 }
 
 // UpdateClient inserts or refreshes a client's coarse state.
@@ -280,9 +308,9 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 			z.tracef("store %d: alignment failed", si)
 			continue
 		}
-		jres, err := Decode(z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
+		jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
 		if err == nil && jres.AllOK() {
-			z.stored = append(z.stored[:si], z.stored[si+1:]...)
+			z.dropStored(si)
 			z.tracef("store %d: joint decode ok", si)
 			return z.deliver(jres, st.clients, "zigzag", rec)
 		}
@@ -297,7 +325,7 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 	// No match (or joint decode failed): store and wait for the
 	// retransmissions, delivering whatever partial capture success the
 	// single-reception attempt managed.
-	z.store(&storedCollision{rec: rec, clients: clients})
+	z.store(rec, clients)
 	var evs []Event
 	if res != nil {
 		for i := range res.Packets {
@@ -315,7 +343,7 @@ func (z *Receiver) decodeSingleReception(rx []complex128, occs []Occurrence, cli
 	for i := range rec.Packets {
 		rec.Packets[i].Packet = i
 	}
-	res, err := Decode(z.cfg, z.metaFor(clients), []*Reception{rec})
+	res, err := DecodeWith(&z.dec, z.cfg, z.metaFor(clients), []*Reception{rec})
 	if err != nil {
 		return nil, rec
 	}
@@ -442,15 +470,37 @@ func (z *Receiver) learn(id uint8, s phy.Sync) {
 	}
 }
 
-func (z *Receiver) store(sc *storedCollision) {
+// store retains a collision for future matching. The reception's
+// samples are copied into a receiver-owned buffer (recycled from
+// evicted entries), so callers are free to reuse their rx buffer for
+// the next reception — the pooled session engine renders every episode
+// into one such buffer.
+func (z *Receiver) store(rec *Reception, clients []uint8) {
 	max := z.MaxStored
 	if max <= 0 {
 		max = 4
 	}
-	z.stored = append(z.stored, sc)
-	if len(z.stored) > max {
-		z.stored = z.stored[len(z.stored)-max:]
+	var buf []complex128
+	if n := len(z.bufFree); n > 0 {
+		buf, z.bufFree = z.bufFree[n-1], z.bufFree[:n-1]
 	}
+	buf = dsp.Ensure(buf, len(rec.Samples))
+	copy(buf, rec.Samples)
+	z.stored = append(z.stored, &storedCollision{
+		rec:     &Reception{Samples: buf, Packets: rec.Packets},
+		clients: clients,
+		buf:     buf,
+	})
+	for len(z.stored) > max {
+		z.dropStored(0)
+	}
+}
+
+// dropStored removes stored entry i, recycling its sample buffer.
+func (z *Receiver) dropStored(i int) {
+	z.bufFree = append(z.bufFree, z.stored[i].buf)
+	z.stored = append(z.stored[:i], z.stored[i+1:]...)
+	z.stored[:cap(z.stored)][len(z.stored)] = nil // drop the tail reference
 }
 
 // alignStored locates every packet of a stored collision inside a fresh

@@ -61,12 +61,23 @@ func (iv interval) intersect(o interval) interval {
 // subtractAll removes the given intervals from iv and returns the
 // remaining pieces in order.
 func (iv interval) subtractAll(cuts []interval) []interval {
-	out := []interval{iv}
+	out, _ := iv.subtractAllInto(nil, nil, cuts)
+	return out
+}
+
+// subtractAllInto is subtractAll ping-ponging between the two
+// caller-provided working buffers (grown as needed; nil is allowed), so
+// hot callers produce no garbage. It returns the remaining pieces —
+// backed by one of the buffers — and the other buffer for reuse; both
+// stay valid until either buffer is used again.
+func (iv interval) subtractAllInto(a, b []interval, cuts []interval) (pieces, spare []interval) {
+	out := append(a[:0], iv)
+	spare = b[:0]
 	for _, c := range cuts {
 		if c.empty() {
 			continue
 		}
-		var next []interval
+		next := spare
 		for _, p := range out {
 			x := p.intersect(c)
 			if x.empty() {
@@ -80,7 +91,7 @@ func (iv interval) subtractAll(cuts []interval) []interval {
 				next = append(next, interval{x.Hi, p.Hi})
 			}
 		}
-		out = next
+		out, spare = next, out[:0]
 	}
-	return out
+	return out, spare
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
 )
@@ -99,7 +100,8 @@ func (d *decoder) assemblePacket(p *pktState) PacketResult {
 	var mrcBits []byte
 	if bwdRan {
 		pr.BitsBackward = trim(modem.Demodulate(nil, p.meta.Scheme, p.decidedB[d.pre:p.nsym]))
-		comb := make([]complex128, dataSyms)
+		d.combBuf = dsp.Ensure(d.combBuf, dataSyms)
+		comb := d.combBuf
 		for i := 0; i < dataSyms; i++ {
 			k := d.pre + i
 			comb[i] = modem.MRC(p.soft[k], p.weight[k], p.softB[k], p.weightB[k])
@@ -159,8 +161,25 @@ var errAllCandidatesFailed = errors.New("no candidate passed the checksum")
 // paper's canonical case (§4.2), more receptions/packets for the §4.5
 // general case, or a single reception for the capture /
 // interference-cancellation patterns of Fig 4-1d/e/f.
+//
+// Decode builds its working state from scratch each call; Monte-Carlo
+// loops thread a reusable *Scratch through DecodeWith instead.
 func Decode(cfg Config, metas []PacketMeta, recs []*Reception) (*Result, error) {
-	d, err := newDecoder(cfg, metas, recs)
+	return DecodeWith(nil, cfg, metas, recs)
+}
+
+// DecodeWith is Decode running on a reusable decode session. The
+// returned Result's Packets own their memory, but Residuals alias sc's
+// residual buffers: they stay valid only until the next DecodeWith call
+// on the same Scratch. A nil sc decodes on a fresh one-shot session,
+// which is exactly Decode. Bit-identity between the two paths — pooled
+// Modelers/SymbolDecoders and recycled arenas included — is pinned by
+// the decode-session tests.
+func DecodeWith(sc *Scratch, cfg Config, metas []PacketMeta, recs []*Reception) (*Result, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	d, err := sc.newDecoder(cfg, metas, recs)
 	if err != nil {
 		return nil, err
 	}

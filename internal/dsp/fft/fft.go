@@ -413,8 +413,8 @@ func inv8Mul(x, spec []complex128) {
 		v3 := complex(-imag(d), real(d))
 		x[i], x[i+2] = v0+v1, v2+v3
 		x[i+4], x[i+6] = v0-v1, v2-v3
-		w1 := complex((real(t1)-imag(t1))*rt2, (real(t1)+imag(t1))*rt2)   // ·(1+i)/√2
-		w2 := complex(-imag(t2), real(t2))                                // ·(+i)
+		w1 := complex((real(t1)-imag(t1))*rt2, (real(t1)+imag(t1))*rt2)  // ·(1+i)/√2
+		w2 := complex(-imag(t2), real(t2))                               // ·(+i)
 		w3 := complex(-(real(t3)+imag(t3))*rt2, (real(t3)-imag(t3))*rt2) // ·(−1+i)/√2
 		v0, v1 = t0+w2, w1+w3
 		v2 = t0 - w2

@@ -2,12 +2,16 @@ package dsp
 
 import (
 	"errors"
-	"math"
 	"math/cmplx"
 )
 
 // ErrSingular is returned when a linear system has no usable solution.
 var ErrSingular = errors.New("dsp: singular system")
+
+var (
+	errDimensionMismatch = errors.New("dsp: SolveLeastSquares dimension mismatch")
+	errRaggedMatrix      = errors.New("dsp: SolveLeastSquares ragged matrix")
+)
 
 // SolveLeastSquares solves min ‖A·x − b‖² for a dense real matrix A given
 // as rows, returning x. It forms the normal equations AᵀA·x = Aᵀb with a
@@ -15,135 +19,29 @@ var ErrSingular = errors.New("dsp: singular system")
 // elimination with partial pivoting. The systems in this codebase are tiny
 // (equalizer taps, channel taps: ≤ a few dozen unknowns) so this is both
 // adequate and dependency-free.
+//
+// This and the other free solvers below are one-shot conveniences: each
+// call allocates its working matrices. Hot paths (per-trial channel
+// fits) hold an LSQ instead, whose methods run the identical arithmetic
+// on reusable scratch.
 func SolveLeastSquares(a [][]float64, b []float64) ([]float64, error) {
-	if len(a) == 0 {
-		return nil, ErrSingular
-	}
-	if len(a) != len(b) {
-		return nil, errors.New("dsp: SolveLeastSquares dimension mismatch")
-	}
-	n := len(a[0])
-	if n == 0 {
-		return nil, ErrSingular
-	}
-	// Normal equations.
-	ata := make([][]float64, n)
-	atb := make([]float64, n)
-	for i := range ata {
-		ata[i] = make([]float64, n)
-	}
-	var scale float64
-	for r, row := range a {
-		if len(row) != n {
-			return nil, errors.New("dsp: SolveLeastSquares ragged matrix")
-		}
-		for i := 0; i < n; i++ {
-			if row[i] == 0 {
-				continue
-			}
-			for j := i; j < n; j++ {
-				ata[i][j] += row[i] * row[j]
-			}
-			atb[i] += row[i] * b[r]
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < i; j++ {
-			ata[i][j] = ata[j][i]
-		}
-		if ata[i][i] > scale {
-			scale = ata[i][i]
-		}
-	}
-	if scale == 0 {
-		return nil, ErrSingular
-	}
-	// Tikhonov ridge keeps near-singular estimation problems (short
-	// training sequences) well behaved without visibly biasing the fit.
-	ridge := scale * 1e-9
-	for i := 0; i < n; i++ {
-		ata[i][i] += ridge
-	}
-	x, err := SolveLinear(ata, atb)
-	if err != nil {
-		return nil, err
-	}
-	return x, nil
+	var s LSQ
+	return s.SolveLeastSquares(a, b)
 }
 
 // SolveLinear solves the square system M·x = v by Gaussian elimination
 // with partial pivoting. M is modified in place.
 func SolveLinear(m [][]float64, v []float64) ([]float64, error) {
-	n := len(m)
-	if n == 0 || len(v) != n {
-		return nil, ErrSingular
-	}
-	x := append([]float64(nil), v...)
-	for col := 0; col < n; col++ {
-		// Pivot.
-		p, best := col, math.Abs(m[col][col])
-		for r := col + 1; r < n; r++ {
-			if ab := math.Abs(m[r][col]); ab > best {
-				p, best = r, ab
-			}
-		}
-		if best == 0 || math.IsNaN(best) {
-			return nil, ErrSingular
-		}
-		m[col], m[p] = m[p], m[col]
-		x[col], x[p] = x[p], x[col]
-		inv := 1 / m[col][col]
-		for r := col + 1; r < n; r++ {
-			f := m[r][col] * inv
-			if f == 0 {
-				continue
-			}
-			m[r][col] = 0
-			for c := col + 1; c < n; c++ {
-				m[r][c] -= f * m[col][c]
-			}
-			x[r] -= f * x[col]
-		}
-	}
-	for col := n - 1; col >= 0; col-- {
-		s := x[col]
-		for c := col + 1; c < n; c++ {
-			s -= m[col][c] * x[c]
-		}
-		x[col] = s / m[col][col]
-	}
-	return x, nil
+	var s LSQ
+	return s.SolveLinear(m, v)
 }
 
 // SolveComplexLeastSquares solves min ‖A·x − b‖² for complex A, b by
 // stacking real and imaginary parts into a real system. Rows of A must all
 // have equal length.
 func SolveComplexLeastSquares(a [][]complex128, b []complex128) ([]complex128, error) {
-	if len(a) == 0 || len(a) != len(b) {
-		return nil, ErrSingular
-	}
-	n := len(a[0])
-	ra := make([][]float64, 0, 2*len(a))
-	rb := make([]float64, 0, 2*len(a))
-	for r, row := range a {
-		rowRe := make([]float64, 2*n)
-		rowIm := make([]float64, 2*n)
-		for j, c := range row {
-			rowRe[2*j], rowRe[2*j+1] = real(c), -imag(c)
-			rowIm[2*j], rowIm[2*j+1] = imag(c), real(c)
-		}
-		ra = append(ra, rowRe, rowIm)
-		rb = append(rb, real(b[r]), imag(b[r]))
-	}
-	sol, err := SolveLeastSquares(ra, rb)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]complex128, n)
-	for j := range out {
-		out[j] = complex(sol[2*j], sol[2*j+1])
-	}
-	return out, nil
+	var s LSQ
+	return s.SolveComplexLeastSquares(a, b)
 }
 
 // EstimateFIR fits a two-sided FIR filter of one-sided width w that best
@@ -152,43 +50,8 @@ func SolveComplexLeastSquares(a [][]complex128, b []complex128) ([]complex128, e
 // estimator ZigZag uses to model a sender's ISI before re-encoding a chunk
 // (§4.2.4d), fitted by complex least squares over already-decoded symbols.
 func EstimateFIR(x, y []complex128, from, to, w int) (FIR, error) {
-	if from < 0 {
-		from = 0
-	}
-	if to > len(y) {
-		to = len(y)
-	}
-	if to > len(x) {
-		to = len(x)
-	}
-	m := 2*w + 1
-	if to-from < m {
-		return FIR{}, ErrSingular
-	}
-	rows := make([][]complex128, 0, to-from)
-	rhs := make([]complex128, 0, to-from)
-	for n := from; n < to; n++ {
-		row := make([]complex128, m)
-		ok := true
-		for l := -w; l <= w; l++ {
-			i := n - l
-			if i < 0 || i >= len(x) {
-				ok = false
-				break
-			}
-			row[l+w] = x[i]
-		}
-		if !ok {
-			continue
-		}
-		rows = append(rows, row)
-		rhs = append(rhs, y[n])
-	}
-	taps, err := SolveComplexLeastSquares(rows, rhs)
-	if err != nil {
-		return FIR{}, err
-	}
-	return FIR{Taps: taps, Center: w}, nil
+	var s LSQ
+	return s.EstimateFIR(x, y, from, to, w)
 }
 
 // GainPhase decomposes a complex channel coefficient into magnitude and

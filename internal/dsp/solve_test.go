@@ -109,3 +109,120 @@ func TestGainPhase(t *testing.T) {
 		t.Fatalf("GainPhase = (%v, %v)", g, p)
 	}
 }
+
+// TestLSQBitIdenticalAndAllocFree pins the scratch-threaded solver
+// against the free functions: identical bits on repeated reuse, and
+// zero steady-state allocations once the arenas have grown.
+func TestLSQBitIdenticalAndAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	var s LSQ
+	mk := func(rows, w int) ([][]complex128, []complex128, []complex128, []complex128) {
+		x := make([]complex128, rows+4*w)
+		y := make([]complex128, rows+4*w)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			y[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		a := make([][]complex128, rows)
+		b := make([]complex128, rows)
+		for i := range a {
+			a[i] = make([]complex128, 2*w+1)
+			for j := range a[i] {
+				a[i][j] = complex(r.NormFloat64(), r.NormFloat64())
+			}
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		return a, b, x, y
+	}
+	// Vary system sizes across iterations so the reuse path (grow,
+	// shrink, regrow) is exercised, then compare against fresh solves.
+	for iter := 0; iter < 6; iter++ {
+		rows, w := 20+7*(iter%3), 2+iter%2
+		a, b, x, y := mk(rows, w)
+		want, err1 := SolveComplexLeastSquares(a, b)
+		got, err2 := s.SolveComplexLeastSquares(a, b)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("iter %d: error mismatch %v vs %v", iter, err1, err2)
+		}
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("iter %d tap %d: %v != %v", iter, j, got[j], want[j])
+			}
+		}
+		wantF, err1 := EstimateFIR(x, y, w, rows, w)
+		gotF, err2 := s.EstimateFIR(x, y, w, rows, w)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("iter %d: EstimateFIR error mismatch %v vs %v", iter, err1, err2)
+		}
+		if err1 == nil {
+			if wantF.Center != gotF.Center || len(wantF.Taps) != len(gotF.Taps) {
+				t.Fatalf("iter %d: FIR shape mismatch", iter)
+			}
+			for j := range wantF.Taps {
+				if wantF.Taps[j] != gotF.Taps[j] {
+					t.Fatalf("iter %d FIR tap %d: %v != %v", iter, j, gotF.Taps[j], wantF.Taps[j])
+				}
+			}
+		}
+	}
+	// Steady state: constant-size refits allocate nothing.
+	a, b, x, y := mk(40, 3)
+	op := func() {
+		if _, err := s.SolveComplexLeastSquares(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.EstimateFIR(x, y, 3, 40, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op()
+	if n := testing.AllocsPerRun(30, op); n != 0 {
+		t.Errorf("LSQ steady state: %v allocs per run, want 0", n)
+	}
+}
+
+// TestLSQShortRowsZeroPadded pins that a reused LSQ zero-pads short
+// complex rows exactly like the allocate-per-call path: a wide solve
+// must not leave stale coefficients behind for a later narrower/ragged
+// system.
+func TestLSQShortRowsZeroPadded(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	var s LSQ
+	// Dirty the arenas with a wide system.
+	wide := make([][]complex128, 12)
+	wb := make([]complex128, 12)
+	for i := range wide {
+		wide[i] = make([]complex128, 7)
+		for j := range wide[i] {
+			wide[i][j] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		wb[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	if _, err := s.SolveComplexLeastSquares(wide, wb); err != nil {
+		t.Fatal(err)
+	}
+	// Ragged system: some rows shorter than the first.
+	a := make([][]complex128, 10)
+	b := make([]complex128, 10)
+	for i := range a {
+		w := 4
+		if i > 0 && i%3 == 0 {
+			w = 2 // short row: tail must read as zero
+		}
+		a[i] = make([]complex128, w)
+		for j := range a[i] {
+			a[i][j] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		b[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	want, err1 := SolveComplexLeastSquares(a, b)
+	got, err2 := s.SolveComplexLeastSquares(a, b)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatalf("error mismatch: %v vs %v", err1, err2)
+	}
+	for j := range want {
+		if want[j] != got[j] {
+			t.Fatalf("tap %d: reused scratch %v, fresh %v", j, got[j], want[j])
+		}
+	}
+}

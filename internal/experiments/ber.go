@@ -1,14 +1,12 @@
 package experiments
 
 import (
-	"math/rand"
-
 	"zigzag/internal/bitutil"
 	"zigzag/internal/channel"
 	"zigzag/internal/core"
 	"zigzag/internal/metrics"
 	"zigzag/internal/modem"
-	"zigzag/internal/phy"
+	"zigzag/internal/session"
 )
 
 // Fig53Result carries the BER-vs-SNR comparison (Fig 5-3).
@@ -75,14 +73,16 @@ func sumCounts(cs []bitCounts) bitCounts {
 }
 
 // berAt measures ZigZag's BER over collision pairs at a symmetric SNR.
-// Pairs run as independent trials on the worker pool.
+// Pairs run as independent trials on the worker pool, each on its
+// worker's pooled session.
 func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 	cfg := core.DefaultConfig()
 	cfg.DisableBackward = fwdOnly
 	cfg.Workers = sc.Workers
-	counts := mapTrials(sc.Pairs, cfg.Workers, seed^int64(snr*1000), func(_ int, rng *rand.Rand) bitCounts {
+	counts := session.MapTrials(cfg, sc.Pairs, cfg.Workers, seed^int64(snr*1000), func(sess *session.Session, _ int) bitCounts {
+		rng := sess.Rng
 		var c bitCounts
-		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, 0.05)
+		s := newPairScenario(sess, sc.Payload, []float64{snr, snr}, 0.05)
 		// The paper's offline processing knows the (fixed) packet size;
 		// give the decoder the same knowledge so header-decode luck does
 		// not dominate the low-SNR BER measurement.
@@ -90,7 +90,7 @@ func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 			s.metas[i].BitLen = len(s.truth[i])
 		}
 		r1, r2 := s.collisionPair(rng)
-		res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
+		res, err := sess.Decode(s.metas, s.pair(r1, r2))
 		for i := range s.truth {
 			c.totBits += len(s.truth[i])
 			if err != nil || i >= len(res.Packets) {
@@ -110,20 +110,20 @@ func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 func berCollisionFree(sc Scale, seed int64, snr float64) float64 {
 	cfg := core.DefaultConfig()
 	cfg.Workers = sc.Workers
-	counts := mapTrials(2*sc.Pairs, cfg.Workers, seed^int64(snr*1000)^0x5a5a, func(_ int, rng *rand.Rand) bitCounts {
+	counts := session.MapTrials(cfg, 2*sc.Pairs, cfg.Workers, seed^int64(snr*1000)^0x5a5a, func(sess *session.Session, _ int) bitCounts {
 		var c bitCounts
-		rx := phy.NewReceiver(cfg.PHY)
-		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr}, 0.05)
-		air := &channel.Air{NoisePower: 0.05, Rng: rng, RandomizePhase: true}
-		buf := air.Mix(len(s.waves[0])+80, channel.Emission{Samples: s.waves[0], Link: s.links[0], Offset: 40})
-		sy := phy.NewSynchronizer(cfg.PHY)
-		sync, ok := sy.Measure(buf, 40, 3, s.metas[0].Freq)
+		s := newPairScenario(sess, sc.Payload, []float64{snr}, 0.05)
+		air := sess.Air
+		air.NoisePower = 0.05
+		air.RandomizePhase = true
+		buf := sess.Mix(len(s.waves[0])+80, channel.Emission{Samples: s.waves[0], Link: s.links[0], Offset: 40})
+		sync, ok := sess.Sync.Measure(buf, 40, 3, s.metas[0].Freq)
 		c.totBits = len(s.truth[0])
 		if !ok {
 			c.errBits = len(s.truth[0]) / 2
 			return c
 		}
-		res := rx.DecodeKnownLength(buf, sync, modem.BPSK, len(s.truth[0]))
+		res := sess.RX.DecodeKnownLength(buf, sync, modem.BPSK, len(s.truth[0]))
 		ber := bitutil.BitErrorRate(s.truth[0], res.Bits)
 		c.errBits = int(ber * float64(len(s.truth[0])))
 		return c

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 
 	"zigzag/internal/metrics"
+	"zigzag/internal/runner"
+	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
 
@@ -34,15 +36,20 @@ func Fig54CaptureSweep(sc Scale, seed int64) Fig54Result {
 	const snrB = 12.0
 	// Every (scheme, SINR) cell is an independent run whose seed depends
 	// only on the SINR, exactly as the serial sweep had it; the grid
-	// flattens into one trial per cell and reduces in grid order.
-	cells := mapTrials(len(schemes)*len(sinrs), sc.Workers, seed, func(cell int, _ *rand.Rand) testbed.RunResult {
-		scheme, sinr := schemes[cell/len(sinrs)], sinrs[cell%len(sinrs)]
-		cfg := testbed.HiddenPairConfig(snrB+sinr, snrB, testbed.FullyHidden,
-			sc.Packets, sc.TestbedPayload, 0.05, seed+int64(sinr*10))
-		cfg.Saturated = true // the paper's senders transmit at full speed
-		cfg.Workers = 1
-		return testbed.Run(cfg, scheme)
-	})
+	// flattens into one trial per cell (each on its worker's pooled
+	// session) and reduces in grid order.
+	cellCore := testbed.RunConfig{Workers: 1}.CoreConfig()
+	cells := runner.MustMapLocal(len(schemes)*len(sinrs), runner.Options{Workers: sc.Workers, BaseSeed: seed},
+		func() *session.Session { return session.Acquire(cellCore) },
+		session.Release,
+		func(sess *session.Session, cell int, _ *rand.Rand) testbed.RunResult {
+			scheme, sinr := schemes[cell/len(sinrs)], sinrs[cell%len(sinrs)]
+			cfg := testbed.HiddenPairConfig(snrB+sinr, snrB, testbed.FullyHidden,
+				sc.Packets, sc.TestbedPayload, 0.05, seed+int64(sinr*10))
+			cfg.Saturated = true // the paper's senders transmit at full speed
+			cfg.Workers = 1
+			return testbed.RunWith(sess, cfg, scheme)
+		})
 	for si, scheme := range schemes {
 		a := metrics.Series{Name: "Fig 5-4a Alice throughput — " + scheme.String()}
 		b := metrics.Series{Name: "Fig 5-4b Bob throughput — " + scheme.String()}

@@ -11,10 +11,11 @@ import (
 
 	"zigzag/internal/channel"
 	"zigzag/internal/core"
+	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
-	"zigzag/internal/phy"
 	"zigzag/internal/runner"
+	"zigzag/internal/session"
 )
 
 // Scale controls experiment cost.
@@ -91,35 +92,84 @@ func mapTrials[T any](trials int, workers int, baseSeed int64, fn func(trial int
 // pairScenario builds one hidden-terminal collision pair at the given
 // SNRs and returns the receptions plus ground truth, using honest
 // preamble measurement for the occurrence syncs.
+//
+// Scenarios live on the worker's pooled Session (via Aux): the frames,
+// payloads, emission lists and reception render buffers are arenas
+// reused across trials, so a steady-state trial builds its world
+// without reconstructing it. newPairScenario draws from the session Rng
+// in exactly the order the pre-session per-trial constructor did, which
+// keeps every experiment golden byte-identical.
 type pairScenario struct {
-	cfg    core.Config
-	metas  []core.PacketMeta
-	frames []*frame.Frame
-	waves  [][]complex128
-	links  []*channel.Params
-	truth  [][]byte
-	noise  float64
+	sess  *session.Session
+	cfg   core.Config
+	metas []core.PacketMeta
+	waves [][]complex128 // alias the session waveform arena
+	links []*channel.Params
+	truth [][]byte // alias the session truth arena
+	noise float64
+
+	frames   []*frame.Frame
+	payloads [][]byte
+	ems      []channel.Emission
+	rx       [][]complex128
+	recs     []*core.Reception
+	rxUsed   int
+	recList  []*core.Reception
+	isi      dsp.FIR
 }
 
-func newPairScenario(cfg core.Config, rng *rand.Rand, payload int, snrs []float64, noise float64) *pairScenario {
-	s := &pairScenario{cfg: cfg, noise: noise}
-	tx := phy.NewTransmitter(cfg.PHY)
+// scenarioArena returns the worker's reusable pair-scenario arenas,
+// hosted on the session so they ride it through the pool.
+func scenarioArena(sess *session.Session) *pairScenario {
+	s, ok := sess.Aux.(*pairScenario)
+	if !ok {
+		s = &pairScenario{isi: channel.TypicalISI(1)}
+		sess.Aux = s
+	}
+	return s
+}
+
+func newPairScenario(sess *session.Session, payload int, snrs []float64, noise float64) *pairScenario {
+	s := scenarioArena(sess)
+	s.sess = sess
+	s.cfg = sess.Cfg
+	s.noise = noise
+	s.metas = s.metas[:0]
+	s.waves = s.waves[:0]
+	s.links = s.links[:0]
+	s.truth = s.truth[:0]
+	s.rxUsed = 0
+	rng := sess.Rng
 	for i, snr := range snrs {
-		p := make([]byte, payload)
+		for i >= len(s.payloads) {
+			s.payloads = append(s.payloads, nil)
+		}
+		if cap(s.payloads[i]) < payload {
+			s.payloads[i] = make([]byte, payload)
+		}
+		p := s.payloads[i][:payload]
+		s.payloads[i] = p
 		rng.Read(p)
-		f := &frame.Frame{Src: uint8(i + 1), Dst: 99, Seq: uint16(rng.Intn(1 << 12)), Scheme: modem.BPSK, Payload: p}
+		for i >= len(s.frames) {
+			s.frames = append(s.frames, &frame.Frame{})
+		}
+		f := s.frames[i]
+		*f = frame.Frame{Src: uint8(i + 1), Dst: 99, Seq: uint16(rng.Intn(1 << 12)), Scheme: modem.BPSK, Payload: p}
 		freq := (0.0025 + 0.001*float64(i))
 		if i%2 == 1 {
 			freq = -freq
 		}
-		link := channel.RandomParams(rng, snr, noise, 0, 0.35, channel.TypicalISI(1))
+		link := sess.Link(i)
+		link.Randomize(rng, snr, noise, 0, 0.35, s.isi)
 		link.FreqOffset = freq
-		w, err := tx.Waveform(f)
+		w, err := sess.Waveform(i, f)
 		if err != nil {
 			panic(err)
 		}
-		bits, _ := f.Bits(nil)
-		s.frames = append(s.frames, f)
+		bits, err := sess.TruthBits(i, f)
+		if err != nil {
+			panic(err)
+		}
 		s.links = append(s.links, link)
 		s.waves = append(s.waves, w)
 		s.truth = append(s.truth, bits)
@@ -129,23 +179,37 @@ func newPairScenario(cfg core.Config, rng *rand.Rand, payload int, snrs []float6
 }
 
 // reception renders one collision with the packets at the given offsets
-// (-1 = absent) and synchronizes honestly.
+// (-1 = absent) and synchronizes honestly. Each reception of a trial
+// gets its own arena slot, so a pair of receptions stays live together;
+// slots recycle at the next newPairScenario.
 func (s *pairScenario) reception(rng *rand.Rand, offsets []int) *core.Reception {
-	var ems []channel.Emission
+	s.ems = s.ems[:0]
 	maxEnd := 0
 	for i, off := range offsets {
 		if off < 0 {
 			continue
 		}
-		ems = append(ems, channel.Emission{Samples: s.waves[i], Link: s.links[i], Offset: off})
+		s.ems = append(s.ems, channel.Emission{Samples: s.waves[i], Link: s.links[i], Offset: off})
 		if end := off + len(s.waves[i]); end > maxEnd {
 			maxEnd = end
 		}
 	}
-	air := &channel.Air{NoisePower: s.noise, Rng: rng, RandomizePhase: true}
-	rx := air.Mix(maxEnd+80, ems...)
-	rec := &core.Reception{Samples: rx}
-	sy := phy.NewSynchronizer(s.cfg.PHY)
+	air := s.sess.Air
+	air.NoisePower = s.noise
+	air.Rng = rng
+	air.RandomizePhase = true
+	k := s.rxUsed
+	s.rxUsed++
+	for k >= len(s.rx) {
+		s.rx = append(s.rx, nil)
+		s.recs = append(s.recs, &core.Reception{})
+	}
+	s.rx[k] = air.MixInto(s.rx[k], maxEnd+80, s.ems...)
+	rx := s.rx[k]
+	rec := s.recs[k]
+	rec.Samples = rx
+	rec.Packets = rec.Packets[:0]
+	sy := s.sess.Sync
 	for i, off := range offsets {
 		if off < 0 {
 			continue
@@ -157,6 +221,12 @@ func (s *pairScenario) reception(rng *rand.Rand, offsets []int) *core.Reception 
 		rec.Packets = append(rec.Packets, core.Occurrence{Packet: i, Sync: sync})
 	}
 	return rec
+}
+
+// pair returns the reusable two-reception slice for a joint decode.
+func (s *pairScenario) pair(r1, r2 *core.Reception) []*core.Reception {
+	s.recList = append(s.recList[:0], r1, r2)
+	return s.recList
 }
 
 // collisionPair renders the canonical two-collision scenario with random

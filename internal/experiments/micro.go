@@ -12,6 +12,7 @@ import (
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
 	"zigzag/internal/runner"
+	"zigzag/internal/session"
 )
 
 // Fig42CorrelationProfile reproduces Fig 4-2: the magnitude of the
@@ -20,10 +21,12 @@ import (
 func Fig42CorrelationProfile(seed int64) (metrics.Series, int) {
 	cfg := core.DefaultConfig()
 	rng := rand.New(rand.NewSource(seed))
-	s := newPairScenario(cfg, rng, 300, []float64{17, 17}, 0.05)
+	sess := session.New(cfg)
+	sess.ResetRand(rng)
+	s := newPairScenario(sess, 300, []float64{17, 17}, 0.05)
 	const offB = 40 + 1100
 	rec := s.reception(rng, []int{40, offB})
-	prof := phy.NewSynchronizer(cfg.PHY).Profile(rec.Samples, s.metas[1].Freq)
+	prof := sess.Sync.Profile(rec.Samples, s.metas[1].Freq)
 	out := metrics.Series{Name: "Fig 4-2: |correlation| vs position"}
 	for i := 0; i < len(prof); i++ {
 		out.Points = append(out.Points, metrics.Point{X: float64(i), Y: cmplx.Abs(prof[i])})
@@ -181,12 +184,13 @@ func correlationRates(sc Scale, seed int64) (fp, fn float64) {
 	}
 	snrs := []float64{6, 10, 14, 20}
 	type rates struct{ fp, fn int }
-	cells := mapTrials(len(snrs)*sc.Pairs, cfg.Workers, seed, func(trial int, rng *rand.Rand) rates {
+	cells := session.MapTrials(cfg, len(snrs)*sc.Pairs, cfg.Workers, seed, func(sess *session.Session, trial int) rates {
+		rng := sess.Rng
 		var r rates
 		snr := snrs[trial/sc.Pairs]
-		sy := phy.NewSynchronizer(cfg.PHY)
+		sy := sess.Sync
 		noise := 0.05
-		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, noise)
+		s := newPairScenario(sess, sc.Payload, []float64{snr, snr}, noise)
 		// Clean packet: an accepted peak anywhere but the packet's own
 		// start is a false positive ("packets mistaken as
 		// collisions", §5.3a).
@@ -249,8 +253,8 @@ func trackingSuccess(sc Scale, seed int64, payload int, disable bool) float64 {
 	if payload >= 1500 && pairs > sc.statFloor(12) {
 		pairs = sc.statFloor(12) // long packets dominate runtime
 	}
-	return successRate(successCounts(cfg, pairs, seed, func(rng *rand.Rand) *pairScenario {
-		return newPairScenario(cfg, rng, payload, []float64{18, 18}, 0.02)
+	return successRate(successCounts(cfg, pairs, seed, func(sess *session.Session) *pairScenario {
+		return newPairScenario(sess, payload, []float64{18, 18}, 0.02)
 	}))
 }
 
@@ -258,14 +262,15 @@ func trackingSuccess(sc Scale, seed int64, payload int, disable bool) float64 {
 type okTotal struct{ ok, total int }
 
 // successCounts runs decode-success trials on the worker pool: each
-// trial builds a scenario, decodes its collision pair, and reports how
-// many of the two packets met the §5.1f criterion.
-func successCounts(cfg core.Config, pairs int, seed int64, scenario func(rng *rand.Rand) *pairScenario) []okTotal {
-	return mapTrials(pairs, cfg.Workers, seed, func(_ int, rng *rand.Rand) okTotal {
+// trial builds a scenario on its worker's pooled session, decodes its
+// collision pair, and reports how many of the two packets met the §5.1f
+// criterion.
+func successCounts(cfg core.Config, pairs int, seed int64, scenario func(sess *session.Session) *pairScenario) []okTotal {
+	return session.MapTrials(cfg, pairs, cfg.Workers, seed, func(sess *session.Session, _ int) okTotal {
 		var c okTotal
-		s := scenario(rng)
-		r1, r2 := s.collisionPair(rng)
-		res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
+		s := scenario(sess)
+		r1, r2 := s.collisionPair(sess.Rng)
+		res, err := sess.Decode(s.metas, s.pair(r1, r2))
 		if err != nil {
 			c.total = 2
 			return c
@@ -308,12 +313,13 @@ func isiSuccess(sc Scale, seed int64, snr float64, disable bool) float64 {
 	if floor := sc.statFloor(24); pairs < floor {
 		pairs = floor // keep the on/off comparison statistically stable
 	}
-	return successRate(successCounts(cfg, pairs, seed, func(rng *rand.Rand) *pairScenario {
-		s := newPairScenario(cfg, rng, sc.Payload, []float64{snr, snr}, 0.05)
+	strongISI := typicalStrongISI() // shared read-only across trials
+	return successRate(successCounts(cfg, pairs, seed, func(sess *session.Session) *pairScenario {
+		s := newPairScenario(sess, sc.Payload, []float64{snr, snr}, 0.05)
 		// Strong testbed-like ISI makes the reconstruction filter
 		// matter.
 		for _, l := range s.links {
-			l.ISI = typicalStrongISI()
+			l.ISI = strongISI
 		}
 		return s
 	}))
@@ -338,9 +344,11 @@ func Fig52aResidualOffsetErrors(seed int64) Fig52aResult {
 	cfg := core.DefaultConfig()
 	cfg.PHY.DisablePhaseTracking = true
 	rng := rand.New(rand.NewSource(seed))
-	s := newPairScenario(cfg, rng, 1500, []float64{18, 18}, 0.02)
+	sess := session.New(cfg)
+	sess.ResetRand(rng)
+	s := newPairScenario(sess, 1500, []float64{18, 18}, 0.02)
 	r1, r2 := s.collisionPair(rng)
-	res, err := core.Decode(cfg, s.metas, []*core.Reception{r1, r2})
+	res, err := sess.Decode(s.metas, s.pair(r1, r2))
 	out := Fig52aResult{Series: metrics.Series{Name: "Fig 5-2a: BER vs bit index (tracking off)"}}
 	if err != nil {
 		return out

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 
 	"zigzag/internal/metrics"
+	"zigzag/internal/runner"
+	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
 
@@ -73,35 +75,40 @@ func RunTestbed(sc Scale, seed int64) TestbedResult {
 
 	// Every sampled pair is an independent simulation whose seed is
 	// already derived from the pair index, so pairs fan out across the
-	// worker pool and the serial reduction below sees them in pair
-	// order — identical output at any worker count.
+	// worker pool — each worker driving its pooled session — and the
+	// serial reduction below sees them in pair order: identical output
+	// at any worker count.
 	type pairOutcome struct {
 		kind    testbed.PairKind
 		zz, std testbed.RunResult
 	}
-	outcomes := mapTrials(len(pairs), sc.Workers, seed, func(pi int, _ *rand.Rand) pairOutcome {
-		p := pairs[pi]
-		cfg := testbed.RunConfig{
-			SNRs: []float64{
-				testbed.ClampSNR(top.SNR[p.ap][p.i]),
-				testbed.ClampSNR(top.SNR[p.ap][p.j]),
-			},
-			Senses: [][]bool{
-				{true, top.Senses[p.i][p.j]},
-				{top.Senses[p.j][p.i], true},
-			},
-			Packets: sc.Packets,
-			Payload: sc.TestbedPayload,
-			Noise:   0.05,
-			Seed:    seed + int64(pi)*101,
-			Workers: 1, // pair-level parallelism already saturates the pool
-		}
-		return pairOutcome{
-			kind: top.Classify(p.i, p.j),
-			zz:   testbed.Run(cfg, testbed.ZigZag),
-			std:  testbed.Run(cfg, testbed.Current80211),
-		}
-	})
+	pairCore := testbed.RunConfig{Workers: 1}.CoreConfig()
+	outcomes := runner.MustMapLocal(len(pairs), runner.Options{Workers: sc.Workers, BaseSeed: seed},
+		func() *session.Session { return session.Acquire(pairCore) },
+		session.Release,
+		func(sess *session.Session, pi int, _ *rand.Rand) pairOutcome {
+			p := pairs[pi]
+			cfg := testbed.RunConfig{
+				SNRs: []float64{
+					testbed.ClampSNR(top.SNR[p.ap][p.i]),
+					testbed.ClampSNR(top.SNR[p.ap][p.j]),
+				},
+				Senses: [][]bool{
+					{true, top.Senses[p.i][p.j]},
+					{top.Senses[p.j][p.i], true},
+				},
+				Packets: sc.Packets,
+				Payload: sc.TestbedPayload,
+				Noise:   0.05,
+				Seed:    seed + int64(pi)*101,
+				Workers: 1, // pair-level parallelism already saturates the pool
+			}
+			return pairOutcome{
+				kind: top.Classify(p.i, p.j),
+				zz:   testbed.RunWith(sess, cfg, testbed.ZigZag),
+				std:  testbed.RunWith(sess, cfg, testbed.Current80211),
+			}
+		})
 
 	for _, oc := range outcomes {
 		kind, zz, std := oc.kind, oc.zz, oc.std
@@ -154,18 +161,22 @@ func Fig59ThreeHiddenTerminals(sc Scale, seed int64) Fig59Result {
 	}
 	var sums [3]float64
 	runs := maxInt(2, sc.TestbedPairs/3)
-	results := mapTrials(runs, sc.Workers, seed, func(r int, _ *rand.Rand) testbed.RunResult {
-		cfg := testbed.RunConfig{
-			SNRs:    []float64{13, 13, 13},
-			Senses:  senses,
-			Packets: sc.Packets,
-			Payload: sc.TestbedPayload,
-			Noise:   0.05,
-			Seed:    seed + int64(r)*31,
-			Workers: 1,
-		}
-		return testbed.Run(cfg, testbed.ZigZag)
-	})
+	runCore := testbed.RunConfig{Workers: 1}.CoreConfig()
+	results := runner.MustMapLocal(runs, runner.Options{Workers: sc.Workers, BaseSeed: seed},
+		func() *session.Session { return session.Acquire(runCore) },
+		session.Release,
+		func(sess *session.Session, r int, _ *rand.Rand) testbed.RunResult {
+			cfg := testbed.RunConfig{
+				SNRs:    []float64{13, 13, 13},
+				Senses:  senses,
+				Packets: sc.Packets,
+				Payload: sc.TestbedPayload,
+				Noise:   0.05,
+				Seed:    seed + int64(r)*31,
+				Workers: 1,
+			}
+			return testbed.RunWith(sess, cfg, testbed.ZigZag)
+		})
 	for _, res := range results {
 		for f := 0; f < 3; f++ {
 			th := res.Flows[f].Throughput

@@ -2,9 +2,9 @@ package mac
 
 import (
 	"math/rand"
-	"sort"
 
 	"zigzag/internal/runner"
+	"zigzag/internal/session"
 )
 
 // This file implements the offset-domain simulation behind Fig 4-7: how
@@ -21,13 +21,18 @@ type span struct{ Lo, Hi int }
 // spanSet is a normalized (sorted, disjoint) set of spans.
 type spanSet []span
 
-// add merges s into the set.
+// add merges s into the set. The set is already sorted, so the new span
+// bubbles into place by insertion (no reflection-based sort in this hot
+// loop) before the canonical in-place merge; the resulting set is the
+// interval union either way.
 func (ss spanSet) add(s span) spanSet {
 	if s.Hi <= s.Lo {
 		return ss
 	}
 	out := append(ss, s)
-	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	for i := len(out) - 1; i > 0 && out[i].Lo < out[i-1].Lo; i-- {
+		out[i], out[i-1] = out[i-1], out[i]
+	}
 	merged := out[:1]
 	for _, v := range out[1:] {
 		last := &merged[len(merged)-1]
@@ -61,6 +66,35 @@ func (ss spanSet) total() int {
 	return n
 }
 
+// greedyScratch is the worker-local state of the Fig 4-7 simulation:
+// the offset matrix and the span working sets, reused across every
+// trial a worker runs. Before this arena the sweep spent the majority
+// of its time in allocation and reflection-based sorting rather than in
+// the algorithm (see BENCH_session.json).
+type greedyScratch struct {
+	offFlat []int
+	offRows [][]int
+	decoded []spanSet
+	raw     []span
+	clean   []span
+}
+
+// offsets returns the reusable n×n offset matrix.
+func (sc *greedyScratch) offsets(n int) [][]int {
+	if cap(sc.offFlat) < n*n {
+		sc.offFlat = make([]int, n*n)
+	}
+	sc.offFlat = sc.offFlat[:n*n]
+	if cap(sc.offRows) < n {
+		sc.offRows = make([][]int, n)
+	}
+	sc.offRows = sc.offRows[:n]
+	for i := range sc.offRows {
+		sc.offRows[i] = sc.offFlat[i*n : (i+1)*n]
+	}
+	return sc.offRows
+}
+
 // GreedyDecodable runs the §4.5 greedy algorithm on a configuration of
 // collisions. offsets[c][p] is packet p's start slot in collision c (a
 // packet may appear in every collision, as with 802.11 retransmissions);
@@ -72,11 +106,24 @@ func (ss spanSet) total() int {
 // decode every stretch that is interference-free given what has been
 // subtracted, then subtract the known stretches wherever they appear.
 func GreedyDecodable(offsets [][]int, length int) bool {
+	var sc greedyScratch
+	return sc.decodable(offsets, length)
+}
+
+// decodable is GreedyDecodable on worker-local scratch.
+func (sc *greedyScratch) decodable(offsets [][]int, length int) bool {
 	if len(offsets) == 0 || length <= 0 {
 		return false
 	}
 	n := len(offsets[0])
-	decoded := make([]spanSet, n) // in packet-local slot units
+	if cap(sc.decoded) < n {
+		sc.decoded = make([]spanSet, n)
+	}
+	sc.decoded = sc.decoded[:n]
+	decoded := sc.decoded // in packet-local slot units
+	for i := range decoded {
+		decoded[i] = decoded[i][:0]
+	}
 	done := func() bool {
 		for _, ss := range decoded {
 			if !ss.covered(0, length) {
@@ -95,7 +142,7 @@ func GreedyDecodable(offsets [][]int, length int) bool {
 				// Decodable stretches of packet p in this collision:
 				// positions where every other packet is absent or
 				// already decoded.
-				for _, s := range cleanStretches(coll, decoded, p, length) {
+				for _, s := range sc.cleanStretches(coll, decoded, p, length) {
 					before := decoded[p].total()
 					decoded[p] = decoded[p].add(s)
 					if decoded[p].total() > before {
@@ -115,12 +162,13 @@ func GreedyDecodable(offsets [][]int, length int) bool {
 
 // cleanStretches returns the packet-local spans of packet p that are
 // interference-free in a collision, treating other packets' decoded
-// spans as subtracted.
-func cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
+// spans as subtracted. The returned slice is scratch, valid until the
+// next call.
+func (sc *greedyScratch) cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
 	start := coll[p]
 	// Build the "dirty" set in absolute slots: each other packet's
 	// not-yet-decoded portions. Collect first, then sort and merge once.
-	raw := make([]span, 0, 2*len(coll))
+	raw := sc.raw[:0]
 	for q := range coll {
 		if q == p {
 			continue
@@ -139,7 +187,15 @@ func cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
 			raw = append(raw, span{qs + cur, qs + length})
 		}
 	}
-	sort.Slice(raw, func(i, j int) bool { return raw[i].Lo < raw[j].Lo })
+	// Insertion sort by Lo: the sets are tiny (≤ 2·nodes spans) and
+	// mostly ordered, and this keeps the hot loop free of
+	// reflection-based sorting.
+	for i := 1; i < len(raw); i++ {
+		for j := i; j > 0 && raw[j].Lo < raw[j-1].Lo; j-- {
+			raw[j], raw[j-1] = raw[j-1], raw[j]
+		}
+	}
+	sc.raw = raw
 	dirty := raw[:0]
 	for _, v := range raw {
 		if n := len(dirty); n > 0 && v.Lo <= dirty[n-1].Hi {
@@ -151,7 +207,7 @@ func cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
 		dirty = append(dirty, v)
 	}
 	// Clean absolute spans of packet p = [start, start+length) minus dirty.
-	var out []span
+	out := sc.clean[:0]
 	cur := start
 	for _, d := range dirty {
 		if d.Hi <= cur {
@@ -174,6 +230,7 @@ func cleanStretches(coll []int, decoded []spanSet, p, length int) []span {
 	if cur < start+length {
 		out = append(out, span{cur - start, length})
 	}
+	sc.clean = out
 	return out
 }
 
@@ -222,21 +279,26 @@ func GreedyFailureProbability(n, cw, length, trials int, mode BackoffMode, seed 
 			trials = floor
 		}
 	}
-	fails := runner.SumInt(trials, runner.Options{Workers: workers, BaseSeed: seed},
-		func(_ int, rng *rand.Rand) int {
-			offsets := make([][]int, n)
+	fails := runner.SumIntLocal(trials, runner.Options{Workers: workers, BaseSeed: seed},
+		func() *greedyScratch { return &greedyScratch{} }, nil,
+		func(sc *greedyScratch, _ int, rng *rand.Rand) int {
+			if session.PoolDisabled() {
+				// Escape hatch parity: rebuild the working sets per
+				// trial, the pre-scratch cost model.
+				sc = &greedyScratch{}
+			}
+			offsets := sc.offsets(n)
 			for c := 0; c < n; c++ {
 				w := cw
 				if mode == ExponentialBackoff {
 					w = CWForAttempt(c) + 1
 				}
-				row := make([]int, n)
+				row := offsets[c]
 				for p := 0; p < n; p++ {
 					row[p] = rng.Intn(w)
 				}
-				offsets[c] = row
 			}
-			if !GreedyDecodable(offsets, length) {
+			if !sc.decodable(offsets, length) {
 				return 1
 			}
 			return 0

@@ -163,3 +163,98 @@ func TestDecodeRangePolyphaseMatchesNaive(t *testing.T) {
 		}
 	}
 }
+
+// TestFitISIAllocFree pins the zero-allocation guarantee of the
+// re-encoding channel fit: once the modeler's derotation buffer and
+// least-squares arenas have grown, repeated FitISI calls allocate
+// nothing (the hot case when links churn and shapes refit per trial).
+func TestFitISIAllocFree(t *testing.T) {
+	was := dsp.NaiveInterp()
+	defer dsp.SetNaiveInterp(was)
+	dsp.SetNaiveInterp(false)
+	cfg, rx, wave, s := allocScenario(t, 233)
+	m := NewModeler(cfg, s)
+	requireZeroAllocs(t, "Modeler.FitISI", func() {
+		if err := m.FitISI(rx, wave, 0, 600); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTrainEqualizerAllocFree pins the zero-allocation guarantee of
+// equalizer training: the raw-symbol cache, the training-row arena and
+// the solver scratch are all decoder-owned, so steady-state retraining
+// allocates nothing.
+func TestTrainEqualizerAllocFree(t *testing.T) {
+	was := dsp.NaiveInterp()
+	defer dsp.SetNaiveInterp(was)
+	dsp.SetNaiveInterp(false)
+	cfg, rx, _, s := allocScenario(t, 239)
+	d := NewSymbolDecoder(cfg, s, modem.BPSK)
+	known := cfg.PreambleSymbols()
+	requireZeroAllocs(t, "SymbolDecoder.TrainEqualizer", func() {
+		if err := d.TrainEqualizer(rx, known, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestReinitMatchesNew pins the pooling contract: a Modeler/
+// SymbolDecoder recycled through Reinit onto a new scenario behaves
+// bit-identically to a freshly constructed one, even after the recycled
+// instance accumulated scratch and state on a different scenario.
+func TestReinitMatchesNew(t *testing.T) {
+	was := dsp.NaiveInterp()
+	defer dsp.SetNaiveInterp(was)
+	dsp.SetNaiveInterp(false)
+	cfgA, rxA, waveA, sA := allocScenario(t, 241)
+	cfgB, rxB, waveB, sB := allocScenario(t, 251)
+
+	// Dirty a modeler and decoder on scenario A.
+	used := NewModeler(cfgA, sA)
+	if err := used.FitISI(rxA, waveA, 0, 600); err != nil {
+		t.Fatal(err)
+	}
+	used.TrackAndSubtract(dsp.Clone(rxA), waveA, 800, 1200)
+	usedDec := NewSymbolDecoder(cfgA, sA, modem.BPSK)
+	if err := usedDec.TrainEqualizer(rxA, cfgA.PreambleSymbols(), 0); err != nil {
+		t.Fatal(err)
+	}
+	usedDec.DecodeRange(rxA, cfgA.PreambleBits, cfgA.PreambleBits+100, false)
+
+	// Recycle onto scenario B and compare with fresh instances.
+	used.Reinit(cfgB, sB)
+	fresh := NewModeler(cfgB, sB)
+	for _, m := range []*Modeler{used, fresh} {
+		if err := m.FitISI(rxB, waveB, 0, 600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resUsed, resFresh := dsp.Clone(rxB), dsp.Clone(rxB)
+	dUsed := used.TrackAndSubtract(resUsed, waveB, 800, 1200)
+	dFresh := fresh.TrackAndSubtract(resFresh, waveB, 800, 1200)
+	if dUsed != dFresh {
+		t.Fatalf("TrackAndSubtract dphi: recycled %v, fresh %v", dUsed, dFresh)
+	}
+	for i := range resUsed {
+		if resUsed[i] != resFresh[i] {
+			t.Fatalf("residual[%d]: recycled %v, fresh %v", i, resUsed[i], resFresh[i])
+		}
+	}
+
+	usedDec.Reinit(cfgB, sB, modem.BPSK)
+	freshDec := NewSymbolDecoder(cfgB, sB, modem.BPSK)
+	for _, d := range []*SymbolDecoder{usedDec, freshDec} {
+		if err := d.TrainEqualizer(rxB, cfgB.PreambleSymbols(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := cfgB.PreambleBits
+	decU, softU := usedDec.DecodeRange(rxB, pre, pre+150, false)
+	decF, softF := freshDec.DecodeRange(rxB, pre, pre+150, false)
+	for i := range decU {
+		if decU[i] != decF[i] || softU[i] != softF[i] {
+			t.Fatalf("symbol %d: recycled (%v,%v), fresh (%v,%v)", i, decU[i], softU[i], decF[i], softF[i])
+		}
+	}
+}

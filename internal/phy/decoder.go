@@ -43,20 +43,45 @@ type SymbolDecoder struct {
 	rawBuf  []complex128
 	decBuf  []complex128
 	softBuf []complex128
+
+	// Equalizer-training working storage: the raw-symbol observations,
+	// the row arena of the least-squares system, the solver scratch, and
+	// the decoder-owned backing of the accepted taps. With these
+	// threaded, steady-state retraining allocates nothing.
+	trainRaw  []complex128
+	trainRows [][]complex128
+	trainFlat []complex128
+	trainRhs  []complex128
+	eqBuf     []complex128
+	lsq       dsp.LSQ
 }
 
 // NewSymbolDecoder builds a decoder for one packet occurrence.
 func NewSymbolDecoder(cfg Config, s Sync, scheme modem.Scheme) *SymbolDecoder {
+	d := &SymbolDecoder{}
+	d.Reinit(cfg, s, scheme)
+	return d
+}
+
+// Reinit re-anchors the decoder to a new (configuration, sync,
+// modulation) triple, resetting the equalizer and phase-tracking state
+// while keeping all scratch buffers. A pooled decoder reinitialized this
+// way is observationally identical to NewSymbolDecoder: retained
+// buffers are fully overwritten before they are read, which the
+// decode-session bit-identity tests pin.
+func (d *SymbolDecoder) Reinit(cfg Config, s Sync, scheme modem.Scheme) {
+	d.cfg = cfg
+	d.sync = s
+	d.scheme = scheme
+	d.interp = cfg.Interp
+	d.rs.Interp = cfg.Interp
 	amp := cmplx.Abs(s.H)
-	inv := 1.0
+	d.invAmp = 1.0
 	if amp > 0 {
-		inv = 1 / amp
+		d.invAmp = 1 / amp
 	}
-	return &SymbolDecoder{
-		cfg: cfg, sync: s, scheme: scheme,
-		interp: cfg.Interp, invAmp: inv,
-		rs: dsp.Resampler{Interp: cfg.Interp},
-	}
+	d.eq = nil
+	d.phase, d.freqAdj = 0, 0
 }
 
 // Sync returns the synchronization this decoder was built from.
@@ -78,6 +103,9 @@ func (d *SymbolDecoder) Fork() *SymbolDecoder {
 	// contents a caller still holds from the original decoder.
 	c.rs = dsp.Resampler{Interp: d.interp}
 	c.chipBuf, c.rawBuf, c.decBuf, c.softBuf = nil, nil, nil, nil
+	c.trainRaw, c.trainRows, c.trainFlat, c.trainRhs = nil, nil, nil, nil
+	c.eqBuf = nil
+	c.lsq = dsp.LSQ{}
 	return &c
 }
 
@@ -158,22 +186,29 @@ func (d *SymbolDecoder) TrainEqualizer(rx []complex128, known []complex128, at i
 		return fmt.Errorf("phy: %d known symbols insufficient to train %d taps", len(known), m)
 	}
 	// Precompute raw observations covering the needed neighbourhood.
-	raw := make([]complex128, len(known)+2*t)
+	d.trainRaw = dsp.Ensure(d.trainRaw, len(known)+2*t)
+	raw := d.trainRaw
 	for i := range raw {
 		raw[i] = d.RawSymbol(rx, at-t+i)
 	}
-	rows := make([][]complex128, 0, len(known))
-	rhs := make([]complex128, 0, len(known))
+	// Build the training system in the reusable row arena.
+	if cap(d.trainRows) < len(known) {
+		d.trainRows = make([][]complex128, len(known))
+	}
+	d.trainRows = d.trainRows[:len(known)]
+	d.trainFlat = dsp.Ensure(d.trainFlat, len(known)*m)
+	d.trainRhs = dsp.Ensure(d.trainRhs, len(known))
+	rows, rhs := d.trainRows, d.trainRhs
 	for k := range known {
-		row := make([]complex128, m)
+		row := d.trainFlat[k*m : (k+1)*m]
 		for l := -t; l <= t; l++ {
 			// raw index for symbol at+k−l is (k−l)+t in raw.
 			row[l+t] = raw[k-l+t]
 		}
-		rows = append(rows, row)
-		rhs = append(rhs, known[k])
+		rows[k] = row
+		rhs[k] = known[k]
 	}
-	taps, err := dsp.SolveComplexLeastSquares(rows, rhs)
+	taps, err := d.lsq.SolveComplexLeastSquares(rows, rhs)
 	if err != nil {
 		return err
 	}
@@ -194,7 +229,10 @@ func (d *SymbolDecoder) TrainEqualizer(rx []complex128, known []complex128, at i
 	if mse > 0.5 {
 		return fmt.Errorf("phy: equalizer fit rejected (mse %.3f)", mse)
 	}
-	d.eq = taps
+	// taps are the solver's scratch; copy them into the decoder-owned
+	// backing before the next training call reuses the arena.
+	d.eqBuf = append(d.eqBuf[:0], taps...)
+	d.eq = d.eqBuf
 	return nil
 }
 

@@ -38,9 +38,18 @@ type Modeler struct {
 	img  []complex128
 
 	// g is the image filter. Until FitISI succeeds it is the single-tap
-	// Ĥ model; afterwards it captures the full distortion.
+	// Ĥ model; afterwards it captures the full distortion. gTaps is the
+	// modeler-owned backing for g's taps, reused across fits and
+	// Reinits.
 	g      dsp.FIR
+	gTaps  []complex128
 	isiFit bool
+
+	// lsq and yBuf are the FitISI working storage (derotated residual
+	// and the least-squares arenas); with them threaded, steady-state
+	// refits allocate nothing.
+	lsq  dsp.LSQ
+	yBuf []complex128
 
 	// Phase tracker state. The rotation model is anchored at the most
 	// recently tracked position: θ(n) = anchorPhase + freq·(n −
@@ -57,15 +66,31 @@ type Modeler struct {
 
 // NewModeler builds a modeler for one packet occurrence in one reception.
 func NewModeler(cfg Config, s Sync) *Modeler {
-	return &Modeler{
-		cfg:       cfg,
-		sync:      s,
-		interp:    cfg.Interp,
-		rs:        dsp.Resampler{Interp: cfg.Interp},
-		g:         dsp.FIR{Taps: []complex128{s.H}, Center: 0},
-		freq:      s.Freq,
-		anchorPos: float64(s.RefPos),
-	}
+	m := &Modeler{}
+	m.Reinit(cfg, s)
+	return m
+}
+
+// Reinit re-anchors the modeler to a new (configuration, sync) pair,
+// resetting every piece of decoding state while keeping the scratch
+// buffers (aligned-wave/image chunks, resampler kernel, least-squares
+// arenas). A pooled modeler reinitialized this way is observationally
+// identical to NewModeler(cfg, s): the buffers it retains are fully
+// overwritten before use, which the decode-session bit-identity tests
+// pin.
+func (m *Modeler) Reinit(cfg Config, s Sync) {
+	m.cfg = cfg
+	m.sync = s
+	m.interp = cfg.Interp
+	m.rs.Interp = cfg.Interp
+	m.gTaps = append(m.gTaps[:0], s.H)
+	m.g = dsp.FIR{Taps: m.gTaps, Center: 0}
+	m.isiFit = false
+	m.freq = s.Freq
+	m.anchorPos = float64(s.RefPos)
+	m.anchorPhase = 0
+	m.lastPos = 0
+	m.hasLast = false
 }
 
 // Sync returns the synchronization the modeler is anchored to.
@@ -248,17 +273,21 @@ func (m *Modeler) FitISI(residual []complex128, chips []complex128, chipFrom, ch
 	}
 	w := m.alignedWave(chips, n0, n1)
 	// Derotate the residual by the ramp so the fit is time-invariant.
-	y := make([]complex128, n1-n0)
+	m.yBuf = dsp.Ensure(m.yBuf, n1-n0)
+	y := m.yBuf
 	for n := n0; n < n1; n++ {
 		y[n-n0] = residual[n] * cmplx.Exp(complex(0, -m.ramp(float64(n))))
 	}
 	// Fit only over the interior where the wave has full support.
 	margin := m.cfg.ModelTaps + m.interp.Taps + dsp.DefaultSincTaps
-	g, err := dsp.EstimateFIR(w, y, margin, len(y)-margin, m.cfg.ModelTaps)
+	g, err := m.lsq.EstimateFIR(w, y, margin, len(y)-margin, m.cfg.ModelTaps)
 	if err != nil {
 		return err
 	}
-	m.g = g
+	// g's taps are the least-squares scratch; copy them into the
+	// modeler-owned backing before the next fit reuses the arena.
+	m.gTaps = append(m.gTaps[:0], g.Taps...)
+	m.g = dsp.FIR{Taps: m.gTaps, Center: g.Center}
 	m.isiFit = true
 	return nil
 }

@@ -42,24 +42,41 @@ func (r *DecodeResult) OK() bool { return r != nil && r.Frame != nil && r.Err ==
 // synchronizes on the strongest preamble and decodes assuming no
 // collision. ZigZag embeds the same chain per chunk; the baseline uses it
 // for whole packets.
+//
+// A Receiver reuses one body decoder (and the preamble constellation)
+// across decodes, so it must not be shared by concurrent goroutines —
+// its Synchronizer's correlation scratch already imposes the same rule.
 type Receiver struct {
 	Config
 	Sync *Synchronizer
+
+	body    *SymbolDecoder
+	preSyms []complex128
 }
 
 // NewReceiver builds a standard receiver.
 func NewReceiver(cfg Config) *Receiver {
-	return &Receiver{Config: cfg, Sync: NewSynchronizer(cfg)}
+	return &Receiver{Config: cfg, Sync: NewSynchronizer(cfg), preSyms: cfg.PreambleSymbols()}
 }
 
 // newBodyDecoder builds a symbol decoder for a sync and trains its
-// equalizer on the preamble.
+// equalizer on the preamble. The decoder is the receiver's pooled one,
+// valid until the next decode on this receiver; results copy out of it
+// before returning.
 func (r *Receiver) newBodyDecoder(rx []complex128, s Sync, scheme modem.Scheme) *SymbolDecoder {
-	d := NewSymbolDecoder(r.Config, s, scheme)
+	if r.body == nil {
+		r.body = NewSymbolDecoder(r.Config, s, scheme)
+	} else {
+		r.body.Reinit(r.Config, s, scheme)
+	}
+	d := r.body
 	if !r.DisableEqualizer {
 		// Equalizer training failure (degenerate buffers) falls back to
 		// the pass-through equalizer, which is the right degradation.
-		_ = d.TrainEqualizer(rx, r.PreambleSymbols(), 0)
+		if r.preSyms == nil {
+			r.preSyms = r.PreambleSymbols()
+		}
+		_ = d.TrainEqualizer(rx, r.preSyms, 0)
 	}
 	return d
 }

@@ -86,7 +86,16 @@ func (s *source64) Seed(seed int64) { s.state = uint64(seed) }
 // to trial closures; it is exported so tests and serial reference
 // implementations can reproduce a single trial.
 func NewRand(base int64, trial int) *rand.Rand {
-	return rand.New(&source64{state: uint64(TrialSeed(base, trial))})
+	return SeededRand(TrialSeed(base, trial))
+}
+
+// SeededRand returns the deterministic rng whose stream is defined by a
+// bare seed: the splitmix64 generator with that state. NewRand(base, i)
+// is SeededRand(TrialSeed(base, i)), so a component handed only the
+// derived trial seed (e.g. session.Session.Reset) reproduces the exact
+// stream the runner would have handed the trial closure.
+func SeededRand(seed int64) *rand.Rand {
+	return rand.New(&source64{state: uint64(seed)})
 }
 
 // TrialError wraps an error returned by a trial function.
@@ -122,6 +131,29 @@ func (e *PanicError) Error() string {
 // Map drains the pool and returns ctx's error. On any error the result
 // slice is nil.
 func Map[T any](ctx context.Context, trials int, opts Options, fn func(ctx context.Context, trial int, rng *rand.Rand) (T, error)) ([]T, error) {
+	return MapLocal(ctx, trials, opts, nil, nil,
+		func(ctx context.Context, _ struct{}, trial int, rng *rand.Rand) (T, error) {
+			return fn(ctx, trial, rng)
+		})
+}
+
+// MapLocal is Map with worker-local state: each worker goroutine calls
+// acquire once before its first trial and release once after its last,
+// and every trial it executes receives that worker's local value. This
+// is the hoisting primitive behind the pooled session engine — a
+// worker's Transmitter/Receiver/Air world is built (or checked out of a
+// pool) once and reused across all the trials the worker runs, instead
+// of being reconstructed per trial.
+//
+// Correctness contract: local state must not influence results. A trial
+// must produce the same value whichever worker (and therefore whichever
+// local instance, with whatever scratch history) runs it — which the
+// per-trial rng seeding already enforces for randomness, and which
+// implementations of local state enforce by full per-trial resets of
+// anything observable. The determinism suites pin this at workers
+// 1/2/NumCPU. Either hook may be nil; release runs even when the worker
+// exits through a trial panic.
+func MapLocal[S, T any](ctx context.Context, trials int, opts Options, acquire func() S, release func(S), fn func(ctx context.Context, local S, trial int, rng *rand.Rand) (T, error)) ([]T, error) {
 	if trials < 0 {
 		trials = 0
 	}
@@ -154,14 +186,14 @@ func Map[T any](ctx context.Context, trials int, opts Options, fn func(ctx conte
 		mu.Unlock()
 		cancel()
 	}
-	runTrial := func(i int) {
+	runTrial := func(local S, i int) {
 		defer func() {
 			if v := recover(); v != nil {
 				fail(&PanicError{Trial: i, Value: v, Stack: debug.Stack()})
 			}
 		}()
 		rng := NewRand(opts.BaseSeed, i)
-		v, err := fn(ctx, i, rng)
+		v, err := fn(ctx, local, i, rng)
 		if err != nil {
 			fail(&TrialError{Trial: i, Err: err})
 			return
@@ -181,8 +213,15 @@ func Map[T any](ctx context.Context, trials int, opts Options, fn func(ctx conte
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var local S
+			if acquire != nil {
+				local = acquire()
+			}
+			if release != nil {
+				defer release(local)
+			}
 			for i := range jobs {
-				runTrial(i)
+				runTrial(local, i)
 			}
 		}()
 	}
@@ -224,12 +263,37 @@ func MustMap[T any](trials int, opts Options, fn func(trial int, rng *rand.Rand)
 	return out
 }
 
+// MustMapLocal is MapLocal for infallible trial functions, mirroring
+// MustMap: acquire/release bracket each worker's trial stream, a
+// panicking trial re-raises on the caller, and the sweep always runs to
+// completion.
+func MustMapLocal[S, T any](trials int, opts Options, acquire func() S, release func(S), fn func(local S, trial int, rng *rand.Rand) T) []T {
+	out, err := MapLocal(context.Background(), trials, opts, acquire, release,
+		func(_ context.Context, local S, i int, rng *rand.Rand) (T, error) {
+			return fn(local, i, rng), nil
+		})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
 // SumInt runs an infallible integer-valued trial function across the
 // pool and returns the sum of its results — the counting reduction
 // shared by the failure/acceptance estimators.
 func SumInt(trials int, opts Options, fn func(trial int, rng *rand.Rand) int) int {
 	total := 0
 	for _, v := range MustMap(trials, opts, fn) {
+		total += v
+	}
+	return total
+}
+
+// SumIntLocal is SumInt with worker-local state (MustMapLocal's
+// reduction counterpart).
+func SumIntLocal[S any](trials int, opts Options, acquire func() S, release func(S), fn func(local S, trial int, rng *rand.Rand) int) int {
+	total := 0
+	for _, v := range MustMapLocal(trials, opts, acquire, release, fn) {
 		total += v
 	}
 	return total

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -248,6 +249,101 @@ func TestStressCancelAndPanicUnderRace(t *testing.T) {
 			var pe *PanicError
 			if !errors.Is(err, context.Canceled) && !errors.As(err, &pe) {
 				t.Fatalf("round %d: unexpected error %v", r, err)
+			}
+		}
+	}
+}
+
+// TestMapLocalAcquireReleasePerWorker pins the worker-local lifecycle:
+// acquire runs once per worker goroutine, release once per worker (even
+// when a trial panics), and every trial observes its worker's local
+// value.
+func TestMapLocalAcquireReleasePerWorker(t *testing.T) {
+	var mu sync.Mutex
+	acquired, released := 0, 0
+	type local struct{ id int }
+	out, err := MapLocal(context.Background(), 64, Options{Workers: 4, BaseSeed: 1},
+		func() *local {
+			mu.Lock()
+			defer mu.Unlock()
+			acquired++
+			return &local{id: acquired}
+		},
+		func(l *local) {
+			mu.Lock()
+			defer mu.Unlock()
+			if l == nil {
+				t.Error("release saw nil local")
+			}
+			released++
+		},
+		func(_ context.Context, l *local, trial int, _ *rand.Rand) (int, error) {
+			if l == nil || l.id == 0 {
+				t.Errorf("trial %d: missing local", trial)
+			}
+			return trial, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if acquired != 4 || released != 4 {
+		t.Fatalf("acquire/release = %d/%d, want 4/4", acquired, released)
+	}
+}
+
+// TestMapLocalReleaseOnPanic checks release still runs when the
+// worker's trial panics.
+func TestMapLocalReleaseOnPanic(t *testing.T) {
+	var mu sync.Mutex
+	acquired, released := 0, 0
+	_, err := MapLocal(context.Background(), 16, Options{Workers: 2, BaseSeed: 1},
+		func() int { mu.Lock(); defer mu.Unlock(); acquired++; return acquired },
+		func(int) { mu.Lock(); defer mu.Unlock(); released++ },
+		func(_ context.Context, _ int, trial int, _ *rand.Rand) (int, error) {
+			if trial == 3 {
+				panic("boom")
+			}
+			return 0, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if acquired != released {
+		t.Fatalf("acquire/release mismatch: %d vs %d", acquired, released)
+	}
+}
+
+// TestMapLocalMatchesMap pins that the worker-local variant hands
+// trials the identical per-trial rng streams as Map, at any worker
+// count.
+func TestMapLocalMatchesMap(t *testing.T) {
+	fn := func(trial int, rng *rand.Rand) uint64 { return rng.Uint64() ^ uint64(trial) }
+	ref := MustMap(100, Options{Workers: 1, BaseSeed: 7}, fn)
+	for _, w := range []int{1, 3, 8} {
+		got := MustMapLocal(100, Options{Workers: w, BaseSeed: 7},
+			func() struct{} { return struct{}{} }, nil,
+			func(_ struct{}, trial int, rng *rand.Rand) uint64 { return fn(trial, rng) })
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged", w)
+		}
+	}
+}
+
+// TestSeededRandMatchesNewRand pins SeededRand(TrialSeed(base, i)) ==
+// NewRand(base, i) — the equivalence Session.Reset(seed) relies on.
+func TestSeededRandMatchesNewRand(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		a := NewRand(42, trial)
+		b := SeededRand(TrialSeed(42, trial))
+		for k := 0; k < 20; k++ {
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("trial %d draw %d: %d != %d", trial, k, x, y)
 			}
 		}
 	}

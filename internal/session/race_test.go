@@ -1,0 +1,8 @@
+//go:build race
+
+package session
+
+// raceEnabled reports that this test binary runs under the race
+// detector, whose instrumentation inflates allocation counts and makes
+// the pooled-vs-fresh ratio pin meaningless.
+const raceEnabled = true

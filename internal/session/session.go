@@ -1,0 +1,300 @@
+// Package session provides the pooled per-worker simulation engine the
+// Monte-Carlo stack runs on. Every evaluation in this repository — BER
+// sweeps, the Table 5.1 micro-evaluation, the whole-testbed figures —
+// reduces to "run N independent trials", and before this package each
+// trial rebuilt its world from scratch: Transmitters, Receivers,
+// Synchronizers, Air mix buffers, joint-decoder state. All of that is
+// setup cost paid in the steady-state loop.
+//
+// A Session hoists the world out of the loop. It owns every reusable
+// piece of one simulated link universe — the transmitter, the standard
+// and online receivers, the synchronizer, the Air (with its render
+// buffers), the joint-decode Scratch (pooled Modelers/SymbolDecoders/
+// residuals), and arenas for waveforms, payloads, links and receptions
+// — keyed by the core.Config it was built for. Workers obtain sessions
+// from a config-keyed Pool and reset them per trial:
+//
+//	runner.MustMapLocal(trials, opts,
+//	    func() *session.Session { return session.Acquire(cfg) },
+//	    session.Release,
+//	    func(s *session.Session, trial int, rng *rand.Rand) T {
+//	        s.ResetRand(rng) // or s.Reset(runner.TrialSeed(base, trial))
+//	        ... run the trial on s ...
+//	    })
+//
+// Determinism contract: Reset(seed) restores a state in which every
+// observable output depends only on (config, seed) — never on which
+// trials the session ran before or which worker holds it. Randomness
+// goes through the session Rng (the runner's per-trial splitmix stream);
+// scratch buffers are fully overwritten before they are read. The
+// worker-count byte-identity suites across the experiment packages pin
+// this end to end, and the session tests pin pooled-vs-fresh
+// bit-identity directly.
+//
+// Escape hatch: ZIGZAG_NO_SESSION_POOL=1 (or -no-session-pool on the
+// CLIs, via SetPoolDisabled) rebuilds the world on every reset — the
+// pre-session per-trial behavior — which is also how the
+// bench-regression gate measures the pooling speedup.
+package session
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"zigzag/internal/channel"
+	"zigzag/internal/core"
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+	"zigzag/internal/phy"
+	"zigzag/internal/runner"
+)
+
+// Session is one worker's reusable simulation world. Exported fields
+// are the components trials drive directly; they are rebuilt by Reset
+// only when pooling is disabled. A Session must not be shared by
+// concurrent goroutines.
+type Session struct {
+	// Cfg is the configuration the session is keyed by.
+	Cfg core.Config
+
+	// TX turns frames into waveforms (use Waveform for the arena-backed
+	// path).
+	TX *phy.Transmitter
+	// RX is the standard 802.11 receiver.
+	RX *phy.Receiver
+	// Sync is the preamble detector/synchronizer.
+	Sync *phy.Synchronizer
+	// Air is the collision generator; Reset points its Rng at the trial
+	// stream.
+	Air *channel.Air
+	// Rng is the trial's random stream, installed by Reset/ResetRand.
+	Rng *rand.Rand
+	// Dec is the joint-decode session threaded through Decode.
+	Dec *core.Scratch
+
+	zz      *core.Receiver // online ZigZag receiver, lazily built
+	preSyms []complex128
+
+	// Aux hosts harness-specific worker state (e.g. the experiments'
+	// collision-pair scenario arenas) so it rides the session through
+	// the pool. Harnesses type-assert and rebuild on mismatch.
+	Aux any
+
+	// Arenas.
+	mix    []complex128
+	bitBuf []byte
+	symBuf []complex128
+	waves  [][]complex128
+	truths [][]byte
+	links  []*channel.Params
+}
+
+// New builds a session for cfg. Most callers go through Acquire.
+func New(cfg core.Config) *Session {
+	s := &Session{}
+	s.init(cfg)
+	return s
+}
+
+func (s *Session) init(cfg core.Config) {
+	s.Cfg = cfg
+	s.TX = phy.NewTransmitter(cfg.PHY)
+	s.RX = phy.NewReceiver(cfg.PHY)
+	s.Sync = phy.NewSynchronizer(cfg.PHY)
+	s.Air = &channel.Air{}
+	s.Dec = &core.Scratch{}
+	s.zz = nil
+	s.preSyms = cfg.PHY.PreambleSymbols()
+	s.Aux = nil
+	s.mix, s.bitBuf, s.symBuf = nil, nil, nil
+	s.waves, s.truths, s.links = nil, nil, nil
+}
+
+// Reset prepares the session for one trial whose randomness is defined
+// by seed: the session Rng becomes the deterministic splitmix stream
+// for that seed (runner.SeededRand), so Reset(runner.TrialSeed(base, i))
+// reproduces exactly the stream runner.Map hands trial i.
+func (s *Session) Reset(seed int64) {
+	s.ResetRand(runner.SeededRand(seed))
+}
+
+// ResetRand is Reset adopting an already-constructed trial stream (the
+// rng the runner passes trial closures), avoiding a duplicate rng
+// allocation in the hot loop.
+func (s *Session) ResetRand(rng *rand.Rand) {
+	if PoolDisabled() {
+		// Escape hatch: rebuild the world per trial, the pre-session
+		// cost model.
+		s.init(s.Cfg)
+	}
+	s.Rng = rng
+	s.Air.Rng = rng
+	s.Air.NoisePower = 0
+	s.Air.RandomizePhase = false
+}
+
+// Mix renders a reception of n samples into the session's reusable
+// buffer (channel.Air.MixInto). The returned slice is valid until the
+// next Mix on this session; components that retain receptions (the
+// online receiver's collision store) copy out of it.
+func (s *Session) Mix(n int, ems ...channel.Emission) []complex128 {
+	s.mix = s.Air.MixInto(s.mix, n, ems...)
+	return s.mix
+}
+
+// Decode runs the joint ZigZag decoder on the session's decode scratch.
+// The Result's Residuals are valid until the next Decode on this
+// session.
+func (s *Session) Decode(metas []core.PacketMeta, recs []*core.Reception) (*core.Result, error) {
+	return core.DecodeWith(s.Dec, s.Cfg, metas, recs)
+}
+
+// Waveform renders f's transmitted chip stream into the arena slot
+// (one slot per concurrently-live waveform, e.g. one per colliding
+// sender). The returned slice is valid until the slot is rendered
+// again.
+func (s *Session) Waveform(slot int, f *frame.Frame) ([]complex128, error) {
+	bits, err := f.Bits(s.bitBuf[:0])
+	if err != nil {
+		return nil, err
+	}
+	s.bitBuf = bits
+	s.symBuf = append(s.symBuf[:0], s.preSyms...)
+	s.symBuf = modem.Modulate(s.symBuf, f.Scheme, bits)
+	for slot >= len(s.waves) {
+		s.waves = append(s.waves, nil)
+	}
+	w := s.waves[slot]
+	if w != nil {
+		w = w[:0]
+	}
+	s.waves[slot] = modem.Upsample(w, s.symBuf, s.Cfg.PHY.SamplesPerSymbol)
+	return s.waves[slot], nil
+}
+
+// TruthBits returns f's true frame bits in the arena slot (the ground
+// truth BER accounting compares against). Valid until the slot is
+// rendered again.
+func (s *Session) TruthBits(slot int, f *frame.Frame) ([]byte, error) {
+	for slot >= len(s.truths) {
+		s.truths = append(s.truths, nil)
+	}
+	b := s.truths[slot]
+	if b != nil {
+		b = b[:0]
+	}
+	bits, err := f.Bits(b)
+	if err != nil {
+		return nil, err
+	}
+	s.truths[slot] = bits
+	return bits, nil
+}
+
+// Link returns the arena-backed channel parameters for a sender slot,
+// zeroed for the caller to fill (e.g. via channel.Params.Randomize).
+// The pointer stays stable across trials and arena growth.
+func (s *Session) Link(slot int) *channel.Params {
+	for slot >= len(s.links) {
+		s.links = append(s.links, &channel.Params{})
+	}
+	p := s.links[slot]
+	*p = channel.Params{}
+	return p
+}
+
+// OnlineReceiver returns the session's online ZigZag receiver,
+// reinitialized for the given clients (core.Receiver.Reinit — client
+// table rebuilt, collision store emptied, scratch retained).
+func (s *Session) OnlineReceiver(clients []core.Client) *core.Receiver {
+	if s.zz == nil {
+		s.zz = core.NewReceiver(s.Cfg, clients)
+		return s.zz
+	}
+	s.zz.Reinit(s.Cfg, clients)
+	return s.zz
+}
+
+// Pool caches idle sessions keyed by their config. The zero value is
+// ready to use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[core.Config][]*Session
+}
+
+// Acquire returns a session for cfg: a pooled one when available, a
+// fresh one otherwise. With pooling disabled it always builds fresh.
+func (p *Pool) Acquire(cfg core.Config) *Session {
+	if PoolDisabled() {
+		return New(cfg)
+	}
+	p.mu.Lock()
+	if list := p.free[cfg]; len(list) > 0 {
+		s := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[cfg] = list[:len(list)-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return New(cfg)
+}
+
+// Release returns a session to the pool for reuse by later sweeps of
+// the same config. With pooling disabled the session is dropped.
+func (p *Pool) Release(s *Session) {
+	if s == nil || PoolDisabled() {
+		return
+	}
+	// Drop the trial stream: a pooled session must not retain the last
+	// trial's rng (determinism comes from the next Reset).
+	s.Rng = nil
+	s.Air.Rng = nil
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[core.Config][]*Session)
+	}
+	p.free[s.Cfg] = append(p.free[s.Cfg], s)
+	p.mu.Unlock()
+}
+
+var defaultPool Pool
+
+// Acquire obtains a session for cfg from the process-wide pool.
+func Acquire(cfg core.Config) *Session { return defaultPool.Acquire(cfg) }
+
+// Release returns a session to the process-wide pool.
+func Release(s *Session) { defaultPool.Release(s) }
+
+var noPool atomic.Bool
+
+func init() {
+	if os.Getenv("ZIGZAG_NO_SESSION_POOL") == "1" {
+		noPool.Store(true)
+	}
+}
+
+// SetPoolDisabled pins the engine to per-trial world construction (the
+// pre-session cost model). The CLIs expose it as -no-session-pool; the
+// benchmark-regression gate uses it to measure the pooling speedup.
+func SetPoolDisabled(v bool) { noPool.Store(v) }
+
+// PoolDisabled reports whether session pooling is disabled.
+func PoolDisabled() bool { return noPool.Load() }
+
+// MapTrials fans trials out across the runner's worker pool with one
+// session per worker, reset onto each trial's deterministic stream
+// before the trial body runs. It is the session-engine counterpart of
+// runner.MustMap: same seeding discipline, same trial-order results,
+// byte-identical output at any worker count.
+func MapTrials[T any](cfg core.Config, trials, workers int, baseSeed int64, fn func(s *Session, trial int) T) []T {
+	return runner.MustMapLocal(trials, runner.Options{Workers: workers, BaseSeed: baseSeed},
+		func() *Session { return Acquire(cfg) },
+		Release,
+		func(s *Session, trial int, rng *rand.Rand) T {
+			s.ResetRand(rng)
+			return fn(s, trial)
+		})
+}

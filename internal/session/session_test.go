@@ -1,0 +1,209 @@
+package session
+
+import (
+	"reflect"
+	"testing"
+
+	"zigzag/internal/channel"
+	"zigzag/internal/core"
+	"zigzag/internal/frame"
+	"zigzag/internal/modem"
+	"zigzag/internal/runner"
+)
+
+// trialOutcome is everything observable one reference trial produces.
+type trialOutcome struct {
+	OK      [2]bool
+	Bits    [2][]byte
+	Sources [2]string
+	Iters   int
+}
+
+// runTrial is a representative Monte-Carlo trial body: build a
+// two-sender hidden-terminal collision pair world on the session, mix
+// two receptions, and jointly decode. Everything random flows from the
+// session Rng.
+func runTrial(s *Session) trialOutcome {
+	rng := s.Rng
+	payload := 120
+	var metas []core.PacketMeta
+	var waves [][]complex128
+	var links []*channel.Params
+	for i := 0; i < 2; i++ {
+		p := make([]byte, payload)
+		rng.Read(p)
+		f := &frame.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(rng.Intn(100)), Scheme: modem.BPSK, Payload: p}
+		freq := 0.002 - 0.004*float64(i)
+		link := s.Link(i)
+		*link = *channel.RandomParams(rng, 15, 0.03, 0, 0.3, channel.TypicalISI(1))
+		link.FreqOffset = freq
+		w, err := s.Waveform(i, f)
+		if err != nil {
+			panic(err)
+		}
+		// Copy: the arena slot stays live while both waves are mixed, but
+		// the reference reuses slots across trials.
+		waves = append(waves, append([]complex128(nil), w...))
+		links = append(links, link)
+		metas = append(metas, core.PacketMeta{Scheme: modem.BPSK, Freq: freq * 0.98, BitLen: f.BitLen()})
+	}
+	s.Air.NoisePower = 0.03
+	s.Air.RandomizePhase = true
+	mkRec := func(off2 int) *core.Reception {
+		n := off2 + len(waves[1]) + 60
+		rx := s.Mix(n,
+			channel.Emission{Samples: waves[0], Link: links[0], Offset: 40},
+			channel.Emission{Samples: waves[1], Link: links[1], Offset: off2},
+		)
+		rec := &core.Reception{Samples: append([]complex128(nil), rx...)}
+		for i, off := range []int{40, off2} {
+			if sync, ok := s.Sync.Measure(rec.Samples, off, 3, metas[i].Freq); ok {
+				rec.Packets = append(rec.Packets, core.Occurrence{Packet: i, Sync: sync})
+			}
+		}
+		return rec
+	}
+	r1 := mkRec(40 + 20*(1+rng.Intn(25)))
+	r2 := mkRec(40 + 20*(1+rng.Intn(25)))
+	res, err := s.Decode(metas, []*core.Reception{r1, r2})
+	var out trialOutcome
+	if err != nil {
+		return out
+	}
+	out.Iters = res.Iterations
+	for i := range res.Packets {
+		if i >= 2 {
+			break
+		}
+		out.OK[i] = res.Packets[i].OK()
+		out.Bits[i] = res.Packets[i].Bits
+		out.Sources[i] = res.Packets[i].Source
+	}
+	return out
+}
+
+// TestSessionReuseBitIdentical pins the tentpole determinism contract:
+// a session recycled across many trials (Reset per trial) produces
+// exactly the outcomes of a fresh session per trial, and of the
+// pool-disabled escape hatch.
+func TestSessionReuseBitIdentical(t *testing.T) {
+	cfg := core.DefaultConfig()
+	const trials = 6
+	seeds := make([]int64, trials)
+	for i := range seeds {
+		seeds[i] = runner.TrialSeed(3, i)
+	}
+
+	fresh := make([]trialOutcome, trials)
+	for i, seed := range seeds {
+		s := New(cfg)
+		s.Reset(seed)
+		fresh[i] = runTrial(s)
+	}
+
+	reused := make([]trialOutcome, trials)
+	s := New(cfg)
+	for i, seed := range seeds {
+		s.Reset(seed)
+		reused[i] = runTrial(s)
+	}
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("reused session diverged from fresh-per-trial:\nfresh:  %+v\nreused: %+v", fresh, reused)
+	}
+
+	SetPoolDisabled(true)
+	defer SetPoolDisabled(false)
+	s2 := New(cfg)
+	unpooled := make([]trialOutcome, trials)
+	for i, seed := range seeds {
+		s2.Reset(seed)
+		unpooled[i] = runTrial(s2)
+	}
+	if !reflect.DeepEqual(fresh, unpooled) {
+		t.Fatal("pool-disabled escape hatch diverged from fresh-per-trial")
+	}
+}
+
+// TestResetRandMatchesReset pins the two lifecycle entry points against
+// each other: Reset(TrialSeed(base, i)) and ResetRand(NewRand(base, i))
+// install identical streams.
+func TestResetRandMatchesReset(t *testing.T) {
+	cfg := core.DefaultConfig()
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 4; i++ {
+		a.Reset(runner.TrialSeed(11, i))
+		b.ResetRand(runner.NewRand(11, i))
+		va, vb := runTrial(a), runTrial(b)
+		if !reflect.DeepEqual(va, vb) {
+			t.Fatalf("trial %d: Reset and ResetRand diverged", i)
+		}
+	}
+}
+
+// TestMapTrialsMatchesSerialAndWorkers pins MapTrials to the serial
+// reference at several worker counts — the pooled engine keeps the
+// runner's byte-identity guarantee.
+func TestMapTrialsMatchesSerialAndWorkers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	run := func(workers int) []trialOutcome {
+		return MapTrials(cfg, 8, workers, 5, func(s *Session, _ int) trialOutcome {
+			return runTrial(s)
+		})
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4} {
+		if got := run(w); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("workers=%d diverged from serial reference", w)
+		}
+	}
+}
+
+// TestPoolRecyclesByConfig checks Acquire/Release round-trips sessions
+// per config and that pooling disabled always builds fresh.
+func TestPoolRecyclesByConfig(t *testing.T) {
+	var p Pool
+	cfgA := core.DefaultConfig()
+	cfgB := core.DefaultConfig()
+	cfgB.DisableBackward = true
+	a := p.Acquire(cfgA)
+	p.Release(a)
+	if got := p.Acquire(cfgA); got != a {
+		t.Error("same-config acquire did not recycle the released session")
+	}
+	p.Release(a)
+	if got := p.Acquire(cfgB); got == a {
+		t.Error("different-config acquire returned the wrong session")
+	}
+	SetPoolDisabled(true)
+	defer SetPoolDisabled(false)
+	c := p.Acquire(cfgA)
+	p.Release(c)
+	if got := p.Acquire(cfgA); got == c {
+		t.Error("pool-disabled acquire recycled a session")
+	}
+}
+
+// TestSteadyStateSessionAllocs pins the resource win: steady-state
+// pooled trials allocate well under half of what world-per-trial
+// construction does (the remaining allocations are caller-owned results
+// and per-trial frames).
+func TestSteadyStateSessionAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts; the ratio pin is meaningless here")
+	}
+	cfg := core.DefaultConfig()
+	s := New(cfg)
+	trial := func(sess *Session, i int) {
+		sess.Reset(runner.TrialSeed(9, i%4))
+		runTrial(sess)
+	}
+	for i := 0; i < 4; i++ {
+		trial(s, i) // grow arenas to steady state
+	}
+	i := 0
+	pooled := testing.AllocsPerRun(8, func() { trial(s, i); i++ })
+	fresh := testing.AllocsPerRun(8, func() { trial(New(cfg), i); i++ })
+	if pooled > fresh/2 {
+		t.Errorf("steady-state pooled trial allocates %.0f/run vs %.0f fresh — session reuse is not engaging", pooled, fresh)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"zigzag/internal/modem"
 	"zigzag/internal/phy"
 	"zigzag/internal/runner"
+	"zigzag/internal/session"
 )
 
 // Scheme selects one of the compared receiver designs (§5.1e).
@@ -88,6 +89,15 @@ type RunConfig struct {
 	Workers int
 }
 
+// CoreConfig returns the decoder configuration a run with this
+// RunConfig uses — the config pooled sessions for RunWith are keyed by.
+func (cfg RunConfig) CoreConfig() core.Config {
+	c := core.DefaultConfig()
+	c.DisableBackward = cfg.DisableBackward
+	c.Workers = cfg.Workers
+	return c
+}
+
 // FlowResult is the outcome of one sender's flow.
 type FlowResult struct {
 	Sender     uint8
@@ -129,6 +139,7 @@ func (r RunResult) AggregateThroughput() float64 {
 type run struct {
 	cfg     RunConfig
 	scheme  Scheme
+	sess    *session.Session
 	phyCfg  phy.Config
 	coreCfg core.Config
 	tx      *phy.Transmitter
@@ -142,7 +153,13 @@ type run struct {
 	airtimeSamples int
 	delivered      map[[2]uint16]bool // (station, seq) → delivered
 	bitErr, bitTot []int
+	frameBuf       []*frame.Frame
+	ems            []channel.Emission
 }
+
+// typicalLinkISI is the shared (read-only) three-tap testbed ISI
+// profile every link uses, hoisted out of the per-run loop.
+var typicalLinkISI = channel.TypicalISI(1)
 
 // Payload returns the deterministic payload for a station's seq-th
 // packet: both the transmitter and the BER accounting derive it.
@@ -171,24 +188,44 @@ func frameFor(tr mac.Transmission, payload int) *frame.Frame {
 	}
 }
 
-// Run executes one flow experiment under the given scheme.
+// Run executes one flow experiment under the given scheme on a
+// one-shot session. Monte-Carlo sweeps thread a pooled per-worker
+// session through RunWith instead.
 func Run(cfg RunConfig, scheme Scheme) RunResult {
+	return RunWith(nil, cfg, scheme)
+}
+
+// RunWith is Run on a reusable simulation session: the transmitter,
+// receivers, Air render buffers, waveform arenas and the joint-decode
+// scratch all come from sess and are reset for this run. sess must be
+// keyed by cfg.CoreConfig(); a nil or mismatched session is replaced by
+// a fresh one. Results are bit-identical to Run at any reuse history —
+// the testbed determinism suites pin it.
+func RunWith(sess *session.Session, cfg RunConfig, scheme Scheme) RunResult {
+	if sess == nil || sess.Cfg != cfg.CoreConfig() {
+		sess = session.New(cfg.CoreConfig())
+	}
 	n := len(cfg.SNRs)
 	r := &run{
 		cfg:       cfg,
 		scheme:    scheme,
-		phyCfg:    phy.Default(),
-		coreCfg:   core.DefaultConfig(),
+		sess:      sess,
+		phyCfg:    sess.Cfg.PHY,
+		coreCfg:   sess.Cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		delivered: map[[2]uint16]bool{},
 		bitErr:    make([]int, n),
 		bitTot:    make([]int, n),
 	}
-	r.coreCfg.DisableBackward = cfg.DisableBackward
-	r.coreCfg.Workers = cfg.Workers
-	r.tx = phy.NewTransmitter(r.phyCfg)
-	r.rx = phy.NewReceiver(r.phyCfg)
-	r.air = &channel.Air{NoisePower: cfg.Noise, Rng: r.rng, RandomizePhase: true}
+	// The run's randomness is its own cfg.Seed stream (as it always
+	// was); ResetRand installs it on the session Air — and rebuilds the
+	// world per run when pooling is disabled.
+	sess.ResetRand(r.rng)
+	r.tx = sess.TX
+	r.rx = sess.RX
+	r.air = sess.Air
+	r.air.NoisePower = cfg.Noise
+	r.air.RandomizePhase = true
 
 	var clients []core.Client
 	for i := 0; i < n; i++ {
@@ -196,7 +233,8 @@ func Run(cfg RunConfig, scheme Scheme) RunResult {
 		// deterministic per run.
 		f := (0.002 + 0.0015*float64(i)) * sign(i)
 		r.freqs = append(r.freqs, f)
-		link := channel.RandomParams(r.rng, cfg.SNRs[i], cfg.Noise, 0, 0.35, channel.TypicalISI(1))
+		link := sess.Link(i)
+		link.Randomize(r.rng, cfg.SNRs[i], cfg.Noise, 0, 0.35, typicalLinkISI)
 		link.FreqOffset = f
 		r.links = append(r.links, link)
 		clients = append(clients, core.Client{
@@ -206,7 +244,7 @@ func Run(cfg RunConfig, scheme Scheme) RunResult {
 			Amp:    link.Amplitude(),
 		})
 	}
-	r.zz = core.NewReceiver(r.coreCfg, clients)
+	r.zz = sess.OnlineReceiver(clients)
 	if DebugReceiverTrace != nil {
 		r.zz.Trace = DebugReceiverTrace
 	}
@@ -281,21 +319,26 @@ func sign(i int) float64 {
 	return 1
 }
 
-// renderEpisode mixes an episode's transmissions into a reception buffer.
+// renderEpisode mixes an episode's transmissions into the session's
+// reception buffer (valid until the next episode renders; the online
+// receiver copies what it stores).
 func (r *run) renderEpisode(ep mac.Episode) ([]complex128, []*frame.Frame) {
 	const lead = 40
-	frames := make([]*frame.Frame, len(ep.Transmissions))
-	var ems []channel.Emission
+	if cap(r.frameBuf) < len(ep.Transmissions) {
+		r.frameBuf = make([]*frame.Frame, len(ep.Transmissions))
+	}
+	frames := r.frameBuf[:len(ep.Transmissions)]
+	r.ems = r.ems[:0]
 	maxEnd := 0
 	for i, tr := range ep.Transmissions {
 		f := frameFor(tr, r.cfg.Payload)
 		frames[i] = f
-		wave, err := r.tx.Waveform(f)
+		wave, err := r.sess.Waveform(i, f)
 		if err != nil {
 			continue
 		}
 		off := lead + int(float64((tr.Start-ep.Start)/time.Microsecond)*samplesPerMicro)
-		ems = append(ems, channel.Emission{
+		r.ems = append(r.ems, channel.Emission{
 			Samples: wave,
 			Link:    r.links[int(tr.Station)-1],
 			Offset:  off,
@@ -304,7 +347,7 @@ func (r *run) renderEpisode(ep mac.Episode) ([]complex128, []*frame.Frame) {
 			maxEnd = end
 		}
 	}
-	return r.air.Mix(maxEnd+lead, ems...), frames
+	return r.sess.Mix(maxEnd+lead, r.ems...), frames
 }
 
 // accountBits records bit errors for a transmission given the decoded
@@ -356,7 +399,7 @@ func (r *run) deliver80211(rx []complex128, frames []*frame.Frame, acks []bool) 
 	var best *phy.Sync
 	for i := range frames {
 		freq := r.freqs[int(frames[i].Src)-1] * 0.98
-		syncs := phy.NewSynchronizer(r.phyCfg).DetectFor(rx, freq, 0, r.links[int(frames[i].Src)-1].Amplitude())
+		syncs := r.sess.Sync.DetectFor(rx, freq, 0, r.links[int(frames[i].Src)-1].Amplitude())
 		for _, s := range syncs {
 			s := s
 			if best == nil || s.Mag > best.Mag {
@@ -420,8 +463,9 @@ func (r *run) deliverZigZag(rx []complex128, frames []*frame.Frame, acks []bool)
 // runCollisionFree schedules every packet in its own slot: the same
 // decoder, zero interference, full MAC overhead per packet. Slots are
 // independent single-packet decodes, so they fan out across the worker
-// pool; each slot draws noise and phase from its own seed-derived
-// stream and the tallies reduce in slot order.
+// pool with one pooled session per worker; each slot draws noise and
+// phase from its own seed-derived stream and the tallies reduce in slot
+// order.
 func (r *run) runCollisionFree(airtime time.Duration) RunResult {
 	n := len(r.cfg.SNRs)
 	res := RunResult{}
@@ -433,27 +477,32 @@ func (r *run) runCollisionFree(airtime time.Duration) RunResult {
 		aired, delivered bool
 		errBits, totBits int
 	}
-	slots, mapErr := runner.Map(context.Background(), r.cfg.Packets*n,
+	slots, mapErr := runner.MapLocal(context.Background(), r.cfg.Packets*n,
 		runner.Options{Workers: r.cfg.Workers, BaseSeed: r.cfg.Seed ^ 0x3c6e},
-		func(_ context.Context, slot int, rng *rand.Rand) (slotOutcome, error) {
+		func() *session.Session { return session.Acquire(r.coreCfg) },
+		session.Release,
+		func(_ context.Context, sess *session.Session, slot int, rng *rand.Rand) (slotOutcome, error) {
 			var oc slotOutcome
+			sess.ResetRand(rng)
 			seq, i := slot/n, slot%n
 			tr := mac.Transmission{Station: uint8(i + 1), Seq: seq}
 			f := frameFor(tr, r.cfg.Payload)
-			wave, err := r.tx.Waveform(f)
+			wave, err := sess.Waveform(0, f)
 			if err != nil {
 				return oc, nil // never airs: no airtime, no accounting
 			}
 			oc.aired = true
-			truth, terr := f.Bits(nil)
+			truth, terr := sess.TruthBits(0, f)
 			if terr != nil {
 				return oc, nil
 			}
 			oc.totBits = len(truth)
 			oc.errBits = len(truth) / 2 // random-guess equivalent until decoded
-			air := &channel.Air{NoisePower: r.cfg.Noise, Rng: rng, RandomizePhase: true}
-			rx := air.Mix(len(wave)+2*lead, channel.Emission{Samples: wave, Link: r.links[i], Offset: lead})
-			res2, err := phy.NewReceiver(r.phyCfg).Receive(rx, modem.BPSK, r.freqs[i]*0.98, 0, r.links[i].Amplitude())
+			air := sess.Air
+			air.NoisePower = r.cfg.Noise
+			air.RandomizePhase = true
+			rx := sess.Mix(len(wave)+2*lead, channel.Emission{Samples: wave, Link: r.links[i], Offset: lead})
+			res2, err := sess.RX.Receive(rx, modem.BPSK, r.freqs[i]*0.98, 0, r.links[i].Amplitude())
 			if err != nil {
 				return oc, nil
 			}
