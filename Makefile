@@ -9,9 +9,12 @@
 #   make bench      — paper-figure benchmarks (root package)
 #   make bench-correlate — naive-vs-FFT correlation engine benchmarks
 #   make bench-decode — naive-vs-polyphase decode hot-path benchmarks
+#   make bench-impair — impairment-engine benchmarks: per-model costs
+#                      plus static-vs-impaired Air.MixInto
 #   make bench-check — session-engine benchmark-regression gate:
 #                      trimmed sweeps, pooled vs unpooled identity +
 #                      calibrated-unit diff against BENCH_session.json
+#                      (now including the harsh-channel suite)
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -37,7 +40,14 @@ CORRELATE_PKGS = ./internal/dsp/... ./internal/phy/... ./internal/core/...
 # interpolation paths.
 DECODE_PKGS = ./internal/dsp/... ./internal/channel/... ./internal/phy/... ./internal/core/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode bench bench-correlate bench-decode bench-check ci
+# Packages touched by the impairment engine; test-race-impair runs them
+# twice under the race detector on both the impaired and the globally
+# disabled (static-channel) path, so per-worker chains, model scratch
+# and the session-pool chain lifecycle are exercised across repeated
+# steady-state calls.
+IMPAIR_PKGS = ./internal/impair/... ./internal/channel/... ./internal/testbed/...
+
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair bench bench-correlate bench-decode bench-impair bench-check ci
 
 all: build
 
@@ -70,6 +80,10 @@ test-race-decode: build
 	$(GO) test -short -race -count=2 $(DECODE_PKGS)
 	ZIGZAG_NAIVE_INTERP=1 $(GO) test -short -race -count=2 $(DECODE_PKGS)
 
+test-race-impair: build
+	$(GO) test -short -race -count=2 $(IMPAIR_PKGS)
+	ZIGZAG_NO_IMPAIR=1 $(GO) test -short -race -count=2 $(IMPAIR_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -80,10 +94,16 @@ bench-correlate: build
 bench-decode: build
 	$(GO) test -bench='BenchmarkBuildImage|BenchmarkTrackAndSubtract|BenchmarkSubtract|BenchmarkDecodeRange|BenchmarkShiftDrift' -benchmem -run='^$$' ./internal/phy
 
+bench-impair: build
+	$(GO) test -bench='BenchmarkFading|BenchmarkMultipath|BenchmarkDrift|BenchmarkInterferer|BenchmarkADC|BenchmarkFullChain' -benchmem -run='^$$' ./internal/impair
+	$(GO) test -bench='BenchmarkMix' -benchmem -run='^$$' ./internal/channel
+
 bench-check: build
 	$(GO) run ./cmd/zigzag-bench -check
 
 # test-race-correlate is not a ci prerequisite: test-race-decode's
 # default-path run covers the same packages (plus channel) with the
 # same flags, so listing both would race-test dsp/phy/core twice.
-ci: vet test-race test-race-decode
+# test-race-impair IS listed: its no-impair leg and the impair/testbed
+# packages are not covered by the decode matrix.
+ci: vet test-race test-race-decode test-race-impair

@@ -58,6 +58,11 @@ var checkSweeps = []struct {
 	{"fig5-3", func() any { return experiments.Fig53BERvsSNR(checkScale, 3) }},
 	{"table5-1", func() any { return experiments.Table51MicroEval(checkScale, 3) }},
 	{"fig5-5", func() any { return experiments.RunTestbed(checkScale, 3) }},
+	// The harsh-channel suite exercises the impairment engine's hot
+	// path (fading/drift/interference beneath every mix); its
+	// pooled-vs-unpooled identity also covers the chain's session
+	// lifecycle.
+	{"harsh", func() any { return experiments.HarshChannelSuite(checkScale, 3) }},
 }
 
 // benchFile mirrors the committed BENCH_session.json layout (only the

@@ -6,10 +6,22 @@
 //	zigzag-sim [-scheme zigzag|802.11|cf] [-snra 13] [-snrb 13]
 //	           [-kind hidden|partial|mutual] [-packets 20]
 //	           [-payload 400] [-seed 1] [-senders 2] [-workers 0]
+//	           [-doppler 0] [-rician-k 0] [-coherence-block 0]
+//	           [-mp-doppler 0] [-drift 0] [-phase-noise 0]
+//	           [-interf-duty 0] [-interf-amp 1] [-adc-bits 0]
+//	           [-no-impair]
 //
 // -workers sizes the worker pool for the run's parallel sections (the
 // collision-free scheduler's independent slots; 0 = all cores). Results
 // are bit-identical at any worker count.
+//
+// The impairment flags enable the time-varying channel engine
+// (internal/impair) on every reception of the run: Rayleigh/Rician
+// fading at the given normalized Doppler, time-varying multipath, CFO
+// drift and phase noise, a bursty narrowband interferer, and ADC
+// clipping/quantization. With none set (or with -no-impair /
+// ZIGZAG_NO_IMPAIR=1) the run is the static paper channel,
+// byte-identical to pre-impair builds.
 //
 // With -senders 3 the three stations are mutually hidden (the Fig 5-9
 // scenario).
@@ -22,6 +34,7 @@ import (
 
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
+	"zigzag/internal/impair"
 	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
@@ -42,10 +55,43 @@ func main() {
 		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
 	noSessionPool := flag.Bool("no-session-pool", false,
 		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
+	doppler := flag.Float64("doppler", 0, "Rayleigh/Rician fading normalized Doppler f_d·T (0 = no fading)")
+	ricianK := flag.Float64("rician-k", 0, "Rician K-factor for the fading model (0 = Rayleigh)")
+	coherenceBlock := flag.Int("coherence-block", 0, "hold the fading gain constant over blocks of this many samples")
+	mpDoppler := flag.Float64("mp-doppler", 0, "time-varying three-tap multipath fading rate (0 = off)")
+	drift := flag.Float64("drift", 0, "carrier-frequency drift in rad/sample² (0 = off)")
+	phaseNoise := flag.Float64("phase-noise", 0, "phase-noise random-walk std in rad/√sample (0 = off)")
+	interfDuty := flag.Float64("interf-duty", 0, "bursty narrowband interferer duty cycle in (0,1) (0 = off)")
+	interfAmp := flag.Float64("interf-amp", 1, "interferer tone amplitude (0 silences the interferer)")
+	adcBits := flag.Int("adc-bits", 0, "ADC bits per rail for front-end clipping/quantization (0 = off)")
+	noImpair := flag.Bool("no-impair", false,
+		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
 	session.SetPoolDisabled(*noSessionPool)
+	if *noImpair {
+		// Only force-disable on an explicit flag: a bare default must not
+		// clobber a ZIGZAG_NO_IMPAIR=1 environment.
+		impair.SetDisabled(true)
+	}
+	prof := impair.Profile{
+		Doppler:          *doppler,
+		RicianK:          *ricianK,
+		CoherenceBlock:   *coherenceBlock,
+		MultipathDoppler: *mpDoppler,
+		DriftRate:        *drift,
+		PhaseNoise:       *phaseNoise,
+		InterfDuty:       *interfDuty,
+		ADCBits:          *adcBits,
+	}
+	prof.InterfAmp = *interfAmp
+	if *interfAmp == 0 {
+		// An explicit -interf-amp 0 means a silent interferer, i.e. none;
+		// Profile treats a zero amplitude as "use the default 1.0", so
+		// translate silence into duty 0 here.
+		prof.InterfDuty = 0
+	}
 
 	var scheme testbed.Scheme
 	switch *schemeName {
@@ -95,9 +141,15 @@ func main() {
 	}
 
 	cfg.Workers = *workers
+	cfg.Impair = prof
 	res := testbed.Run(cfg, scheme)
 	fmt.Printf("scheme=%s senders=%d payload=%dB packets=%d kind=%s\n",
 		scheme, *senders, *payload, *packets, *kindName)
+	if !prof.Empty() && !impair.Disabled() {
+		// Only printed in harsh-channel mode, keeping the default
+		// output byte-identical to pre-impair builds.
+		fmt.Printf("impairments: %s\n", prof)
+	}
 	fmt.Printf("elapsed %v over %d episodes (%d collisions)\n",
 		res.Elapsed.Round(1e6), res.Episodes, res.Collisions)
 	for _, f := range res.Flows {

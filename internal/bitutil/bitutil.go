@@ -74,13 +74,26 @@ func Uint32(bits []byte) uint32 {
 // a trailing partial byte is zero-padded). Every 802.11-style frame in
 // this codebase carries this 32-bit checksum, mirroring the paper's
 // "32-bit CRC" framing (§5.1c).
+//
+// Bytes are packed on the fly and folded into the reflected
+// table-driven update (digest-identical to crc32.ChecksumIEEE over the
+// packed buffer, which the tests pin), so the frame-rendering hot
+// path — two CRCs per frame — allocates nothing.
 func CRC32(bits []byte) uint32 {
-	n := (len(bits) + 7) / 8
-	buf := make([]byte, n)
+	tab := crc32.IEEETable
+	crc := ^uint32(0)
+	var cur byte
 	for i, b := range bits {
-		buf[i/8] |= (b & 1) << uint(7-i%8)
+		cur = cur<<1 | (b & 1)
+		if i%8 == 7 {
+			crc = tab[byte(crc)^cur] ^ (crc >> 8)
+			cur = 0
+		}
 	}
-	return crc32.ChecksumIEEE(buf)
+	if m := len(bits) % 8; m != 0 {
+		crc = tab[byte(crc)^(cur<<uint(8-m))] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // PN generates a pseudo-random ±-style bit sequence of length n using a

@@ -2,6 +2,7 @@ package bitutil
 
 import (
 	"bytes"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -54,6 +55,31 @@ func TestCRC32MatchesByteCRC(t *testing.T) {
 			t.Fatalf("bit flip at %d not detected", i)
 		}
 		bits[i] ^= 1
+	}
+}
+
+// TestCRC32MatchesChecksumIEEE pins the buffer-free CRC kernel to the
+// reference definition — packing the bits MSB-first (trailing partial
+// byte zero-padded) and running crc32.ChecksumIEEE over the packed
+// buffer — across lengths including partial trailing bytes. Frame
+// goldens across the repo depend on this digest never moving.
+func TestCRC32MatchesChecksumIEEE(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 500, 513, 1400} {
+		bits := make([]byte, n)
+		for i := range bits {
+			bits[i] = byte(rng.Intn(2))
+		}
+		packed := make([]byte, (n+7)/8)
+		for i, b := range bits {
+			packed[i/8] |= (b & 1) << uint(7-i%8)
+		}
+		if got, want := CRC32(bits), crc32.ChecksumIEEE(packed); got != want {
+			t.Fatalf("n=%d: CRC32 %#x, reference %#x", n, got, want)
+		}
+	}
+	if n := testing.AllocsPerRun(20, func() { CRC32(make([]byte, 0)) }); n != 0 {
+		t.Errorf("CRC32 allocates %v per run on empty input", n)
 	}
 }
 

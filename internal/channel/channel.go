@@ -126,6 +126,22 @@ type Emission struct {
 	Offset  int
 }
 
+// Impairer is the hook the time-varying impairment engine
+// (internal/impair.Chain) plugs in beneath the static link model. The
+// interface is structural so the channel layer carries no impair
+// dependency: BeginReception opens a reception window,
+// ImpairEmission transforms one rendered emission in place before it
+// is mixed (em is its index, off its sample offset in the window), and
+// ImpairFront transforms the mixed buffer after noise. An impairer
+// whose Active() is false is never called — Mix is then bit-identical
+// to the static path.
+type Impairer interface {
+	Active() bool
+	BeginReception()
+	ImpairEmission(em int, buf []complex128, off int)
+	ImpairFront(buf []complex128)
+}
+
 // Air mixes emissions into the receiver's sample buffer and adds AWGN.
 type Air struct {
 	// NoisePower is the mean power E[|w|²] of the complex noise added per
@@ -140,6 +156,14 @@ type Air struct {
 	// phase, overriding the link's Phase0, as real asynchronous
 	// transmitters would.
 	RandomizePhase bool
+
+	// Impair, when non-nil and active, is the time-varying impairment
+	// chain applied on top of the static link model: link processes
+	// (fading, multipath, oscillator drift) per emission before mixing,
+	// front-end processes (interference, ADC) on the mixed buffer after
+	// noise. Harnesses install a seeded impair.Chain here per trial;
+	// pooled sessions clear it on reset.
+	Impair Impairer
 
 	// work and work2 are the per-emission rendering buffers and rsc the
 	// resampler scratch Mix reuses across emissions and calls. An Air is
@@ -170,7 +194,14 @@ func (a *Air) MixInto(dst []complex128, n int, emissions ...Emission) []complex1
 	for i := range out {
 		out[i] = 0
 	}
-	for _, e := range emissions {
+	imp := a.Impair
+	if imp != nil && !imp.Active() {
+		imp = nil // inactive chains are never called: static path, bit for bit
+	}
+	if imp != nil {
+		imp.BeginReception()
+	}
+	for i, e := range emissions {
 		link := e.Link
 		if link == nil {
 			link = &Params{}
@@ -180,9 +211,15 @@ func (a *Air) MixInto(dst []complex128, n int, emissions ...Emission) []complex1
 			p.Phase0 = a.Rng.Float64() * 2 * math.Pi
 		}
 		a.work = p.applyWith(a.work, &a.work2, &a.rsc, e.Samples)
+		if imp != nil {
+			imp.ImpairEmission(i, a.work, e.Offset)
+		}
 		dsp.AddAt(out, e.Offset, a.work)
 	}
 	a.AddNoise(out)
+	if imp != nil {
+		imp.ImpairFront(out)
+	}
 	return out
 }
 

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"math"
 	"math/cmplx"
-	"sort"
+	"slices"
 
 	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
@@ -49,11 +50,13 @@ type Receiver struct {
 
 	// loc is the wide-window store matcher's working storage
 	// (LocatePacket: transform buffers, profile, rolling energy); the
-	// preamble detector's scratch lives inside sync, and dec is the
+	// preamble detector's scratch lives inside sync, det holds the
+	// collision detector's clustering/assignment arenas, and dec is the
 	// joint-decoder session threaded through every Decode this receiver
 	// runs. Receivers are single-goroutine, so the buffers are reused
 	// across receptions without locking.
 	loc locateScratch
+	det detectScratch
 	dec Scratch
 
 	// MaxStored bounds the unmatched-collision store; 802.11
@@ -124,6 +127,42 @@ func (z *Receiver) UpdateClient(c Client) { z.clients[c.ID] = c }
 // StoredCollisions reports how many unmatched collisions are held.
 func (z *Receiver) StoredCollisions() int { return len(z.stored) }
 
+// detHit is one thresholded preamble detection attributed to a client.
+type detHit struct {
+	sync   phy.Sync
+	client uint8
+}
+
+// detCluster groups hits within half a preamble of one position; best
+// keeps the strongest sync per client (few clients — linear scan).
+type detCluster struct {
+	pos  int
+	best []detHit
+}
+
+// detCand is one (cluster, client) assignment candidate.
+type detCand struct {
+	ci   int
+	best detHit
+}
+
+// detectScratch is the collision detector's reusable working storage:
+// the hit list, the position clusters (whose inner best lists recycle
+// their backing arrays), the assignment candidates and used-marks, and
+// the returned occurrence/client views. Everything is truncated and
+// rewritten per reception, so a steady-state detect allocates nothing
+// (AllocsPerRun-pinned).
+type detectScratch struct {
+	hits       []detHit
+	clusters   []detCluster
+	cands      []detCand
+	usedClust  []bool
+	usedClient [256]bool
+	picks      []detHit
+	occs       []Occurrence
+	clients    []uint8
+}
+
 // detect finds all packet starts in the buffer and associates each with
 // a client. Every client shares the same preamble, so a strong packet
 // spikes in *every* client's frequency-compensated profile; detection
@@ -131,82 +170,104 @@ func (z *Receiver) StoredCollisions() int { return len(z.stored) }
 // problem: positions and clients are paired greedily by correlation
 // magnitude, each used at most once (a client transmits at most one
 // packet per reception window).
+//
+// The returned slices are views into the receiver's detect scratch,
+// valid until the next detect on this receiver; paths that retain them
+// (the collision store, the redetect extension) copy first.
 func (z *Receiver) detect(rx []complex128) ([]Occurrence, []uint8) {
-	type hit struct {
-		sync   phy.Sync
-		client uint8
-	}
+	d := &z.det
 	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
-	var hits []hit
+	d.hits = d.hits[:0]
 	for id, c := range z.clients {
 		for _, s := range z.detectClient(rx, c) {
-			hits = append(hits, hit{s, id})
+			d.hits = append(d.hits, detHit{s, id})
 		}
 	}
-	if len(hits) == 0 {
+	if len(d.hits) == 0 {
 		return nil, nil
 	}
-	// Cluster by position.
-	sort.Slice(hits, func(i, j int) bool { return hits[i].sync.RefPos < hits[j].sync.RefPos })
-	type cluster struct {
-		pos  int
-		best map[uint8]phy.Sync // strongest sync per client
+	// Cluster by position. The client tiebreak pins the order when two
+	// clients spike at the same sample (client map iteration is
+	// unordered); equal positions land in the same cluster either way.
+	slices.SortFunc(d.hits, func(a, b detHit) int {
+		if c := cmp.Compare(a.sync.RefPos, b.sync.RefPos); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.client, b.client)
+	})
+	clusters := d.clusters
+	for i := range clusters {
+		clusters[i].best = clusters[i].best[:0] // recycle inner arrays
 	}
-	var clusters []*cluster
-	for _, h := range hits {
+	clusters = clusters[:0]
+	for _, h := range d.hits {
 		if n := len(clusters); n > 0 && h.sync.RefPos-clusters[n-1].pos < preLen/2 {
-			c := clusters[n-1]
-			if prev, ok := c.best[h.client]; !ok || h.sync.Mag > prev.Mag {
-				c.best[h.client] = h.sync
+			c := &clusters[n-1]
+			found := false
+			for bi := range c.best {
+				if c.best[bi].client == h.client {
+					if h.sync.Mag > c.best[bi].sync.Mag {
+						c.best[bi].sync = h.sync
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.best = append(c.best, h)
 			}
 			continue
 		}
-		clusters = append(clusters, &cluster{pos: h.sync.RefPos, best: map[uint8]phy.Sync{h.client: h.sync}})
+		if n := len(clusters); n < cap(clusters) {
+			clusters = clusters[:n+1]
+			clusters[n].pos = h.sync.RefPos
+			clusters[n].best = append(clusters[n].best[:0], h)
+		} else {
+			clusters = append(clusters, detCluster{pos: h.sync.RefPos, best: []detHit{h}})
+		}
 	}
+	d.clusters = clusters
 	// Greedy unique assignment by magnitude.
-	type cand struct {
-		ci     int
-		client uint8
-		sync   phy.Sync
-	}
-	var cands []cand
-	for ci, c := range clusters {
-		for id, s := range c.best {
-			cands = append(cands, cand{ci, id, s})
+	d.cands = d.cands[:0]
+	for ci := range clusters {
+		for _, b := range clusters[ci].best {
+			d.cands = append(d.cands, detCand{ci, b})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].sync.Mag != cands[j].sync.Mag {
-			return cands[i].sync.Mag > cands[j].sync.Mag
+	slices.SortFunc(d.cands, func(a, b detCand) int {
+		if c := cmp.Compare(b.best.sync.Mag, a.best.sync.Mag); c != 0 {
+			return c // descending magnitude
 		}
-		if cands[i].ci != cands[j].ci {
-			return cands[i].ci < cands[j].ci
+		if c := cmp.Compare(a.ci, b.ci); c != 0 {
+			return c
 		}
-		return cands[i].client < cands[j].client
+		return cmp.Compare(a.best.client, b.best.client)
 	})
-	usedCluster := make(map[int]bool)
-	usedClient := make(map[uint8]bool)
-	type pick struct {
-		sync   phy.Sync
-		client uint8
+	if cap(d.usedClust) < len(clusters) {
+		d.usedClust = make([]bool, len(clusters))
 	}
-	var picks []pick
-	for _, c := range cands {
-		if usedCluster[c.ci] || usedClient[c.client] {
+	d.usedClust = d.usedClust[:len(clusters)]
+	for i := range d.usedClust {
+		d.usedClust[i] = false
+	}
+	d.usedClient = [256]bool{}
+	d.picks = d.picks[:0]
+	for _, c := range d.cands {
+		if d.usedClust[c.ci] || d.usedClient[c.best.client] {
 			continue
 		}
-		usedCluster[c.ci] = true
-		usedClient[c.client] = true
-		picks = append(picks, pick{c.sync, c.client})
+		d.usedClust[c.ci] = true
+		d.usedClient[c.best.client] = true
+		d.picks = append(d.picks, c.best)
 	}
-	sort.Slice(picks, func(i, j int) bool { return picks[i].sync.RefPos < picks[j].sync.RefPos })
-	occs := make([]Occurrence, len(picks))
-	clients := make([]uint8, len(picks))
-	for i, p := range picks {
-		occs[i] = Occurrence{Sync: p.sync}
-		clients[i] = p.client
+	slices.SortFunc(d.picks, func(a, b detHit) int { return cmp.Compare(a.sync.RefPos, b.sync.RefPos) })
+	d.occs = d.occs[:0]
+	d.clients = d.clients[:0]
+	for _, p := range d.picks {
+		d.occs = append(d.occs, Occurrence{Sync: p.sync})
+		d.clients = append(d.clients, p.client)
 	}
-	return occs, clients
+	return d.occs, d.clients
 }
 
 // detectClient runs thresholded preamble detection for one client. The
@@ -472,9 +533,10 @@ func (z *Receiver) learn(id uint8, s phy.Sync) {
 
 // store retains a collision for future matching. The reception's
 // samples are copied into a receiver-owned buffer (recycled from
-// evicted entries), so callers are free to reuse their rx buffer for
-// the next reception — the pooled session engine renders every episode
-// into one such buffer.
+// evicted entries), and the client list is cloned — callers are free
+// to reuse their rx buffer and the detect scratch for the next
+// reception — the pooled session engine renders every episode into one
+// such buffer.
 func (z *Receiver) store(rec *Reception, clients []uint8) {
 	max := z.MaxStored
 	if max <= 0 {
@@ -488,7 +550,7 @@ func (z *Receiver) store(rec *Reception, clients []uint8) {
 	copy(buf, rec.Samples)
 	z.stored = append(z.stored, &storedCollision{
 		rec:     &Reception{Samples: buf, Packets: rec.Packets},
-		clients: clients,
+		clients: append([]uint8(nil), clients...),
 		buf:     buf,
 	})
 	for len(z.stored) > max {

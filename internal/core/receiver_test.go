@@ -197,3 +197,51 @@ func TestMatchCollisionsDegenerate(t *testing.T) {
 		t.Fatal("mismatched counts should not match")
 	}
 }
+
+// TestDetectAllocFree pins the ROADMAP leftover this PR closes: the
+// collision detector's clustering and assignment run entirely on the
+// receiver's detect scratch — a steady-state detect (multi-client,
+// multi-packet reception) allocates nothing.
+func TestDetectAllocFree(t *testing.T) {
+	const noise = 0.05
+	s := newScenario(t, 31, 200, []float64{14, 13}, []float64{0.003, -0.002}, noise)
+	z := NewReceiver(s.cfg, onlineClients(s))
+	rng := rand.New(rand.NewSource(32))
+	rx := s.render(t, rng, noise, []int{50, 50 + 600})
+	occs, clients := z.detect(rx)
+	if len(occs) == 0 || len(clients) != len(occs) {
+		t.Fatalf("detector found nothing to exercise: %d occs", len(occs))
+	}
+	op := func() { z.detect(rx) }
+	op() // warm up the scratch
+	if n := testing.AllocsPerRun(50, op); n != 0 {
+		t.Errorf("detect: %v allocs per run in steady state, want 0", n)
+	}
+}
+
+// TestDetectScratchReuseIdentical pins that scratch reuse is invisible:
+// a dirtied detector reproduces a fresh detector's occurrences exactly.
+func TestDetectScratchReuseIdentical(t *testing.T) {
+	const noise = 0.05
+	s := newScenario(t, 33, 180, []float64{14, 12}, []float64{0.004, -0.003}, noise)
+	rng := rand.New(rand.NewSource(34))
+	rx1 := s.render(t, rng, noise, []int{60, 60 + 500})
+	rx2 := s.render(t, rng, noise, []int{40, 40 + 900})
+
+	dirty := NewReceiver(s.cfg, onlineClients(s))
+	dirty.detect(rx1) // dirty the scratch with a different reception
+	gotOccs, gotClients := dirty.detect(rx2)
+
+	fresh := NewReceiver(s.cfg, onlineClients(s))
+	wantOccs, wantClients := fresh.detect(rx2)
+
+	if len(gotOccs) != len(wantOccs) {
+		t.Fatalf("occ count %d vs fresh %d", len(gotOccs), len(wantOccs))
+	}
+	for i := range wantOccs {
+		if gotOccs[i] != wantOccs[i] || gotClients[i] != wantClients[i] {
+			t.Fatalf("occ %d: %+v/%d vs fresh %+v/%d",
+				i, gotOccs[i], gotClients[i], wantOccs[i], wantClients[i])
+		}
+	}
+}

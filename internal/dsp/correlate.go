@@ -1,9 +1,10 @@
 package dsp
 
 import (
+	"cmp"
 	"math"
 	"math/cmplx"
-	"sort"
+	"slices"
 )
 
 // CorrelateProfile slides the known reference waveform ref across y and
@@ -167,7 +168,16 @@ func (pd PeakDetector) Threshold(refEnergy float64) float64 {
 
 // Find returns all local maxima of |profile| that exceed the threshold,
 // sorted by position, at least MinSpacing apart (keeping the larger
-// magnitude when two candidates are closer).
+// magnitude when two candidates are closer). It is FindInto with a
+// fresh backing slice.
+func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
+	return pd.FindInto(nil, profile, refEnergy)
+}
+
+// FindInto is Find appending into a caller-owned buffer (nil is
+// allowed): dst is truncated, filled, and the possibly reallocated
+// result returned, so steady-state detection loops (the online
+// receiver's per-reception, per-client scans) allocate nothing.
 //
 // Suppression is greedy by magnitude: the strongest candidate always
 // survives, and each further candidate survives only if it is at least
@@ -175,13 +185,13 @@ func (pd PeakDetector) Threshold(refEnergy float64) float64 {
 // spacing conflicts against the immediately preceding survivor only, so
 // a chain of close-by candidates with rising magnitudes displaced one
 // another in place and legitimately spaced earlier peaks were lost.
-func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
+func (pd PeakDetector) FindInto(dst []Peak, profile []complex128, refEnergy float64) []Peak {
 	thr := pd.Threshold(refEnergy)
 	minSp := pd.MinSpacing
 	if minSp <= 0 {
 		minSp = 1
 	}
-	var cands []Peak
+	cands := dst[:0]
 	for i := range profile {
 		m := cmplx.Abs(profile[i])
 		if m <= thr {
@@ -198,22 +208,18 @@ func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
 	if len(cands) <= 1 {
 		return cands
 	}
-	order := make([]int, len(cands))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(a, b int) bool {
-		pa, pb := cands[order[a]], cands[order[b]]
-		if pa.Mag != pb.Mag {
-			return pa.Mag > pb.Mag
+	slices.SortFunc(cands, func(a, b Peak) int {
+		if a.Mag != b.Mag {
+			return cmp.Compare(b.Mag, a.Mag) // descending magnitude
 		}
-		return pa.Pos < pb.Pos
+		return cmp.Compare(a.Pos, b.Pos)
 	})
-	keep := make([]Peak, 0, len(cands))
-	for _, ci := range order {
-		c := cands[ci]
+	// Compact survivors into the prefix: candidate i survives iff it is
+	// MinSpacing away from every stronger survivor already kept.
+	w := 0
+	for _, c := range cands {
 		ok := true
-		for _, k := range keep {
+		for _, k := range cands[:w] {
 			d := c.Pos - k.Pos
 			if d < 0 {
 				d = -d
@@ -224,10 +230,12 @@ func (pd PeakDetector) Find(profile []complex128, refEnergy float64) []Peak {
 			}
 		}
 		if ok {
-			keep = append(keep, c)
+			cands[w] = c
+			w++
 		}
 	}
-	sort.Slice(keep, func(a, b int) bool { return keep[a].Pos < keep[b].Pos })
+	keep := cands[:w]
+	slices.SortFunc(keep, func(a, b Peak) int { return cmp.Compare(a.Pos, b.Pos) })
 	return keep
 }
 

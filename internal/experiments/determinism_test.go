@@ -144,3 +144,9 @@ func TestFig59WorkerInvariant(t *testing.T) {
 		return Fig59ThreeHiddenTerminals(scaled(w), 11)
 	})
 }
+
+func TestHarshSuiteWorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "HarshChannelSuite", func(w int) HarshResult {
+		return HarshChannelSuite(scaled(w), 13)
+	})
+}

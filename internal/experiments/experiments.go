@@ -13,6 +13,7 @@ import (
 	"zigzag/internal/core"
 	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
+	"zigzag/internal/impair"
 	"zigzag/internal/modem"
 	"zigzag/internal/runner"
 	"zigzag/internal/session"
@@ -116,6 +117,9 @@ type pairScenario struct {
 	rxUsed   int
 	recList  []*core.Reception
 	isi      dsp.FIR
+
+	// impair caches the worker's harsh-channel chain keyed by profile.
+	impair impair.ChainCache
 }
 
 // scenarioArena returns the worker's reusable pair-scenario arenas,

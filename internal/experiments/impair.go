@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"zigzag/internal/bitutil"
+	"zigzag/internal/core"
+	"zigzag/internal/impair"
+	"zigzag/internal/metrics"
+	"zigzag/internal/runner"
+	"zigzag/internal/session"
+)
+
+// HarshResult carries the harsh-channel suite: the BER of jointly
+// decoded collision pairs under the time-varying impairment engine
+// (internal/impair), swept along the axes the paper's testbed
+// conditions vary (Figs 12–16 territory: mobility-induced fading,
+// oscillator quality, coexistence interference). The Doppler sweep is
+// run twice — with the re-encoding phase tracker on and off — because
+// that is the paper's central robustness mechanism: chunk-wise
+// re-estimation is what lets ZigZag ride a channel that moves within a
+// packet, and the ablation shows exactly where it stops being enough.
+type HarshResult struct {
+	// BERvsDoppler sweeps the normalized Doppler f_d·T of Rayleigh
+	// fading, full decoder vs the DisablePhaseTracking ablation.
+	BERvsDoppler        metrics.Series
+	BERvsDopplerNoTrack metrics.Series
+	// BERvsRicianK sweeps the Rician K-factor at fast fading: K→∞
+	// recovers the static channel, K→0 is full Rayleigh.
+	BERvsRicianK metrics.Series
+	// BERvsInterfDuty sweeps a bursty narrowband interferer's duty
+	// cycle.
+	BERvsInterfDuty metrics.Series
+	// BERvsDrift sweeps the carrier-frequency drift rate; the series X
+	// axis is in µrad/sample² (the rad/sample² rates underflow the
+	// 5-decimal series format).
+	BERvsDrift metrics.Series
+}
+
+// harshSNR is the operating point of the suite: comfortably above the
+// static-channel decode floor (Fig 5-3 shows ≈0 BER here), so every
+// error the sweeps report is caused by the impairment, not by noise.
+const harshSNR = 15.0
+
+// HarshChannelSuite runs the harsh-channel sweeps at the given scale.
+// Every point is a Monte-Carlo pair sweep on pooled sessions with
+// splitmix per-trial seeding, so results are byte-identical at any
+// Scale.Workers value (the determinism suite pins it).
+func HarshChannelSuite(sc Scale, seed int64) HarshResult {
+	var out HarshResult
+	out.BERvsDoppler.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking on)"
+	out.BERvsDopplerNoTrack.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking off)"
+	out.BERvsRicianK.Name = "Harsh: BER vs Rician K (Doppler 1e-3)"
+	out.BERvsInterfDuty.Name = "Harsh: BER vs interferer duty cycle"
+	out.BERvsDrift.Name = "Harsh: BER vs CFO drift rate (µrad/sample²)"
+
+	for i, fd := range []float64{0, 1e-4, 3e-4, 1e-3, 3e-3} {
+		prof := impair.Profile{Doppler: fd}
+		s := runner.TrialSeed(seed, 100+i)
+		out.BERvsDoppler.Points = append(out.BERvsDoppler.Points,
+			metrics.Point{X: fd, Y: berHarsh(sc, s, prof, false)})
+		out.BERvsDopplerNoTrack.Points = append(out.BERvsDopplerNoTrack.Points,
+			metrics.Point{X: fd, Y: berHarsh(sc, s, prof, true)})
+	}
+	for i, k := range []float64{0, 1, 3, 10, 30} {
+		prof := impair.Profile{Doppler: 1e-3, RicianK: k}
+		out.BERvsRicianK.Points = append(out.BERvsRicianK.Points,
+			metrics.Point{X: k, Y: berHarsh(sc, runner.TrialSeed(seed, 200+i), prof, false)})
+	}
+	for i, duty := range []float64{0, 0.05, 0.15, 0.3, 0.5} {
+		prof := impair.Profile{InterfDuty: duty, InterfAmp: 0.6}
+		out.BERvsInterfDuty.Points = append(out.BERvsInterfDuty.Points,
+			metrics.Point{X: duty, Y: berHarsh(sc, runner.TrialSeed(seed, 300+i), prof, false)})
+	}
+	for i, rate := range []float64{0, 1e-7, 3e-7, 1e-6, 3e-6} {
+		prof := impair.Profile{DriftRate: rate}
+		out.BERvsDrift.Points = append(out.BERvsDrift.Points,
+			metrics.Point{X: rate * 1e6, Y: berHarsh(sc, runner.TrialSeed(seed, 400+i), prof, false)})
+	}
+	return out
+}
+
+// berHarsh measures ZigZag's BER over collision pairs at harshSNR under
+// an impairment profile (berAt's harsh-channel counterpart). noTrack
+// runs the DisablePhaseTracking ablation. The chain seed is drawn from
+// the trial stream before the scenario, so the only difference between
+// profiles at one (seed, trial) is the impairment itself.
+func berHarsh(sc Scale, seed int64, prof impair.Profile, noTrack bool) float64 {
+	cfg := core.DefaultConfig()
+	cfg.PHY.DisablePhaseTracking = noTrack
+	cfg.Workers = sc.Workers
+	counts := session.MapTrials(cfg, sc.Pairs, cfg.Workers, seed, func(sess *session.Session, _ int) bitCounts {
+		rng := sess.Rng
+		chainSeed := rng.Int63()
+		var c bitCounts
+		s := newPairScenario(sess, sc.Payload, []float64{harshSNR, harshSNR}, 0.05)
+		// As in berAt: the offline decoder knows the fixed packet size.
+		for i := range s.metas {
+			s.metas[i].BitLen = len(s.truth[i])
+		}
+		if !prof.Empty() {
+			ch := s.impair.Get(prof)
+			ch.Reset(chainSeed)
+			sess.Air.Impair = ch
+		}
+		r1, r2 := s.collisionPair(rng)
+		res, err := sess.Decode(s.metas, s.pair(r1, r2))
+		for i := range s.truth {
+			c.totBits += len(s.truth[i])
+			if err != nil || i >= len(res.Packets) {
+				c.errBits += len(s.truth[i]) / 2
+				continue
+			}
+			ber := bitutil.BitErrorRate(s.truth[i], res.Packets[i].Bits)
+			c.errBits += int(ber * float64(len(s.truth[i])))
+		}
+		return c
+	})
+	return sumCounts(counts).rate()
+}

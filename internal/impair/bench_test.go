@@ -1,0 +1,57 @@
+package impair
+
+import "testing"
+
+// Model-level benchmarks: one application over a 4096-sample emission
+// (a ~2000-bit BPSK packet at 2 samples/symbol). These are the costs
+// the impairment engine adds per emission per reception.
+
+func benchLink(b *testing.B, m LinkModel) {
+	buf := testBuf(4096, 1)
+	work := append([]complex128(nil), buf...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, buf)
+		m.ApplyLink(int64(i), work, 40)
+	}
+}
+
+func benchFront(b *testing.B, m FrontModel) {
+	buf := testBuf(4096, 1)
+	work := append([]complex128(nil), buf...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, buf)
+		m.ApplyFront(int64(i), work)
+	}
+}
+
+func BenchmarkFadingRayleigh(b *testing.B)  { benchLink(b, &Fading{Doppler: 3e-4}) }
+func BenchmarkFadingRician(b *testing.B)    { benchLink(b, &Fading{Doppler: 3e-4, K: 8}) }
+func BenchmarkFadingBlock64(b *testing.B)   { benchLink(b, &Fading{Doppler: 3e-4, Block: 64}) }
+func BenchmarkMultipath(b *testing.B)       { benchLink(b, &Multipath{Doppler: 2e-4}) }
+func BenchmarkDrift(b *testing.B)           { benchLink(b, &Drift{Rate: 5e-7}) }
+func BenchmarkDriftPhaseNoise(b *testing.B) { benchLink(b, &Drift{Rate: 5e-7, PhaseNoise: 2e-3}) }
+func BenchmarkInterferer(b *testing.B) {
+	benchFront(b, &Interferer{Freq: 0.3, Amp: 0.8, MeanOn: 200, MeanOff: 800})
+}
+func BenchmarkADC(b *testing.B) { benchFront(b, &ADC{Bits: 10}) }
+
+// BenchmarkFullChain is the whole per-reception overhead: every link
+// model on one emission plus the front-end models on the window.
+func BenchmarkFullChain(b *testing.B) {
+	c := fullChain()
+	c.Reset(5)
+	buf := testBuf(4096, 1)
+	work := append([]complex128(nil), buf...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, buf)
+		c.BeginReception()
+		c.ImpairEmission(0, work, 40)
+		c.ImpairFront(work)
+	}
+}

@@ -1,0 +1,249 @@
+package impair
+
+import (
+	"math"
+	"math/cmplx"
+
+	"zigzag/internal/dsp"
+)
+
+// Fading multiplies an emission by a time-varying complex gain g(n)
+// drawn from a Jakes-style sum-of-sinusoids process: Paths plane waves
+// arrive from angles θ_k uniform on the circle, each contributing
+// e^{j(2π·Doppler·cos(θ_k)·n + φ_k)}, so the envelope is Rayleigh (or
+// Rician, with a line-of-sight component of power K/(K+1) on top) and
+// the temporal autocorrelation approaches the classical J₀(2π·f_d·τ)
+// shape as Paths grows. The process is normalized to E[|g|²] = 1, so
+// the static link gain keeps carrying the mean SNR and the model only
+// adds the *dynamics*: deep fades that come and go within a packet at
+// a rate set by the Doppler.
+//
+// Trajectories restart per (reception, emission): the channel is
+// coherent within a reception window — which is the regime that
+// stresses ZigZag's chunk-wise re-estimation — and independent across
+// receptions, matching how the rest of the simulator re-draws links.
+type Fading struct {
+	// Doppler is the normalized maximum Doppler shift f_d·T in cycles
+	// per sample. 0 freezes each trajectory at its initial draw (pure
+	// block fading per reception).
+	Doppler float64
+	// K is the Rician K-factor (linear power ratio of the line-of-sight
+	// component to the scattered power); 0 means Rayleigh.
+	K float64
+	// Paths is the number of scattered sinusoids; 0 means
+	// DefaultFadingPaths.
+	Paths int
+	// Block, when > 1, holds the gain constant over blocks of that many
+	// samples (a piecewise-constant trajectory with coherence time
+	// Block·T) instead of evaluating it per sample.
+	Block int
+
+	rot []dsp.Rotator // per-path oscillators, re-seeded per application
+}
+
+// DefaultFadingPaths is the sum-of-sinusoids order used when
+// Fading.Paths is zero: enough for a convincing Rayleigh envelope and
+// J₀-like autocorrelation at simulation cost.
+const DefaultFadingPaths = 16
+
+// Name implements LinkModel.
+func (f *Fading) Name() string { return "fading" }
+
+func (f *Fading) paths() int {
+	if f.Paths > 0 {
+		return f.Paths
+	}
+	return DefaultFadingPaths
+}
+
+func (f *Fading) block() int {
+	if f.Block > 1 {
+		return f.Block
+	}
+	return 1
+}
+
+// ApplyLink implements LinkModel: buf[i] *= g(off+i), with g evaluated
+// on the reception's sample grid so an emission's trajectory does not
+// depend on where in the window it starts being rendered.
+func (f *Fading) ApplyLink(seed int64, buf []complex128, off int) {
+	p := f.paths()
+	blk := f.block()
+	rng := newStream(seed)
+	if cap(f.rot) < p+1 {
+		f.rot = make([]dsp.Rotator, p+1)
+	}
+	rot := f.rot[:p+1]
+	// Per-path arrival angles and phases; the rotators advance one
+	// *block* per step, and the grid origin off is folded into the
+	// initial phase so the trajectory is a pure function of the
+	// absolute sample index.
+	scatterAmp := math.Sqrt(1 / (float64(p) * (f.K + 1)))
+	base := float64(off)
+	for k := 0; k < p; k++ {
+		omega := 2 * math.Pi * f.Doppler * math.Cos(rng.angle())
+		phi := rng.angle()
+		rot[k] = dsp.NewRotator(phi+omega*base, omega*float64(blk))
+	}
+	// Line-of-sight component: random phase, power K/(K+1), modeled
+	// static within a reception (the standard specular simplification —
+	// a rotating LOS is an ordinary carrier offset, which the Drift
+	// model covers). This keeps K→∞ converging to the paper's
+	// quasi-static channel, so the K sweep isolates fade depth.
+	losAmp := math.Sqrt(f.K / (f.K + 1))
+	rot[p] = dsp.NewRotator(rng.angle(), 0)
+
+	var g complex128
+	for i := range buf {
+		if i%blk == 0 {
+			var sc complex128
+			for k := 0; k < p; k++ {
+				sc += rot[k].Next()
+			}
+			g = complex(scatterAmp, 0)*sc + complex(losAmp, 0)*rot[p].Next()
+		}
+		buf[i] *= g
+	}
+}
+
+// gainAt evaluates n samples of the gain trajectory into dst (test and
+// statistics helper; the hot path stays inside ApplyLink).
+func (f *Fading) gainAt(seed int64, dst []complex128, n, off int) []complex128 {
+	dst = dsp.Ensure(dst, n)
+	for i := range dst {
+		dst[i] = 1
+	}
+	f.ApplyLink(seed, dst, off)
+	return dst
+}
+
+// Multipath convolves an emission with a short time-varying FIR whose
+// taps fade independently: tap k has mean power Powers[k] (normalized
+// to Σ = 1, preserving mean received power) and its own
+// sum-of-sinusoids Rayleigh trajectory at the model's Doppler. This is
+// the §3.1.3 multipath channel with the quasi-static assumption
+// removed — delay-spread distortion whose shape drifts during the
+// packet, which is exactly what makes a one-shot FitISI stale.
+type Multipath struct {
+	// Powers are the relative mean tap powers (tap k delayed k
+	// samples); nil means DefaultMultipathPowers.
+	Powers []float64
+	// Doppler is the normalized fading rate of each tap (f_d·T).
+	Doppler float64
+	// Paths is the sum-of-sinusoids order per tap; 0 means 8.
+	Paths int
+
+	rot []dsp.Rotator
+	in  []complex128
+}
+
+// DefaultMultipathPowers is the three-tap indoor profile used when
+// Powers is nil: a dominant direct path with −9 dB and −13 dB echoes.
+var DefaultMultipathPowers = []float64{1, 0.125, 0.05}
+
+// Name implements LinkModel.
+func (m *Multipath) Name() string { return "multipath" }
+
+func (m *Multipath) powers() []float64 {
+	if len(m.Powers) > 0 {
+		return m.Powers
+	}
+	return DefaultMultipathPowers
+}
+
+func (m *Multipath) paths() int {
+	if m.Paths > 0 {
+		return m.Paths
+	}
+	return 8
+}
+
+// ApplyLink implements LinkModel: y[n] = Σ_k h_k(n)·x[n−k] in place.
+// Delay-spread energy beyond the emission's last sample is clipped —
+// the same window clipping the static channel's Air applies.
+func (m *Multipath) ApplyLink(seed int64, buf []complex128, off int) {
+	powers := m.powers()
+	taps := len(powers)
+	p := m.paths()
+	rng := newStream(seed)
+	if cap(m.rot) < taps*p {
+		m.rot = make([]dsp.Rotator, taps*p)
+	}
+	rot := m.rot[:taps*p]
+	var norm float64
+	for _, pw := range powers {
+		norm += pw
+	}
+	base := float64(off)
+	var ampArr [16]float64
+	amps := ampArr[:0]
+	for k := 0; k < taps; k++ {
+		for j := 0; j < p; j++ {
+			omega := 2 * math.Pi * m.Doppler * math.Cos(rng.angle())
+			phi := rng.angle()
+			rot[k*p+j] = dsp.NewRotator(phi+omega*base, omega)
+		}
+		amps = append(amps, math.Sqrt(powers[k]/(norm*float64(p))))
+	}
+	m.in = append(m.in[:0], buf...)
+	for n := range buf {
+		var y complex128
+		for k := 0; k < taps; k++ {
+			var h complex128
+			for j := 0; j < p; j++ {
+				h += rot[k*p+j].Next()
+			}
+			if n-k >= 0 {
+				y += complex(amps[k], 0) * h * m.in[n-k]
+			}
+		}
+		buf[n] = y
+	}
+}
+
+// Drift rotates an emission by a wandering oscillator: a linear
+// carrier-frequency drift (Rate rad/sample², §3.1.1's offset made
+// time-varying) plus a Brownian phase-noise walk of per-sample
+// standard deviation PhaseNoise. Unlike the other link models it runs
+// on the emission's *own* clock (the sender's oscillator does not know
+// where in the receiver window the packet landed), so the process
+// starts at the first transmitted sample.
+type Drift struct {
+	// Rate is the carrier-frequency drift in rad/sample² — after n
+	// samples the instantaneous offset has moved by Rate·n rad/sample.
+	Rate float64
+	// PhaseNoise is the standard deviation of the per-sample phase
+	// random-walk increment in radians.
+	PhaseNoise float64
+}
+
+// Name implements LinkModel.
+func (d *Drift) Name() string { return "drift" }
+
+// ApplyLink implements LinkModel. The quadratic ramp runs on a
+// second-order rotator recurrence (two complex multiplies per sample);
+// the phase-noise walk, when enabled, contributes one Sincos per
+// sample. Both accumulators renormalize on the dsp.Rotator cadence so
+// packet-length products do not drift in magnitude.
+func (d *Drift) ApplyLink(seed int64, buf []complex128, off int) {
+	rng := newStream(seed)
+	// cur = e^{jφ(n)}, step = e^{j(Rate·n + Rate/2)}, so that
+	// φ(n) = Rate·n²/2 exactly on integer steps.
+	cur := complex(1, 0)
+	step := cmplx.Exp(complex(0, d.Rate/2))
+	stepInc := cmplx.Exp(complex(0, d.Rate))
+	for i := range buf {
+		v := cur
+		if d.PhaseNoise > 0 {
+			sin, cos := math.Sincos(d.PhaseNoise * rng.norm())
+			cur *= complex(cos, sin)
+		}
+		buf[i] *= v
+		cur *= step
+		step *= stepInc
+		if i&0x3ff == 0x3ff {
+			cur /= complex(cmplx.Abs(cur), 0)
+			step /= complex(cmplx.Abs(step), 0)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package impair
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile is the declarative, comparable description of an impairment
+// chain — the form RunConfigs and CLI flags carry. The zero value
+// means "no impairment" and builds a nil chain; a non-empty profile
+// builds the corresponding model composition in canonical order
+// (fading → multipath → drift on each link; interferer → ADC on the
+// front end). Profiles are plain scalars, so harness arenas can key
+// cached chains by equality and sweeps can mutate one field per point.
+type Profile struct {
+	// Doppler enables Rayleigh/Rician fading at this normalized Doppler
+	// f_d·T (cycles per sample). A profile with RicianK or
+	// CoherenceBlock set but Doppler zero still enables fading (a
+	// static random fade per reception).
+	Doppler float64
+	// RicianK is the Rician K-factor (linear); 0 means Rayleigh.
+	RicianK float64
+	// CoherenceBlock holds the fading gain constant over blocks of this
+	// many samples (0 = per-sample evaluation).
+	CoherenceBlock int
+
+	// MultipathDoppler enables the time-varying three-tap multipath
+	// model fading at this rate (0 = off).
+	MultipathDoppler float64
+
+	// DriftRate is the carrier-frequency drift in rad/sample² (0 = off).
+	DriftRate float64
+	// PhaseNoise is the phase random-walk step std in radians (0 = off).
+	PhaseNoise float64
+
+	// InterfDuty enables the bursty narrowband interferer at this duty
+	// cycle in (0, 1).
+	InterfDuty float64
+	// InterfAmp is the interferer tone amplitude; 0 means 1.0.
+	InterfAmp float64
+	// InterfFreq is the tone frequency in rad/sample; 0 means 0.3.
+	InterfFreq float64
+	// InterfBurst is the mean burst length in samples; 0 means 400.
+	InterfBurst float64
+
+	// ADCBits enables front-end clipping/quantization at this per-rail
+	// resolution (0 = off).
+	ADCBits int
+	// ADCFullScale is the converter clip level; 0 means
+	// DefaultADCFullScale.
+	ADCFullScale float64
+}
+
+// fadingOn reports whether the profile asks for the fading model.
+func (p Profile) fadingOn() bool {
+	return p.Doppler > 0 || p.RicianK > 0 || p.CoherenceBlock > 0
+}
+
+// Empty reports whether the profile describes no impairment at all.
+func (p Profile) Empty() bool {
+	return !p.fadingOn() && p.MultipathDoppler == 0 &&
+		p.DriftRate == 0 && p.PhaseNoise == 0 &&
+		p.InterfDuty == 0 && p.ADCBits == 0
+}
+
+// Chain builds the chain the profile describes, or nil when empty.
+// Each call returns fresh model structs (scratch is per-chain, so two
+// chains never race); harnesses cache the result per worker and key it
+// by the profile.
+func (p Profile) Chain() *Chain {
+	if p.Empty() {
+		return nil
+	}
+	c := &Chain{}
+	if p.fadingOn() {
+		c.Link = append(c.Link, &Fading{Doppler: p.Doppler, K: p.RicianK, Block: p.CoherenceBlock})
+	}
+	if p.MultipathDoppler != 0 {
+		c.Link = append(c.Link, &Multipath{Doppler: p.MultipathDoppler})
+	}
+	if p.DriftRate != 0 || p.PhaseNoise != 0 {
+		c.Link = append(c.Link, &Drift{Rate: p.DriftRate, PhaseNoise: p.PhaseNoise})
+	}
+	if p.InterfDuty > 0 {
+		on := p.InterfBurst
+		if on <= 0 {
+			on = 400
+		}
+		duty := p.InterfDuty
+		if duty >= 1 {
+			duty = 0.999
+		}
+		amp := p.InterfAmp
+		if amp == 0 {
+			amp = 1.0
+		}
+		freq := p.InterfFreq
+		if freq == 0 {
+			freq = 0.3
+		}
+		c.Front = append(c.Front, &Interferer{
+			Freq:    freq,
+			Amp:     amp,
+			MeanOn:  on,
+			MeanOff: on * (1 - duty) / duty,
+		})
+	}
+	if p.ADCBits != 0 {
+		c.Front = append(c.Front, &ADC{Bits: p.ADCBits, FullScale: p.ADCFullScale})
+	}
+	return c
+}
+
+// ChainCache is the per-worker chain arena the simulation harnesses
+// embed: Get returns a chain for the profile (nil when empty),
+// rebuilding only when the profile changes, so sweeps reconfigure per
+// point without per-trial model construction (a cached chain re-derives
+// all observable state from Reset anyway). The zero value is ready.
+type ChainCache struct {
+	chain *Chain
+	prof  Profile
+}
+
+// Get returns the cached chain for p, rebuilding on profile change.
+func (c *ChainCache) Get(p Profile) *Chain {
+	if c.chain == nil || c.prof != p {
+		c.chain = p.Chain()
+		c.prof = p
+	}
+	return c.chain
+}
+
+// String renders the enabled models compactly ("doppler=3e-04 K=10
+// interf=25%"); empty profiles render as "none".
+func (p Profile) String() string {
+	if p.Empty() {
+		return "none"
+	}
+	var parts []string
+	if p.fadingOn() {
+		s := fmt.Sprintf("doppler=%g", p.Doppler)
+		if p.RicianK > 0 {
+			s += fmt.Sprintf(" K=%g", p.RicianK)
+		}
+		if p.CoherenceBlock > 0 {
+			s += fmt.Sprintf(" block=%d", p.CoherenceBlock)
+		}
+		parts = append(parts, s)
+	}
+	if p.MultipathDoppler != 0 {
+		parts = append(parts, fmt.Sprintf("multipath=%g", p.MultipathDoppler))
+	}
+	if p.DriftRate != 0 {
+		parts = append(parts, fmt.Sprintf("drift=%g", p.DriftRate))
+	}
+	if p.PhaseNoise != 0 {
+		parts = append(parts, fmt.Sprintf("phasenoise=%g", p.PhaseNoise))
+	}
+	if p.InterfDuty > 0 {
+		parts = append(parts, fmt.Sprintf("interf=%g%%", p.InterfDuty*100))
+	}
+	if p.ADCBits != 0 {
+		parts = append(parts, fmt.Sprintf("adc=%db", p.ADCBits))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,201 @@
+package impair
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// statScale shrinks ensemble sizes under -short: the statistical
+// tolerances widen accordingly, so the checks stay meaningful at both
+// scales (determinism is pinned elsewhere; these pin the *physics*).
+func statScale(t *testing.T, full int) int {
+	t.Helper()
+	if testing.Short() {
+		return full / 8
+	}
+	return full
+}
+
+// TestRayleighEnvelope pins the fading model's first-order statistics:
+// unit mean power (the model must not shift the SNR operating point)
+// and the Rayleigh envelope CDF P(|g| ≤ 1) = 1 − e^{−1} ≈ 0.632.
+func TestRayleighEnvelope(t *testing.T) {
+	f := &Fading{Doppler: 1e-3}
+	ensembles := statScale(t, 400)
+	const perTraj = 512
+	var power, below float64
+	n := 0
+	var g []complex128
+	for e := 0; e < ensembles; e++ {
+		g = f.gainAt(int64(1000+e), g, perTraj, 0)
+		// Samples within a trajectory are correlated; subsample well
+		// past the coherence time (1/f_d = 1000 samples is longer than
+		// the trajectory, so take a handful per trajectory).
+		for _, i := range []int{0, 170, 340, 510} {
+			a2 := real(g[i])*real(g[i]) + imag(g[i])*imag(g[i])
+			power += a2
+			if a2 <= 1 {
+				below++
+			}
+			n++
+		}
+	}
+	meanPower := power / float64(n)
+	if math.Abs(meanPower-1) > 0.1 {
+		t.Errorf("mean fading power %.3f, want 1±0.1", meanPower)
+	}
+	cdf1 := below / float64(n)
+	want := 1 - math.Exp(-1)
+	if math.Abs(cdf1-want) > 0.05 {
+		t.Errorf("P(|g|² ≤ 1) = %.3f, want %.3f±0.05", cdf1, want)
+	}
+}
+
+// TestRicianPower pins the Rician normalization: the LOS + scatter mix
+// keeps unit mean power at any K, and at large K the envelope
+// concentrates near 1 (fades disappear).
+func TestRicianPower(t *testing.T) {
+	for _, k := range []float64{1, 10, 100} {
+		f := &Fading{Doppler: 1e-3, K: k}
+		ensembles := statScale(t, 240)
+		var power, minA2 float64
+		minA2 = math.Inf(1)
+		n := 0
+		var g []complex128
+		for e := 0; e < ensembles; e++ {
+			g = f.gainAt(int64(9000+e), g, 512, 0)
+			for _, i := range []int{0, 255, 511} {
+				a2 := real(g[i])*real(g[i]) + imag(g[i])*imag(g[i])
+				power += a2
+				if a2 < minA2 {
+					minA2 = a2
+				}
+				n++
+			}
+		}
+		meanPower := power / float64(n)
+		if math.Abs(meanPower-1) > 0.12 {
+			t.Errorf("K=%g: mean power %.3f, want 1±0.12", k, meanPower)
+		}
+		if k == 100 && minA2 < 0.5 {
+			t.Errorf("K=100: observed a deep fade (|g|²=%.3f) that strong LOS should forbid", minA2)
+		}
+	}
+}
+
+// TestDopplerAutocorrelation pins the second-order statistics: the
+// ensemble autocorrelation of the scattered process tracks the Clarke
+// spectrum's J₀(2π·f_d·τ) — in particular it decays on the coherence
+// scale and goes negative past the first Bessel zero (τ ≈ 0.38/f_d),
+// rather than wandering like white noise or holding like a constant.
+func TestDopplerAutocorrelation(t *testing.T) {
+	const fd = 2e-3
+	f := &Fading{Doppler: fd, Paths: 32}
+	ensembles := statScale(t, 320)
+	traj := 1024
+	lags := []int{0, 50, 100, 191, 400}
+	acc := make([]complex128, len(lags))
+	var g []complex128
+	for e := 0; e < ensembles; e++ {
+		g = f.gainAt(int64(5000+e), g, traj, 0)
+		for li, lag := range lags {
+			acc[li] += g[lag] * cmplx.Conj(g[0])
+		}
+	}
+	tol := 0.08
+	if testing.Short() {
+		tol = 0.2
+	}
+	for li, lag := range lags {
+		got := real(acc[li]) / float64(ensembles)
+		want := math.J0(2 * math.Pi * fd * float64(lag))
+		if math.Abs(got-want) > tol {
+			t.Errorf("R(τ=%d) = %.3f, want J0 = %.3f ± %.2f", lag, got, want, tol)
+		}
+	}
+}
+
+// TestInterfererDutyCycle pins the burst process's long-run occupancy
+// against the configured duty cycle, counting tone samples directly in
+// a zero buffer.
+func TestInterfererDutyCycle(t *testing.T) {
+	for _, duty := range []float64{0.1, 0.25, 0.5} {
+		const meanOn = 200.0
+		it := &Interferer{Freq: 0.3, Amp: 1, MeanOn: meanOn, MeanOff: meanOn * (1 - duty) / duty}
+		n := statScale(t, 400000)
+		buf := make([]complex128, n)
+		it.ApplyFront(31, buf)
+		on := 0
+		for _, v := range buf {
+			if v != 0 {
+				on++
+			}
+		}
+		got := float64(on) / float64(n)
+		tol := 0.05
+		if testing.Short() {
+			tol = 0.12
+		}
+		if math.Abs(got-duty) > tol {
+			t.Errorf("duty %.2f: occupancy %.3f (want ±%.2f)", duty, got, tol)
+		}
+	}
+}
+
+// TestMultipathPowerPreserved pins the multipath normalization: the
+// ensemble output power matches the input power (tap powers sum to 1).
+func TestMultipathPowerPreserved(t *testing.T) {
+	m := &Multipath{Doppler: 1e-3}
+	ensembles := statScale(t, 160)
+	const n = 600
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = 1 // unit-power CW probe
+	}
+	var pin, pout float64
+	buf := make([]complex128, n)
+	for e := 0; e < ensembles; e++ {
+		copy(buf, in)
+		m.ApplyLink(int64(300+e), buf, 0)
+		// Skip the leading delay-spread transient.
+		for i := 8; i < n; i++ {
+			pin++
+			pout += real(buf[i])*real(buf[i]) + imag(buf[i])*imag(buf[i])
+		}
+	}
+	ratio := pout / pin
+	// The effective sample count is small (taps decorrelate on the
+	// 1/f_d scale), so the short-mode band is wide.
+	tol := 0.15
+	if testing.Short() {
+		tol = 0.3
+	}
+	if math.Abs(ratio-1) > tol {
+		t.Errorf("multipath power ratio %.3f, want 1±%.2f", ratio, tol)
+	}
+}
+
+// TestPhaseNoiseWalkVariance pins the Brownian phase model: the phase
+// deviation from the noiseless ramp has variance ≈ n·σ² after n steps.
+func TestPhaseNoiseWalkVariance(t *testing.T) {
+	const sigma = 5e-3
+	const n = 2000
+	d := &Drift{PhaseNoise: sigma}
+	ensembles := statScale(t, 240)
+	var sumSq float64
+	buf := make([]complex128, n)
+	for e := 0; e < ensembles; e++ {
+		for i := range buf {
+			buf[i] = 1
+		}
+		d.ApplyLink(int64(40+e), buf, 0)
+		dphi := cmplx.Phase(buf[n-1])
+		sumSq += dphi * dphi
+	}
+	got := sumSq / float64(ensembles)
+	want := float64(n-1) * sigma * sigma
+	if got < want/2 || got > want*2 {
+		t.Errorf("phase-noise variance after %d steps: %.2e, want ≈%.2e (×2 band)", n, got, want)
+	}
+}

@@ -1,0 +1,78 @@
+package impair
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"zigzag/internal/runner"
+)
+
+// TestWorkerByteIdentityPerModel pins the satellite requirement that
+// every impairment model is byte-identical across worker counts: a
+// Monte-Carlo sweep of chain applications (per-trial seeds through the
+// runner's splitmix derivation, per-worker model instances with dirty
+// scratch) must reduce to the same digests at workers 1, 2 and NumCPU.
+func TestWorkerByteIdentityPerModel(t *testing.T) {
+	trials := 48
+	if testing.Short() {
+		trials = 16
+	}
+	profiles := map[string]Profile{
+		"fading-rayleigh": {Doppler: 3e-4},
+		"fading-rician":   {Doppler: 3e-4, RicianK: 8},
+		"fading-block":    {Doppler: 3e-4, CoherenceBlock: 64},
+		"multipath":       {MultipathDoppler: 2e-4},
+		"drift":           {DriftRate: 5e-7, PhaseNoise: 2e-3},
+		"interferer":      {InterfDuty: 0.25, InterfAmp: 0.8},
+		"adc":             {ADCBits: 6},
+		"composed":        {Doppler: 3e-4, RicianK: 2, MultipathDoppler: 2e-4, DriftRate: 1e-7, InterfDuty: 0.2, ADCBits: 10},
+	}
+	in := testBuf(1500, 13)
+	sweep := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		sweep = append(sweep, n)
+	}
+	for name, prof := range profiles {
+		run := func(workers int) []uint64 {
+			return runner.MustMapLocal(trials, runner.Options{Workers: workers, BaseSeed: 17},
+				func() *Chain { return prof.Chain() }, // per-worker chain, scratch accumulates
+				nil,
+				func(c *Chain, trial int, _ *rand.Rand) uint64 {
+					c.Reset(runner.TrialSeed(17, trial))
+					buf := make([]complex128, len(in))
+					copy(buf, in)
+					c.BeginReception()
+					c.ImpairEmission(0, buf, 40)
+					c.ImpairFront(buf)
+					return digest(buf)
+				})
+		}
+		ref := run(1)
+		for _, w := range sweep[1:] {
+			got := run(w)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: workers=%d trial %d diverged from serial reference", name, w, i)
+				}
+			}
+		}
+	}
+}
+
+// digest folds a buffer into a 64-bit FNV word.
+func digest(buf []complex128) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= 1099511628211
+		}
+	}
+	for _, c := range buf {
+		mix(math.Float64bits(real(c)))
+		mix(math.Float64bits(imag(c)))
+	}
+	return h
+}

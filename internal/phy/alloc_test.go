@@ -258,3 +258,38 @@ func TestReinitMatchesNew(t *testing.T) {
 		}
 	}
 }
+
+// TestReceiverSoftViewContract pins the no-copy exposure of soft
+// decisions: DecodeResult.Decisions/Soft alias the receiver's decode
+// arenas (same backing array across decodes once grown), repeated
+// decodes do not allocate fresh slices for them, and the values stay
+// correct under arena reuse — a dirtied receiver reproduces a fresh
+// receiver's outputs exactly.
+func TestReceiverSoftViewContract(t *testing.T) {
+	cfg, rx, _, s := allocScenario(t, 301)
+	r := NewReceiver(cfg)
+	const totalBits = 1000
+	res1 := r.DecodeKnownLength(rx, s, modem.BPSK, totalBits)
+	if len(res1.Soft) == 0 || len(res1.Decisions) != len(res1.Soft) {
+		t.Fatalf("no soft output: %d dec, %d soft", len(res1.Decisions), len(res1.Soft))
+	}
+	// Copy out, then decode again: views must reuse the same backing.
+	wantSoft := append([]complex128(nil), res1.Soft...)
+	wantDec := append([]complex128(nil), res1.Decisions...)
+	res2 := r.DecodeKnownLength(rx, s, modem.BPSK, totalBits)
+	if &res1.Soft[0] != &res2.Soft[0] || &res1.Decisions[0] != &res2.Decisions[0] {
+		t.Error("repeated decode did not reuse the receiver's arenas")
+	}
+	for i := range wantSoft {
+		if res2.Soft[i] != wantSoft[i] || res2.Decisions[i] != wantDec[i] {
+			t.Fatalf("symbol %d changed across arena reuse", i)
+		}
+	}
+	// A fresh receiver agrees bit for bit (arena reuse is invisible).
+	fresh := NewReceiver(cfg).DecodeKnownLength(rx, s, modem.BPSK, totalBits)
+	for i := range wantSoft {
+		if fresh.Soft[i] != wantSoft[i] {
+			t.Fatalf("fresh receiver soft %d differs", i)
+		}
+	}
+}

@@ -26,7 +26,11 @@ type DecodeResult struct {
 	// Bits are the demapped bits (header+payload+CRC), possibly wrong.
 	Bits []byte
 	// Decisions and Soft are the per-symbol outputs of the decoder for
-	// the frame body (excluding the preamble).
+	// the frame body (excluding the preamble), exposed without copying:
+	// both alias the producing Receiver's reusable decode arenas and
+	// are valid only until the next decode on that receiver. A caller
+	// that retains them across decodes (e.g. to accumulate soft values
+	// over a sweep) owns the copy: append([]complex128(nil), res.Soft...).
 	Decisions []complex128
 	Soft      []complex128
 	// Sync is the synchronization the decode used.
@@ -46,12 +50,21 @@ func (r *DecodeResult) OK() bool { return r != nil && r.Frame != nil && r.Err ==
 // A Receiver reuses one body decoder (and the preamble constellation)
 // across decodes, so it must not be shared by concurrent goroutines —
 // its Synchronizer's correlation scratch already imposes the same rule.
+// DecodeResults it produces share that lifecycle: their Decisions/Soft
+// views alias the receiver's decode arenas (see DecodeResult).
 type Receiver struct {
 	Config
 	Sync *Synchronizer
 
 	body    *SymbolDecoder
 	preSyms []complex128
+
+	// decArena/softArena back the Decisions/Soft views of the results
+	// this receiver produces: the symbol decoder's header and body
+	// outputs land in its own scratch (overwritten by the body pass),
+	// so results accumulate here instead of in per-decode allocations.
+	decArena  []complex128
+	softArena []complex128
 }
 
 // NewReceiver builds a standard receiver.
@@ -91,10 +104,11 @@ func (r *Receiver) DecodeAt(rx []complex128, s Sync, scheme modem.Scheme) *Decod
 	hdrSyms := modem.SymbolCount(scheme, frame.HeaderBits)
 	hdrDec, hdrSoft := d.DecodeRange(rx, pre, pre+hdrSyms, false)
 	bits := modem.Demodulate(nil, scheme, hdrDec)
-	res.Decisions = append(res.Decisions, hdrDec...)
-	res.Soft = append(res.Soft, hdrSoft...)
+	res.Decisions = append(r.decArena[:0], hdrDec...)
+	res.Soft = append(r.softArena[:0], hdrSoft...)
 	totalBits, err := frame.PeekLength(bits)
 	if err != nil {
+		r.decArena, r.softArena = res.Decisions, res.Soft
 		res.Bits = bits
 		res.Err = fmt.Errorf("phy: header unreadable: %w", err)
 		return res
@@ -109,6 +123,8 @@ func (r *Receiver) DecodeAt(rx []complex128, s Sync, scheme modem.Scheme) *Decod
 // (§5.4).
 func (r *Receiver) DecodeKnownLength(rx []complex128, s Sync, scheme modem.Scheme, totalBits int) *DecodeResult {
 	res := &DecodeResult{Sync: s}
+	res.Decisions = r.decArena[:0]
+	res.Soft = r.softArena[:0]
 	d := r.newBodyDecoder(rx, s, scheme)
 	return r.finishDecode(rx, d, res, nil, totalBits)
 }
@@ -120,12 +136,14 @@ func (r *Receiver) finishDecode(rx []complex128, d *SymbolDecoder, res *DecodeRe
 	doneSyms := len(res.Decisions)
 	endSample := int(d.Sync().Start) + (pre+totalSyms)*r.SamplesPerSymbol
 	if endSample > len(rx) {
+		r.decArena, r.softArena = res.Decisions, res.Soft
 		res.Err = ErrTruncated
 		return res
 	}
 	dec, soft := d.DecodeRange(rx, pre+doneSyms, pre+totalSyms, false)
 	res.Decisions = append(res.Decisions, dec...)
 	res.Soft = append(res.Soft, soft...)
+	r.decArena, r.softArena = res.Decisions, res.Soft
 	res.Bits = append(gotBits, modem.Demodulate(nil, scheme, dec)...)
 	if len(res.Bits) > totalBits {
 		res.Bits = res.Bits[:totalBits]

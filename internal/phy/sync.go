@@ -51,11 +51,13 @@ func (s Sync) Theta(n float64) float64 {
 // Synchronizer must therefore not be shared by concurrent goroutines;
 // the Monte-Carlo harnesses construct one per trial.
 type Synchronizer struct {
-	cfg    Config
-	wave   []complex128 // preamble chip waveform
-	energy float64      // Σ|s[k]|²
-	corr   fft.Scratch  // correlation engine working storage
-	prof   []complex128 // reusable profile buffer (Detect only)
+	cfg     Config
+	wave    []complex128 // preamble chip waveform
+	energy  float64      // Σ|s[k]|²
+	corr    fft.Scratch  // correlation engine working storage
+	prof    []complex128 // reusable profile buffer (Detect only)
+	peakBuf []dsp.Peak   // reusable peak list (Detect only)
+	syncBuf []Sync       // reusable sync list (Detect only)
 }
 
 // NewSynchronizer builds a synchronizer for the configuration.
@@ -77,14 +79,20 @@ func (sy *Synchronizer) PreambleSamples() []complex128 { return sy.wave }
 //
 // The returned syncs are sorted by position. A spike in the middle of a
 // reception is exactly the paper's collision indicator (Fig 4-2).
+//
+// The returned slice is the synchronizer's reusable scratch, valid
+// until the next Detect/DetectFor on this synchronizer; callers that
+// retain syncs across detections copy the values out (Sync is a plain
+// value type).
 func (sy *Synchronizer) Detect(rx []complex128, freq, beta, refAmp float64) []Sync {
 	sy.prof = fft.Correlate(sy.prof, rx, sy.wave, freq, &sy.corr)
 	pd := dsp.PeakDetector{Beta: beta, RefAmp: refAmp, MinSpacing: len(sy.wave) / 2}
-	peaks := pd.Find(sy.prof, sy.energy)
-	syncs := make([]Sync, 0, len(peaks))
-	for _, p := range peaks {
+	sy.peakBuf = pd.FindInto(sy.peakBuf, sy.prof, sy.energy)
+	syncs := sy.syncBuf[:0]
+	for _, p := range sy.peakBuf {
 		syncs = append(syncs, sy.syncFromPeak(p))
 	}
+	sy.syncBuf = syncs
 	return syncs
 }
 

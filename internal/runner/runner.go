@@ -61,6 +61,19 @@ func TrialSeed(base int64, trial int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// Splitmix64 advances a splitmix64 state in place and returns the next
+// output. It is THE generator core of this repository's determinism
+// story: the per-trial sources below run on it, and the impairment
+// engine's per-(reception, emission, model) streams reuse it so "the
+// exact derivation the runner uses" stays a single definition.
+func Splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // source64 is a splitmix64 generator used as the per-trial random
 // source. math/rand's default source reduces its int64 seed mod 2³¹−1,
 // which would alias distinct trial seeds onto identical streams roughly
@@ -69,13 +82,7 @@ func TrialSeed(base int64, trial int) int64 {
 // as state instead.
 type source64 struct{ state uint64 }
 
-func (s *source64) Uint64() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
+func (s *source64) Uint64() uint64 { return Splitmix64(&s.state) }
 
 func (s *source64) Int63() int64 { return int64(s.Uint64() >> 1) }
 

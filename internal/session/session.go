@@ -133,6 +133,11 @@ func (s *Session) ResetRand(rng *rand.Rand) {
 	s.Air.Rng = rng
 	s.Air.NoisePower = 0
 	s.Air.RandomizePhase = false
+	// A trial starts on the static channel; harnesses that want
+	// time-varying impairments install a freshly seeded chain after the
+	// reset. Clearing here is what keeps a pooled session from leaking
+	// one sweep's impairment chain into an unrelated trial.
+	s.Air.Impair = nil
 }
 
 // Mix renders a reception of n samples into the session's reusable
@@ -248,10 +253,12 @@ func (p *Pool) Release(s *Session) {
 	if s == nil || PoolDisabled() {
 		return
 	}
-	// Drop the trial stream: a pooled session must not retain the last
-	// trial's rng (determinism comes from the next Reset).
+	// Drop the trial stream and impairment chain: a pooled session must
+	// not retain the last trial's rng or its harness's chain
+	// (determinism comes from the next Reset).
 	s.Rng = nil
 	s.Air.Rng = nil
+	s.Air.Impair = nil
 	p.mu.Lock()
 	if p.free == nil {
 		p.free = make(map[core.Config][]*Session)

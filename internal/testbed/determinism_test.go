@@ -4,6 +4,9 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"zigzag/internal/impair"
+	"zigzag/internal/session"
 )
 
 // TestCollisionFreeWorkerInvariant pins the parallel collision-free
@@ -25,5 +28,64 @@ func TestCollisionFreeWorkerInvariant(t *testing.T) {
 		if got := run(w); !reflect.DeepEqual(got, ref) {
 			t.Fatalf("workers=%d diverged from serial reference\nserial: %+v\n   got: %+v", w, ref, got)
 		}
+	}
+}
+
+// TestImpairedRunDeterminism pins the harsh-channel testbed runs: a
+// run with a time-varying impairment profile is reproducible (same
+// seed → byte-identical result, including across pooled-session
+// reuse), actually differs from the static channel, and collapses back
+// to it when the engine is globally disabled.
+func TestImpairedRunDeterminism(t *testing.T) {
+	// Assertions below need the engine active; the ZIGZAG_NO_IMPAIR=1
+	// race leg otherwise verifies the disabled path.
+	wasDisabled := impair.Disabled()
+	impair.SetDisabled(false)
+	t.Cleanup(func() { impair.SetDisabled(wasDisabled) })
+	cfg := HiddenPairConfig(14, 14, FullyHidden, 3, 100, 0.05, 6)
+	cfg.Impair = impair.Profile{Doppler: 3e-4, InterfDuty: 0.2, InterfAmp: 0.6}
+	staticCfg := cfg
+	staticCfg.Impair = impair.Profile{}
+
+	ref := Run(cfg, ZigZag)
+	sess := session.New(cfg.CoreConfig())
+	if got := RunWith(sess, cfg, ZigZag); !reflect.DeepEqual(got, ref) {
+		t.Fatal("impaired run not reproducible on a fresh session")
+	}
+	// Interleave a static run on the same session, then repeat: the
+	// session must not leak the chain either way.
+	staticRef := Run(staticCfg, ZigZag)
+	if got := RunWith(sess, staticCfg, ZigZag); !reflect.DeepEqual(got, staticRef) {
+		t.Fatal("static run after an impaired one diverged — chain leaked through the session")
+	}
+	if got := RunWith(sess, cfg, ZigZag); !reflect.DeepEqual(got, ref) {
+		t.Fatal("impaired run not reproducible on a reused session")
+	}
+	if reflect.DeepEqual(ref, staticRef) {
+		t.Fatal("impairment profile had no effect on the run")
+	}
+	impair.SetDisabled(true)
+	defer impair.SetDisabled(false)
+	if got := Run(cfg, ZigZag); !reflect.DeepEqual(got, staticRef) {
+		t.Fatal("disabled engine did not collapse to the static run")
+	}
+}
+
+// TestDisabledImpairCollisionFreeIdentity pins the escape-hatch
+// contract on the collision-free path specifically: with the engine
+// globally disabled, a run with a non-empty profile must be
+// byte-identical to the static run — in particular, the per-slot chain
+// seed draw must not happen, since even consuming it would shift each
+// slot's noise/phase stream.
+func TestDisabledImpairCollisionFreeIdentity(t *testing.T) {
+	cfg := HiddenPairConfig(6, 6, FullyHidden, 8, 200, 0.05, 4)
+	staticRef := Run(cfg, CollisionFree)
+	harshCfg := cfg
+	harshCfg.Impair = impair.Profile{Doppler: 1e-3, InterfDuty: 0.2}
+	wasDisabled := impair.Disabled()
+	impair.SetDisabled(true)
+	t.Cleanup(func() { impair.SetDisabled(wasDisabled) })
+	if got := Run(harshCfg, CollisionFree); !reflect.DeepEqual(got, staticRef) {
+		t.Fatal("disabled engine + impair profile diverged from the static collision-free run")
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"zigzag/internal/channel"
 	"zigzag/internal/core"
 	"zigzag/internal/frame"
+	"zigzag/internal/impair"
 	"zigzag/internal/mac"
 	"zigzag/internal/metrics"
 	"zigzag/internal/modem"
@@ -87,6 +88,13 @@ type RunConfig struct {
 	// episode's backoffs depend on the previous episode's ACKs — so
 	// Workers does not affect them. Results are identical at any value.
 	Workers int
+	// Impair describes the time-varying channel impairments every
+	// reception of the run suffers (internal/impair): fading, drifting
+	// oscillators, interference, converter limits. The zero value is
+	// the static paper channel, bit-identical to builds without the
+	// impairment engine; trajectories are derived from Seed, so runs
+	// stay deterministic.
+	Impair impair.Profile
 }
 
 // CoreConfig returns the decoder configuration a run with this
@@ -155,37 +163,91 @@ type run struct {
 	bitErr, bitTot []int
 	frameBuf       []*frame.Frame
 	ems            []channel.Emission
+	arena          *renderArena
 }
 
 // typicalLinkISI is the shared (read-only) three-tap testbed ISI
 // profile every link uses, hoisted out of the per-run loop.
 var typicalLinkISI = channel.TypicalISI(1)
 
+// payloadSeed is the deterministic payload stream seed for a station's
+// seq-th packet — the single definition Payload and the arena-backed
+// render path share.
+func payloadSeed(station uint8, seq int) int64 {
+	return int64(station)<<32 ^ int64(seq)<<8 ^ 0x5bd1
+}
+
 // Payload returns the deterministic payload for a station's seq-th
-// packet: both the transmitter and the BER accounting derive it.
+// packet: both the transmitter and the BER accounting derive it. This
+// is the allocating reference form; episode rendering goes through the
+// per-session renderArena, which produces identical bytes without
+// per-packet construction.
 func Payload(station uint8, seq int, n int) []byte {
-	r := rand.New(rand.NewSource(int64(station)<<32 ^ int64(seq)<<8 ^ 0x5bd1))
+	r := rand.New(rand.NewSource(payloadSeed(station, seq)))
 	p := make([]byte, n)
 	r.Read(p)
 	return p
 }
 
-// frameFor builds the frame a transmission carries. Retransmissions are
-// bit-identical to the original, matching the paper's replay methodology
-// (§5.2: "the sender transmits each packet twice"): if the Retry bit
-// were encoded, the header check byte and the trailing CRC-32 would
-// differ between the two collisions, and a joint decode that assembles
-// chunks from both copies could never pass the checksum. (Handling
-// mixed-version collisions needs per-symbol provenance tracking — noted
-// as future work alongside the paper's §6a coding integration.)
-func frameFor(tr mac.Transmission, payload int) *frame.Frame {
-	return &frame.Frame{
+// renderArena is the per-session episode-rendering scratch: the pooled
+// payload generator (one reseedable rng instead of a fresh
+// rand.New per packet), the frame and payload arenas (one slot per
+// concurrently-live transmission), the BER-accounting truth buffer,
+// and the cached impairment chain. It rides the session through the
+// pool via Session.Aux, so steady-state episode rendering allocates
+// nothing (AllocsPerRun-pinned).
+type renderArena struct {
+	payloadRng *rand.Rand
+	frames     []frame.Frame
+	payloads   [][]byte
+	truth      []byte
+	impair     impair.ChainCache
+}
+
+// arenaOf returns sess's render arena, building (or replacing a
+// foreign Aux occupant) on mismatch.
+func arenaOf(sess *session.Session) *renderArena {
+	a, ok := sess.Aux.(*renderArena)
+	if !ok {
+		a = &renderArena{payloadRng: rand.New(rand.NewSource(0))}
+		sess.Aux = a
+	}
+	return a
+}
+
+// frameInto builds the frame a transmission carries, in arena slot
+// slot (valid until the slot is rendered again). Retransmissions are
+// bit-identical to the original, matching the paper's replay
+// methodology (§5.2: "the sender transmits each packet twice"): if the
+// Retry bit were encoded, the header check byte and the trailing
+// CRC-32 would differ between the two collisions, and a joint decode
+// that assembles chunks from both copies could never pass the
+// checksum. (Handling mixed-version collisions needs per-symbol
+// provenance tracking — noted as future work alongside the paper's §6a
+// coding integration.)
+func (a *renderArena) frameInto(slot int, tr mac.Transmission, payload int) *frame.Frame {
+	for slot >= len(a.frames) {
+		a.frames = append(a.frames, frame.Frame{})
+		a.payloads = append(a.payloads, nil)
+	}
+	if cap(a.payloads[slot]) < payload {
+		a.payloads[slot] = make([]byte, payload)
+	}
+	p := a.payloads[slot][:payload]
+	a.payloads[slot] = p
+	// Reseeding resets the pooled rng (including its byte-read state)
+	// to exactly the state a fresh rand.New(rand.NewSource(seed))
+	// starts from, so the bytes match Payload's.
+	a.payloadRng.Seed(payloadSeed(tr.Station, tr.Seq))
+	a.payloadRng.Read(p)
+	a.frames[slot] = frame.Frame{
 		Src:     tr.Station,
 		Dst:     0xFF,
 		Seq:     uint16(tr.Seq),
 		Scheme:  modem.BPSK,
-		Payload: Payload(tr.Station, tr.Seq, payload),
+		Payload: p,
 	}
+	return &a.frames[slot]
 }
 
 // Run executes one flow experiment under the given scheme on a
@@ -226,6 +288,15 @@ func RunWith(sess *session.Session, cfg RunConfig, scheme Scheme) RunResult {
 	r.air = sess.Air
 	r.air.NoisePower = cfg.Noise
 	r.air.RandomizePhase = true
+	r.arena = arenaOf(sess)
+	if !cfg.Impair.Empty() {
+		// Harsh-channel mode: every episode's reception runs through
+		// the time-varying chain, with trajectories derived from the
+		// run seed (independent per episode, byte-identical per run).
+		ch := r.arena.impair.Get(cfg.Impair)
+		ch.Reset(runner.TrialSeed(cfg.Seed, 0x17a9))
+		r.air.Impair = ch
+	}
 
 	var clients []core.Client
 	for i := 0; i < n; i++ {
@@ -331,7 +402,7 @@ func (r *run) renderEpisode(ep mac.Episode) ([]complex128, []*frame.Frame) {
 	r.ems = r.ems[:0]
 	maxEnd := 0
 	for i, tr := range ep.Transmissions {
-		f := frameFor(tr, r.cfg.Payload)
+		f := r.arena.frameInto(i, tr, r.cfg.Payload)
 		frames[i] = f
 		wave, err := r.sess.Waveform(i, f)
 		if err != nil {
@@ -354,10 +425,11 @@ func (r *run) renderEpisode(ep mac.Episode) ([]complex128, []*frame.Frame) {
 // bits (nil means a total loss: every bit counts as wrong, matching the
 // paper's inclusion of lost packets in BER-vs-ground-truth accounting).
 func (r *run) accountBits(f *frame.Frame, got []byte) {
-	truth, err := f.Bits(nil)
+	truth, err := f.Bits(r.arena.truth[:0])
 	if err != nil {
 		return
 	}
+	r.arena.truth = truth[:0]
 	idx := int(f.Src) - 1
 	r.bitTot[idx] += len(truth)
 	if got == nil {
@@ -484,9 +556,21 @@ func (r *run) runCollisionFree(airtime time.Duration) RunResult {
 		func(_ context.Context, sess *session.Session, slot int, rng *rand.Rand) (slotOutcome, error) {
 			var oc slotOutcome
 			sess.ResetRand(rng)
+			ar := arenaOf(sess)
+			if !r.cfg.Impair.Empty() && !impair.Disabled() {
+				// One trajectory stream per slot, drawn from the slot's
+				// trial rng so worker scheduling cannot reorder it. The
+				// Disabled guard matters: with the engine globally off,
+				// even consuming the Int63 would shift the slot's
+				// noise/phase stream and break the escape hatch's
+				// bit-identity contract.
+				ch := ar.impair.Get(r.cfg.Impair)
+				ch.Reset(rng.Int63())
+				sess.Air.Impair = ch
+			}
 			seq, i := slot/n, slot%n
 			tr := mac.Transmission{Station: uint8(i + 1), Seq: seq}
-			f := frameFor(tr, r.cfg.Payload)
+			f := ar.frameInto(0, tr, r.cfg.Payload)
 			wave, err := sess.Waveform(0, f)
 			if err != nil {
 				return oc, nil // never airs: no airtime, no accounting
