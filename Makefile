@@ -14,7 +14,11 @@
 #   make bench-check — session-engine benchmark-regression gate:
 #                      trimmed sweeps, pooled vs unpooled identity +
 #                      calibrated-unit diff against BENCH_session.json
-#                      (now including the harsh-channel suite)
+#                      (now including the harsh-channel suite), plus the
+#                      k-way gate below
+#   make bench-kway — k-way SIC gate only: end-to-end joint-decode cost
+#                     at k=2/3/4 vs BENCH_kway.json + k=2
+#                     generalized-vs-pairwise bit-identity
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -47,7 +51,15 @@ DECODE_PKGS = ./internal/dsp/... ./internal/channel/... ./internal/phy/... ./int
 # steady-state calls.
 IMPAIR_PKGS = ./internal/impair/... ./internal/channel/... ./internal/testbed/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair bench bench-correlate bench-decode bench-impair bench-check ci
+# Packages touched by the generalized k-way SIC framework;
+# test-race-kway runs them twice under the race detector on both SIC
+# policies (generalized and the ZIGZAG_PAIRWISE_SIC=1 escape hatch), so
+# the per-decoder k-way scratch, the receiver's store matcher, and the
+# k-way experiment sweeps are exercised across repeated steady-state
+# calls on each path.
+KWAY_PKGS = ./internal/core/... ./internal/session/... ./internal/experiments/...
+
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway bench bench-correlate bench-decode bench-impair bench-check bench-kway ci
 
 all: build
 
@@ -84,6 +96,10 @@ test-race-impair: build
 	$(GO) test -short -race -count=2 $(IMPAIR_PKGS)
 	ZIGZAG_NO_IMPAIR=1 $(GO) test -short -race -count=2 $(IMPAIR_PKGS)
 
+test-race-kway: build
+	$(GO) test -short -race -count=2 $(KWAY_PKGS)
+	ZIGZAG_PAIRWISE_SIC=1 $(GO) test -short -race -count=2 $(KWAY_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -101,9 +117,14 @@ bench-impair: build
 bench-check: build
 	$(GO) run ./cmd/zigzag-bench -check
 
+bench-kway: build
+	$(GO) run ./cmd/zigzag-bench -check -kway-only
+
 # test-race-correlate is not a ci prerequisite: test-race-decode's
 # default-path run covers the same packages (plus channel) with the
 # same flags, so listing both would race-test dsp/phy/core twice.
 # test-race-impair IS listed: its no-impair leg and the impair/testbed
-# packages are not covered by the decode matrix.
-ci: vet test-race test-race-decode test-race-impair
+# packages are not covered by the decode matrix. test-race-kway is
+# likewise listed for its pairwise-hatch leg and the session/experiments
+# coverage of the generalized scheduler.
+ci: vet test-race test-race-decode test-race-impair test-race-kway

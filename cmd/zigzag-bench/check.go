@@ -117,7 +117,7 @@ func timeSweep(fn func() any) (time.Duration, any) {
 	return time.Since(start), out
 }
 
-func runBenchCheck(outPath string) int {
+func runBenchCheck(outPath string, kwayOnly bool) int {
 	wasDisabled := session.PoolDisabled()
 	defer session.SetPoolDisabled(wasDisabled)
 
@@ -144,7 +144,11 @@ func runBenchCheck(outPath string) int {
 
 	results := map[string]measuredSweep{}
 	failed := false
-	for _, sw := range checkSweeps {
+	sweeps := checkSweeps
+	if kwayOnly {
+		sweeps = nil
+	}
+	for _, sw := range sweeps {
 		session.SetPoolDisabled(false)
 		pooledDur, pooledOut := timeSweep(sw.run)
 		session.SetPoolDisabled(true)
@@ -174,10 +178,17 @@ func runBenchCheck(outPath string) int {
 			sw.name, m.PooledSeconds, m.UnpooledSeconds, m.PoolSpeedup, m.Units, verdict)
 	}
 
+	session.SetPoolDisabled(false)
+	kwayUnits, kwayFailed := runKWayCheck(cal)
+	if kwayFailed {
+		failed = true
+	}
+
 	if outPath != "" {
 		data, err := json.MarshalIndent(map[string]any{
 			"calibration_seconds": cal,
 			"sweeps":              results,
+			"kway_units":          kwayUnits,
 		}, "", "  ")
 		if err == nil {
 			err = os.WriteFile(outPath, append(data, '\n'), 0o644)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"zigzag/internal/core"
+	"zigzag/internal/experiments"
+	"zigzag/internal/impair"
+)
+
+// The k-way leg of -check guards the generalized SIC framework:
+//
+//  1. Identity: the trimmed harsh suite runs twice at k=2 — through the
+//     generalized chunk scheduler and with the -pairwise-sic hatch
+//     engaged — and the results must be bit-identical. Pair decodes take
+//     the legacy policy by construction, so any divergence means the
+//     generalization leaked into the k=2 path.
+//  2. Calibrated cost: the end-to-end joint-decode cost of k = 2, 3, 4
+//     collisions (KWayBER, static channel) is normalized by the same
+//     calibration kernel as the session sweeps and compared against the
+//     committed BENCH_kway.json within the tolerance factor. Each extra
+//     packet multiplies re-encode/subtract work, so the per-k units also
+//     document how the cancellation chains scale.
+
+// kwayBenchFile mirrors the committed BENCH_kway.json layout (only the
+// fields -check consumes).
+type kwayBenchFile struct {
+	Check struct {
+		ToleranceFactor float64            `json:"tolerance_factor"`
+		ReferenceUnits  map[string]float64 `json:"reference_units"`
+	} `json:"check"`
+}
+
+// kwayCostScale sizes the per-k cost measurement. The identity check
+// reuses checkScale, but the cost gate needs enough pairs per k that
+// the calibrated quotient resolves well above the timer floor.
+var kwayCostScale = func() experiments.Scale {
+	sc := checkScale
+	sc.Pairs = 30
+	return sc
+}()
+
+// runKWayCheck runs the identity and per-k cost gates. It returns the
+// measured units per k (for -bench-out) and whether any gate failed.
+func runKWayCheck(cal float64) (map[string]float64, bool) {
+	wasPairwise := core.PairwiseSIC()
+	defer core.SetPairwiseSIC(wasPairwise)
+
+	var ref kwayBenchFile
+	ref.Check.ToleranceFactor = 2.5
+	if data, err := os.ReadFile("BENCH_kway.json"); err == nil {
+		if err := json.Unmarshal(data, &ref); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-check: BENCH_kway.json unreadable: %v\n", err)
+			return nil, true
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "bench-check: BENCH_kway.json not found; reporting k-way measurements without unit gating")
+	}
+	if ref.Check.ToleranceFactor <= 0 {
+		ref.Check.ToleranceFactor = 2.5
+	}
+
+	failed := false
+	core.SetPairwiseSIC(false)
+	gen := experiments.HarshChannelSuite(checkScale, 3)
+	core.SetPairwiseSIC(true)
+	pair := experiments.HarshChannelSuite(checkScale, 3)
+	core.SetPairwiseSIC(false)
+	if !reflect.DeepEqual(gen, pair) {
+		fmt.Fprintln(os.Stderr, "bench-check: kway: k=2 generalized and -pairwise-sic outputs DIFFER — the k-way framework broke the pair path")
+		failed = true
+	} else {
+		fmt.Println("bench-check kway      k=2 generalized ≡ pairwise hatch (bit-identical)")
+	}
+
+	units := map[string]float64{}
+	for _, k := range []int{2, 3, 4} {
+		name := fmt.Sprintf("k%d", k)
+		dur, _ := timeSweep(func() any {
+			return experiments.KWayBER(kwayCostScale, 3, k, impair.Profile{})
+		})
+		u := dur.Seconds() / cal
+		units[name] = u
+		verdict := "ok"
+		if refUnits, hasRef := ref.Check.ReferenceUnits[name]; hasRef && u > refUnits*ref.Check.ToleranceFactor {
+			verdict = fmt.Sprintf("PERF REGRESSION (%.1f units > %.1f × %.1f)", u, refUnits, ref.Check.ToleranceFactor)
+			failed = true
+		}
+		fmt.Printf("bench-check kway-%-4s decode %7.3fs  %6.1f units  %s\n", name, dur.Seconds(), u, verdict)
+	}
+	return units, failed
+}

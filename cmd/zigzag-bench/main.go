@@ -5,8 +5,9 @@
 //
 //	zigzag-bench [-exp all|fig4-2|fig4-4|lemma4-4-1|fig4-7a|fig4-7b|
 //	              table5-1|fig5-2a|fig5-2b|fig5-3|fig5-4|fig5-5|fig5-9|
-//	              harsh]
-//	             [-scale quick|full] [-seed N] [-workers N]
+//	              harsh|kway]
+//	             [-scale quick|full] [-seed N] [-workers N] [-k N]
+//	             [-pairwise-sic]
 //
 // -workers sizes the worker pool that Monte-Carlo trials fan out across
 // (0 = all cores); per-trial seed derivation keeps every figure
@@ -17,7 +18,16 @@
 // jointly decoded collision pairs vs Doppler (with the phase-tracking
 // ablation), Rician K, interferer duty cycle, and CFO drift rate.
 // -no-impair (or ZIGZAG_NO_IMPAIR=1) pins every chain to the static
-// channel.
+// channel. -k raises the suite's collision order: k packets colliding
+// k times per trial through the generalized SIC path (§7); k=2 is the
+// historical pairwise suite, byte-identical.
+//
+// "kway" is the collision-order sweep: joint-decode BER at k = 2, 3, 4
+// on the static channel and under mild fading.
+//
+// -pairwise-sic (or ZIGZAG_PAIRWISE_SIC=1) forces every decode onto the
+// legacy pairwise chunk-ordering policy regardless of k — the escape
+// hatch for the generalized k-way SIC framework.
 //
 // Every output block is labelled with the paper artifact it reproduces;
 // EXPERIMENTS.md records paper-vs-measured values for each.
@@ -29,6 +39,7 @@ import (
 	"os"
 	"strings"
 
+	"zigzag/internal/core"
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
 	"zigzag/internal/experiments"
@@ -42,6 +53,9 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick|full")
 	seed := flag.Int64("seed", 1, "root RNG seed")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
+	kOrder := flag.Int("k", 2, "collision order for the harsh suite (2-4): k packets colliding k times per trial")
+	pairwise := flag.Bool("pairwise-sic", false,
+		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)")
 	naiveCorrelate := flag.Bool("naive-correlate", false,
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	naiveInterp := flag.Bool("naive-interp", false,
@@ -51,7 +65,9 @@ func main() {
 	noImpair := flag.Bool("no-impair", false,
 		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	check := flag.Bool("check", false,
-		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json")
+		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the k-way cost/identity gate against BENCH_kway.json")
+	kwayOnly := flag.Bool("kway-only", false,
+		"with -check: run only the k-way gate (k=2/3/4 decode cost + k=2 generalized-vs-pairwise identity)")
 	benchOut := flag.String("bench-out", "",
 		"with -check: also write the measured numbers to this JSON file")
 	flag.Parse()
@@ -63,8 +79,17 @@ func main() {
 		// clobber a ZIGZAG_NO_IMPAIR=1 environment.
 		impair.SetDisabled(true)
 	}
+	if *pairwise {
+		// Same discipline: only force on an explicit flag so a bare
+		// default never clobbers ZIGZAG_PAIRWISE_SIC=1.
+		core.SetPairwiseSIC(true)
+	}
+	if *kOrder < 2 || *kOrder > 4 {
+		fmt.Fprintln(os.Stderr, "-k must be 2, 3 or 4")
+		os.Exit(2)
+	}
 	if *check {
-		os.Exit(runBenchCheck(*benchOut))
+		os.Exit(runBenchCheck(*benchOut, *kwayOnly))
 	}
 
 	sc := experiments.Quick
@@ -89,7 +114,8 @@ func main() {
 		{"fig5-4", func() { fig54(sc, *seed) }},
 		{"fig5-5", func() { testbedFigs(sc, *seed) }},
 		{"fig5-9", func() { fig59(sc, *seed) }},
-		{"harsh", func() { harsh(sc, *seed) }},
+		{"harsh", func() { harsh(sc, *seed, *kOrder) }},
+		{"kway", func() { kway(sc, *seed) }},
 	}
 	ran := false
 	for _, r := range runners {
@@ -197,8 +223,8 @@ func testbedFigs(sc experiments.Scale, seed int64) {
 		res.HiddenMean80211*100, res.HiddenMeanZigZag*100)
 }
 
-func harsh(sc experiments.Scale, seed int64) {
-	res := experiments.HarshChannelSuite(sc, seed)
+func harsh(sc experiments.Scale, seed int64, k int) {
+	res := experiments.HarshChannelSuiteK(sc, seed, k)
 	fmt.Print(res.BERvsDoppler.Format())
 	fmt.Print(res.BERvsDopplerNoTrack.Format())
 	fmt.Print(res.BERvsRicianK.Format())
@@ -207,6 +233,14 @@ func harsh(sc experiments.Scale, seed int64) {
 	fmt.Println("# chunk-wise re-estimation (§4.2.4b) wins under CFO drift — its design")
 	fmt.Println("# target — but Rayleigh phase dynamics can destabilize the α·δφ/δt loop;")
 	fmt.Println("# K→∞ recovers the static paper channel")
+}
+
+func kway(sc experiments.Scale, seed int64) {
+	res := experiments.KWayOrderSweep(sc, seed)
+	fmt.Print(res.BERvsK.Format())
+	fmt.Print(res.BERvsKFading.Format())
+	fmt.Println("# each extra colliding packet adds one re-encode error source per chunk;")
+	fmt.Println("# the fading leg shows how that compounds against a moving channel")
 }
 
 func fig59(sc experiments.Scale, seed int64) {

@@ -5,11 +5,11 @@
 //
 //	zigzag-sim [-scheme zigzag|802.11|cf] [-snra 13] [-snrb 13]
 //	           [-kind hidden|partial|mutual] [-packets 20]
-//	           [-payload 400] [-seed 1] [-senders 2] [-workers 0]
+//	           [-payload 400] [-seed 1] [-senders 2] [-k 0] [-workers 0]
 //	           [-doppler 0] [-rician-k 0] [-coherence-block 0]
 //	           [-mp-doppler 0] [-drift 0] [-phase-noise 0]
 //	           [-interf-duty 0] [-interf-amp 1] [-adc-bits 0]
-//	           [-no-impair]
+//	           [-no-impair] [-pairwise-sic]
 //
 // -workers sizes the worker pool for the run's parallel sections (the
 // collision-free scheduler's independent slots; 0 = all cores). Results
@@ -23,8 +23,11 @@
 // ZIGZAG_NO_IMPAIR=1) the run is the static paper channel,
 // byte-identical to pre-impair builds.
 //
-// With -senders 3 the three stations are mutually hidden (the Fig 5-9
-// scenario).
+// With -senders 3 or 4 the stations are mutually hidden (-senders 3 is
+// the Fig 5-9 scenario); collisions of that order resolve through the
+// generalized k-way SIC framework (§7). -k is an alias for -senders —
+// the collision order — and -pairwise-sic (or ZIGZAG_PAIRWISE_SIC=1)
+// forces every decode onto the legacy pairwise chunk-ordering policy.
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"fmt"
 	"os"
 
+	"zigzag/internal/core"
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
 	"zigzag/internal/impair"
@@ -47,7 +51,8 @@ func main() {
 	packets := flag.Int("packets", 20, "packets per sender")
 	payload := flag.Int("payload", 400, "payload bytes")
 	seed := flag.Int64("seed", 1, "RNG seed")
-	senders := flag.Int("senders", 2, "2 or 3 senders")
+	senders := flag.Int("senders", 2, "2, 3 or 4 senders")
+	kOrder := flag.Int("k", 0, "collision order — alias for -senders (0 defers to -senders)")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
 	naiveCorrelate := flag.Bool("naive-correlate", false,
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
@@ -66,6 +71,8 @@ func main() {
 	adcBits := flag.Int("adc-bits", 0, "ADC bits per rail for front-end clipping/quantization (0 = off)")
 	noImpair := flag.Bool("no-impair", false,
 		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
+	pairwise := flag.Bool("pairwise-sic", false,
+		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
@@ -74,6 +81,14 @@ func main() {
 		// Only force-disable on an explicit flag: a bare default must not
 		// clobber a ZIGZAG_NO_IMPAIR=1 environment.
 		impair.SetDisabled(true)
+	}
+	if *pairwise {
+		// Same discipline: a bare default must not clobber
+		// ZIGZAG_PAIRWISE_SIC=1.
+		core.SetPairwiseSIC(true)
+	}
+	if *kOrder != 0 {
+		*senders = *kOrder
 	}
 	prof := impair.Profile{
 		Doppler:          *doppler,
@@ -122,21 +137,29 @@ func main() {
 	switch *senders {
 	case 2:
 		cfg = testbed.HiddenPairConfig(*snrA, *snrB, kind, *packets, *payload, 0.05, *seed)
-	case 3:
+	case 3, 4:
+		// Mutually hidden stations: A and B at their flag SNRs, any
+		// further stations at the mean (-senders 3 stays the historical
+		// Fig 5-9 configuration).
+		snrs := []float64{*snrA, *snrB}
+		for i := 2; i < *senders; i++ {
+			snrs = append(snrs, (*snrA+*snrB)/2)
+		}
+		senses := make([][]bool, *senders)
+		for i := range senses {
+			senses[i] = make([]bool, *senders)
+			senses[i][i] = true
+		}
 		cfg = testbed.RunConfig{
-			SNRs: []float64{*snrA, *snrB, (*snrA + *snrB) / 2},
-			Senses: [][]bool{
-				{true, false, false},
-				{false, true, false},
-				{false, false, true},
-			},
+			SNRs:    snrs,
+			Senses:  senses,
 			Packets: *packets,
 			Payload: *payload,
 			Noise:   0.05,
 			Seed:    *seed,
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "-senders must be 2 or 3")
+		fmt.Fprintln(os.Stderr, "-senders must be 2, 3 or 4")
 		os.Exit(2)
 	}
 

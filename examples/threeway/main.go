@@ -1,9 +1,12 @@
-// Three-way example: the §4.5 generalization beyond a pair of
-// interferers, driven through the low-level Decode API.
+// Three-way example: the §7 generalization beyond a pair of
+// interferers, driven through the online access-point API.
 //
 // Three mutually hidden senders collide three times with different
-// offset patterns. The greedy chunk scheduler finds a decoding order
-// across the three collisions and recovers all three packets.
+// offset patterns. The access point cannot decode the first collision
+// (three unknowns, one equation), so it stores it — and the second.
+// When the third arrives, the k-way store matcher lines the three
+// receptions up by content, the greedy chunk scheduler finds a decode
+// order across them, and all three packets come out at once.
 //
 // Run with: go run ./examples/threeway
 package main
@@ -30,17 +33,28 @@ func seedFromEnv() int64 {
 	return 1
 }
 
-func main() {
+var names = []string{"Alice", "Bob", "Carol"}
+
+// outcome is everything the demo (and its smoke test) observes: which
+// collision each packet decoded on, and the recovered payloads.
+type outcome struct {
+	payloads  map[string][]byte
+	decodedOn map[string]int
+	stored    [3]int // store depth after each collision
+}
+
+// run drives the online receiver through three successive three-packet
+// collisions and returns what it delivered.
+func run(seed int64) (*outcome, error) {
 	cfg := zigzag.DefaultConfig()
 	tx := zigzag.NewTransmitter(cfg.PHY)
-	rng := rand.New(rand.NewSource(seedFromEnv()))
+	rng := rand.New(rand.NewSource(seed))
 	const noise = 0.05
 
-	names := []string{"Alice", "Bob", "Carol"}
-	freqs := []float64{0.003, -0.002, 0.0045}
+	freqs := []float64{0.003, -0.002, 0.001}
 	var waves [][]complex128
 	var links []*zigzag.ChannelParams
-	var metas []zigzag.PacketMeta
+	var clients []zigzag.Client
 	for i := range names {
 		payload := make([]byte, 220)
 		rng.Read(payload)
@@ -48,20 +62,29 @@ func main() {
 		f := &zigzag.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: zigzag.BPSK, Payload: payload}
 		w, err := tx.Waveform(f)
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
 		waves = append(waves, w)
-		links = append(links, &zigzag.ChannelParams{
-			Gain:       complex(zigzag.SNRToGain(14, noise), 0),
+		link := &zigzag.ChannelParams{
+			Gain:       complex(zigzag.SNRToGain(13, noise), 0),
 			FreqOffset: freqs[i],
 			ISI:        zigzag.TypicalISI(1),
+		}
+		links = append(links, link)
+		clients = append(clients, zigzag.Client{
+			ID:     uint8(i + 1),
+			Scheme: zigzag.BPSK,
+			Freq:   freqs[i] * 0.98,
+			Amp:    link.Amplitude(),
 		})
-		metas = append(metas, zigzag.PacketMeta{Scheme: zigzag.BPSK, Freq: freqs[i] * 0.98})
 	}
 
-	sy := zigzag.NewSynchronizer(cfg.PHY)
+	// The online access point: it detects, stores, matches and decodes
+	// on its own — unlike the offline Decode API, nobody hands it the
+	// packet positions.
+	z := zigzag.NewReceiver(cfg, clients)
 	air := &zigzag.Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
-	collide := func(offsets [3]int) *zigzag.Reception {
+	collide := func(offsets [3]int) []zigzag.Event {
 		end := 0
 		var ems []zigzag.Emission
 		for i, off := range offsets {
@@ -70,37 +93,46 @@ func main() {
 				end = e
 			}
 		}
-		rx := air.Mix(end+80, ems...)
-		rec := &zigzag.Reception{Samples: rx}
-		for i, off := range offsets {
-			s, ok := sy.Measure(rx, off, 3, metas[i].Freq)
-			if !ok {
-				log.Fatalf("sender %d not detected", i)
+		return z.Receive(air.Mix(end+80, ems...))
+	}
+
+	// Three collisions of the same three packets (retransmissions carry
+	// the same bits, §5.2); every pair of packets combines with a
+	// different offset in every collision, so each reception adds new
+	// equations (the solvability condition of Assertion 4.5.1 extended
+	// to k=3).
+	out := &outcome{payloads: map[string][]byte{}, decodedOn: map[string]int{}}
+	for round, offsets := range [][3]int{
+		{40, 740, 1440},
+		{40, 340, 2140},
+		{940, 40, 1840},
+	} {
+		for _, ev := range collide(offsets) {
+			if ev.Frame == nil {
+				continue
 			}
-			rec.Packets = append(rec.Packets, zigzag.Occurrence{Packet: i, Sync: s})
+			name := names[ev.Frame.Src-1]
+			out.payloads[name] = ev.Frame.Payload
+			out.decodedOn[name] = round + 1
 		}
-		return rec
+		out.stored[round] = z.StoredCollisions()
 	}
+	return out, nil
+}
 
-	// Three collisions of the same three packets; every pair of packets
-	// combines differently in at least two collisions (the solvability
-	// condition of Assertion 4.5.1).
-	recs := []*zigzag.Reception{
-		collide([3]int{40, 740, 1540}),
-		collide([3]int{40, 360, 2240}),
-		collide([3]int{940, 40, 1940}),
-	}
-
-	res, err := zigzag.Decode(cfg, metas, recs)
+func main() {
+	out, err := run(seedFromEnv())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("three senders, three collisions, %d scheduler iterations\n", res.Iterations)
-	for i := range res.Packets {
-		pr := &res.Packets[i]
-		if !pr.OK() {
-			log.Fatalf("%s failed: %v", names[i], pr.Err)
+	for round := range out.stored {
+		fmt.Printf("collision %d: %d collision(s) in the store\n", round+1, out.stored[round])
+	}
+	for _, name := range names {
+		p, ok := out.payloads[name]
+		if !ok {
+			log.Fatalf("%s's packet was never decoded", name)
 		}
-		fmt.Printf("  %s ✓ via %s: %q...\n", names[i], pr.Source, pr.Frame.Payload[:16])
+		fmt.Printf("  %s ✓ on collision %d: %q...\n", name, out.decodedOn[name], p[:16])
 	}
 }

@@ -200,7 +200,8 @@ func (d *decoder) decodeChunkBwd(o *occState, lo, hi int) {
 	}
 }
 
-// forceCaptureBwd mirrors forceCapture for the backward pass.
+// forceCaptureBwd mirrors forceCapture for the backward pass, including
+// the k-way live-blocker margin (see bwdMargin).
 func (d *decoder) forceCaptureBwd() bool {
 	var best *occState
 	bestRatio := 2.0
@@ -210,19 +211,25 @@ func (d *decoder) forceCaptureBwd() bool {
 			if p.bwdExcluded() || p.bwdDownTo <= d.pre {
 				continue
 			}
-			blocker := 0.0
-			for _, q := range r.occs {
-				if q.p == p {
+			var ratio float64
+			if d.kway {
+				ratio = d.bwdMargin(o)
+			} else {
+				blocker := 0.0
+				for _, q := range r.occs {
+					if q.p == p {
+						continue
+					}
+					if a := amp2(q); a > blocker {
+						blocker = a
+					}
+				}
+				if blocker == 0 {
 					continue
 				}
-				if a := amp2(q); a > blocker {
-					blocker = a
-				}
+				ratio = amp2(o) / blocker
 			}
-			if blocker == 0 {
-				continue
-			}
-			if ratio := amp2(o) / blocker; ratio > bestRatio {
+			if ratio > bestRatio {
 				bestRatio, best = ratio, o
 			}
 		}
@@ -270,6 +277,7 @@ func (d *decoder) runBackward() int {
 		iters++
 		var best *occState
 		bestLo, bestHi, bestGain := 0, 0, 0
+		bestMargin := 0.0
 		for _, r := range d.recs {
 			for _, o := range r.occs {
 				p := o.p
@@ -288,8 +296,12 @@ func (d *decoder) runBackward() int {
 				if lo > d.pre {
 					gain -= d.cfg.holdback()
 				}
-				if gain > bestGain {
-					best, bestLo, bestHi, bestGain = o, lo, hi, gain
+				margin := 0.0
+				if d.kway {
+					margin = d.bwdMargin(o)
+				}
+				if gain > bestGain || (d.kway && best != nil && gain == bestGain && margin > bestMargin) {
+					best, bestLo, bestHi, bestGain, bestMargin = o, lo, hi, gain, margin
 				}
 			}
 		}

@@ -103,6 +103,10 @@ type decoder struct {
 	// interpolator + equalizer skirt.
 	marginSym int
 	iters     int
+	// kway enables the generalized ordering policy (see sic.go): set for
+	// decodes over three or more distinct packets unless the pairwise
+	// escape hatch is engaged.
+	kway bool
 
 	// Reusable working storage (kept across decodes on the same
 	// Scratch): header demap bits, the span compaction buffer, the
@@ -142,6 +146,7 @@ func (sc *Scratch) newDecoder(cfg Config, metas []PacketMeta, recs []*Reception)
 		pre:  cfg.PHY.PreambleBits,
 		pkts: d.pkts[:0],
 		recs: d.recs[:0],
+		kway: kwayActive(len(metas)),
 
 		hdrBits:  d.hdrBits[:0],
 		spanKeep: d.spanKeep[:0],
@@ -175,6 +180,13 @@ func (sc *Scratch) newDecoder(cfg Config, metas []PacketMeta, recs []*Reception)
 			s := oc.Sync
 			if s.Freq == 0 {
 				s.Freq = metas[oc.Packet].Freq
+			}
+			if d.kway && cmplx.Abs(s.H) == 0 {
+				// A zero-power emission contributes no signal and can
+				// never be decoded; dropping it at ingest keeps the k-way
+				// schedule identical to the same decode without it (the
+				// packet reports ErrNoProgress).
+				continue
 			}
 			o := sc.occ()
 			o.p, o.r, o.sync = d.pkts[oc.Packet], r, s
@@ -616,6 +628,11 @@ func (d *decoder) decodeChunkFwd(o *occState, lo, hi int) {
 // with the best power margin over its blockers, provided the margin is
 // at least 3 dB. A wrong forced decode fails the checksum later; a right
 // one restarts the schedule. It reports whether anything was forced.
+//
+// Under the k-way policy the margin is measured against live blockers
+// only (fwdMargin): with three or more packets an interferer that is
+// already fully decoded is subtracted exactly before the forced chunk
+// runs, so counting it would veto forces that in fact succeed.
 func (d *decoder) forceCapture() bool {
 	var best *occState
 	bestRatio := 2.0 // ≥3 dB margin required
@@ -628,19 +645,25 @@ func (d *decoder) forceCapture() bool {
 			if d.symUB(o)-p.fwdUpTo <= d.cfg.holdback() {
 				continue
 			}
-			blocker := 0.0
-			for _, q := range r.occs {
-				if q.p == p {
+			var ratio float64
+			if d.kway {
+				ratio = d.fwdMargin(o)
+			} else {
+				blocker := 0.0
+				for _, q := range r.occs {
+					if q.p == p {
+						continue
+					}
+					if a := amp2(q); a > blocker {
+						blocker = a
+					}
+				}
+				if blocker == 0 {
 					continue
 				}
-				if a := amp2(q); a > blocker {
-					blocker = a
-				}
+				ratio = amp2(o) / blocker
 			}
-			if blocker == 0 {
-				continue
-			}
-			if ratio := amp2(o) / blocker; ratio > bestRatio {
+			if ratio > bestRatio {
 				bestRatio, best = ratio, o
 			}
 		}
@@ -663,12 +686,17 @@ func (d *decoder) forceCapture() bool {
 // biggest chunk each round (instead of any positive sliver) avoids
 // committing few-symbol dribbles whose boundary effects degrade the
 // decisions; small chunks are taken only when nothing better exists.
+// Under the k-way policy, equal-length chunks are ordered by capture/SNR
+// margin: the chunk whose packet stands furthest above its live
+// interferers decodes first, so the subtraction error injected into the
+// shared residual is smallest.
 func (d *decoder) runForward() int {
 	iters := 0
 	for {
 		iters++
 		var best *occState
 		bestLo, bestHi, bestGain := 0, 0, 0
+		bestMargin := 0.0
 		for _, r := range d.recs {
 			for _, o := range r.occs {
 				p := o.p
@@ -687,8 +715,12 @@ func (d *decoder) runForward() int {
 				if hi < d.symUB(o) {
 					gain -= d.cfg.holdback()
 				}
-				if gain > bestGain {
-					best, bestLo, bestHi, bestGain = o, lo, hi, gain
+				margin := 0.0
+				if d.kway {
+					margin = d.fwdMargin(o)
+				}
+				if gain > bestGain || (d.kway && best != nil && gain == bestGain && margin > bestMargin) {
+					best, bestLo, bestHi, bestGain, bestMargin = o, lo, hi, gain, margin
 				}
 			}
 		}

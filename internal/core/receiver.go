@@ -68,9 +68,35 @@ type Receiver struct {
 	Trace func(format string, args ...any)
 
 	stored []*storedCollision
-	// bufFree recycles the sample buffers of evicted/consumed stored
-	// collisions.
-	bufFree [][]complex128
+	// stFree recycles evicted/consumed stored-collision entries together
+	// with their sample and occurrence buffers.
+	stFree []*storedCollision
+
+	// recSeq counts receptions; ampStamp records, per client ID, the
+	// recSeq at which the coarse amplitude was last refreshed. Together
+	// they drive the aging of learned |H| estimates (see ampAging): a
+	// channel estimate from many receptions ago must not keep vetoing
+	// detections after the channel has moved.
+	recSeq   int
+	ampStamp [256]int
+
+	// Receiver-owned scratch for the per-reception hot path (receivers
+	// are single-goroutine): metaFor's metadata slice, the
+	// single-reception decode Receptions (ping-ponged, because a
+	// rejected redetect round must not clobber the kept reception), the
+	// redetect working sets, and the delivered event list. Returned
+	// events are valid until the next Receive.
+	metas     []PacketMeta
+	srRecs    [2]Reception
+	srFlip    int
+	srList    [1]*Reception
+	rdOccs    []Occurrence
+	rdClients []uint8
+	rdOk      []int
+	evBuf     []Event
+	// kwMatch indexes the stored collisions assembled by the k-way
+	// store matcher.
+	kwMatch []int
 }
 
 func (z *Receiver) tracef(format string, args ...any) {
@@ -83,6 +109,7 @@ type storedCollision struct {
 	rec     *Reception
 	clients []uint8      // per occurrence
 	buf     []complex128 // receiver-owned backing of rec.Samples
+	occs    []Occurrence // receiver-owned backing of rec.Packets
 }
 
 // NewReceiver builds an online ZigZag receiver.
@@ -115,14 +142,20 @@ func (z *Receiver) Reinit(cfg Config, clients []Client) {
 	z.MaxStored = 4
 	z.Trace = nil
 	for i := range z.stored {
-		z.bufFree = append(z.bufFree, z.stored[i].buf)
+		z.stFree = append(z.stFree, z.stored[i])
 		z.stored[i] = nil
 	}
 	z.stored = z.stored[:0]
+	z.recSeq = 0
+	z.ampStamp = [256]int{}
 }
 
-// UpdateClient inserts or refreshes a client's coarse state.
-func (z *Receiver) UpdateClient(c Client) { z.clients[c.ID] = c }
+// UpdateClient inserts or refreshes a client's coarse state. The
+// amplitude estimate counts as fresh from this reception on.
+func (z *Receiver) UpdateClient(c Client) {
+	z.clients[c.ID] = c
+	z.ampStamp[c.ID] = z.recSeq
+}
 
 // StoredCollisions reports how many unmatched collisions are held.
 func (z *Receiver) StoredCollisions() int { return len(z.stored) }
@@ -270,22 +303,53 @@ func (z *Receiver) detect(rx []complex128) ([]Occurrence, []uint8) {
 	return d.occs, d.clients
 }
 
+// Coarse-amplitude aging: the learned |H| is trusted fully for a few
+// receptions, then its detection bounds relax exponentially with every
+// further reception that fails to refresh it, and eventually the
+// estimate is treated as unknown. Without this, a decode that succeeded
+// before a fade leaves an Amp whose β·|Ĥ|·E threshold sits above the
+// faded preamble forever — the receiver goes deaf to its own client.
+const (
+	ampFreshFor  = 4    // receptions of full trust after a refresh
+	ampDecayRate = 1.35 // per-reception bound relaxation beyond that
+	ampForgetAge = 16   // estimates older than this are unknown
+)
+
+// ampAging returns the bound-relaxation factor for a client's coarse
+// amplitude: 1 while fresh, growing exponentially once stale, +Inf when
+// the estimate has aged out entirely.
+func (z *Receiver) ampAging(id uint8) float64 {
+	age := z.recSeq - 1 - z.ampStamp[id]
+	if age <= ampFreshFor {
+		return 1
+	}
+	if age >= ampForgetAge {
+		return math.Inf(1)
+	}
+	return math.Pow(ampDecayRate, float64(age-ampFreshFor))
+}
+
 // detectClient runs thresholded preamble detection for one client. The
 // channel is quasi-static, so the AP's coarse amplitude estimate bounds
 // plausible peaks from both sides: below β·|Ĥ|·E as in §5.3a, and above
 // ~2.5× the expected peak — a spike several times stronger than the
 // client's channel allows is a data-correlation tail of some *other*,
-// stronger sender, not this client's preamble.
+// stronger sender, not this client's preamble. Both bounds widen with
+// the estimate's age (ampAging), decaying toward the unknown-channel
+// behaviour as the quasi-static assumption expires.
 func (z *Receiver) detectClient(rx []complex128, c Client) []phy.Sync {
-	refAmp := c.Amp
-	if refAmp == 0 {
-		refAmp = 0.2 // permissive for unknown channels
+	g := z.ampAging(c.ID)
+	if c.Amp == 0 || math.IsInf(g, 1) {
+		// Unknown (or fully stale) channel: permissive threshold, no
+		// upper bound.
+		return z.sync.DetectFor(rx, c.Freq, z.cfg.detectBeta(), 0.2)
+	}
+	refAmp := c.Amp / g
+	if floor := math.Min(c.Amp, 0.2); refAmp < floor {
+		refAmp = floor
 	}
 	syncs := z.sync.DetectFor(rx, c.Freq, z.cfg.detectBeta(), refAmp)
-	if c.Amp == 0 {
-		return syncs
-	}
-	maxMag := 2.5 * c.Amp * z.sync.PreambleEnergy()
+	maxMag := 2.5 * c.Amp * g * z.sync.PreambleEnergy()
 	out := syncs[:0]
 	for _, s := range syncs {
 		if s.Mag <= maxMag {
@@ -295,20 +359,25 @@ func (z *Receiver) detectClient(rx []complex128, c Client) []phy.Sync {
 	return out
 }
 
-// metaFor builds the decode metadata for a set of clients.
+// metaFor builds the decode metadata for a set of clients on the
+// receiver-owned scratch; the returned slice is valid until the next
+// call on this receiver.
 func (z *Receiver) metaFor(clients []uint8) []PacketMeta {
-	metas := make([]PacketMeta, len(clients))
-	for i, id := range clients {
+	z.metas = z.metas[:0]
+	for _, id := range clients {
 		c := z.clients[id]
-		metas[i] = PacketMeta{Scheme: c.Scheme, Freq: c.Freq}
+		z.metas = append(z.metas, PacketMeta{Scheme: c.Scheme, Freq: c.Freq})
 	}
-	return metas
+	return z.metas
 }
 
 // Receive processes one reception buffer and returns the decoded
 // packets. Undecoded collisions are stored for matching against future
-// retransmissions; nil events mean nothing was deliverable yet.
+// retransmissions; nil events mean nothing was deliverable yet. The
+// returned events live in receiver-owned storage and are valid until
+// the next Receive.
 func (z *Receiver) Receive(rx []complex128) []Event {
+	z.recSeq++
 	occs, clients := z.detect(rx)
 	if len(occs) == 0 {
 		return nil
@@ -323,7 +392,7 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 	// strong sender was subtracted — and retry with the extended
 	// occurrence set. Keep an extension only if it decodes more.
 	res, rec := z.decodeSingleReception(rx, occs, clients)
-	if res != nil {
+	if res != nil && z.Trace != nil {
 		z.tracef("single-reception decode: ok=%d/%d occs=%v", countOK(res), len(res.Packets), occPositions(occs))
 	}
 	for round := 0; round < 2 && res != nil; round++ {
@@ -343,7 +412,9 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 		if res2 != nil {
 			n2 = countOK(res2)
 		}
-		z.tracef("redetect round %d: occs=%v ok=%d (was %d)", round, occPositions(extOccs), n2, countOK(res))
+		if z.Trace != nil {
+			z.tracef("redetect round %d: occs=%v ok=%d (was %d)", round, occPositions(extOccs), n2, countOK(res))
+		}
 		if res2 != nil && n2 > countOK(res) {
 			res, rec = res2, rec2
 			occs, clients = extOccs, extClients
@@ -383,11 +454,18 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 			z.tracef("store %d: joint decode error: %v", si, err)
 		}
 	}
+	// One stored collision plus the fresh reception give only two
+	// equations, so for k ≥ 3 simultaneous packets the pairwise loop
+	// above cannot succeed; assemble every stored collision of the same
+	// client set instead (§7's k-way extension).
+	if evs, ok := z.tryKWayStore(rx, rec, clients); ok {
+		return evs
+	}
 	// No match (or joint decode failed): store and wait for the
 	// retransmissions, delivering whatever partial capture success the
 	// single-reception attempt managed.
 	z.store(rec, clients)
-	var evs []Event
+	evs := z.evBuf[:0]
 	if res != nil {
 		for i := range res.Packets {
 			if res.Packets[i].OK() {
@@ -395,16 +473,373 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 			}
 		}
 	}
+	z.evBuf = evs
+	if len(evs) == 0 {
+		return nil
+	}
 	return evs
 }
 
-// decodeSingleReception runs the joint decoder on one reception.
+// tryKWayStore generalizes store matching beyond the pair: a k-packet
+// collision needs k differently-offset receptions before the joint
+// decode is solvable, so the receiver accumulates k-1 stored collisions
+// of the same client set and assembles them all — each stored
+// reception plus the fresh one — into a single k-way decode.
+//
+// Three consequences of the shared 802.11 preamble shape the assembly.
+// First, cross-reception packet identity comes from *content* (the
+// wide-window correlation of alignStored), never from the detector's
+// client labels: every assembled reception is aligned against one
+// canonical reception, exactly as the pairwise loop aligns the fresh
+// reception. Second, under a k-way overlap the detector can miss buried
+// preambles or invent data-correlation phantoms, so no single
+// reception's occurrence list is guaranteed to describe the true packet
+// positions — every reception (each matched stored entry, then the
+// fresh one) is tried as the canonical in turn; a canonical whose list
+// is wrong fails alignment or checksum and the next candidate is tried.
+// Third, which client sent which packet is genuinely unknowable at
+// detection time — a 64-sample preamble cannot separate the clients'
+// CFOs — so the receiver enumerates the client→packet assignments and
+// lets the frame checksum validate the right one (the §4.4 "try both,
+// take whichever succeeds" discipline; k ≤ 4 keeps this to at most 24
+// joint decodes on an already-rare path). Duplicate assignments —
+// clients indistinguishable in scheme and CFO — are skipped.
+//
+// Disabled by the pairwise escape hatch, and a no-op for two-client
+// sets (the pairwise loop already covers those), which keeps k=2
+// behaviour bit-identical.
+func (z *Receiver) tryKWayStore(rx []complex128, rec *Reception, clients []uint8) ([]Event, bool) {
+	if PairwiseSIC() {
+		return nil, false
+	}
+	for si, st := range z.stored {
+		k := len(st.clients)
+		if k < 3 {
+			continue
+		}
+		z.kwMatch = z.kwMatch[:0]
+		z.kwMatch = append(z.kwMatch, si)
+		for sj := si + 1; sj < len(z.stored); sj++ {
+			if sameClientSet(z.stored[sj].clients, st.clients) {
+				z.kwMatch = append(z.kwMatch, sj)
+			}
+		}
+		if len(z.kwMatch)+1 < k {
+			continue // not enough receptions for k unknowns yet
+		}
+		fresh := &storedCollision{rec: rec, clients: clients}
+		group := make([]*storedCollision, 0, len(z.kwMatch)+1)
+		for _, sj := range z.kwMatch {
+			group = append(group, z.stored[sj])
+		}
+		group = append(group, fresh)
+		for ci, cn := range group {
+			others := make([]*Reception, 0, len(group)-1)
+			for _, m := range group {
+				if m != cn {
+					others = append(others, m.rec)
+				}
+			}
+			// Under a k-way overlap the canonical's own occurrence list may
+			// miss buried preambles or carry phantoms, so repair it first:
+			// hypothesize positions from its own detections plus every other
+			// reception's packet windows located inside it, ranked by
+			// cross-reception content evidence.
+			cands := z.kwayCandidates(cn, others)
+			if len(cands) < k {
+				z.tracef("kway store %v canonical %d: only %d position hypotheses", z.kwMatch, ci, len(cands))
+				continue
+			}
+			// Evidence ranks plausibility, but interference mixtures can
+			// outscore a buried true packet, so many subsets are screened;
+			// only a few may reach the expensive joint decode — the
+			// alignment stage rejects the rest cheaply.
+			decodes := 0
+			for _, subset := range kwaySubsets(cands, k) {
+				if decodes >= 4 {
+					break
+				}
+				canon := &Reception{Samples: cn.rec.Samples}
+				for pi, c := range subset {
+					canon.Packets = append(canon.Packets, Occurrence{Packet: pi, Sync: c.sync})
+				}
+				cnView := &storedCollision{rec: canon, clients: st.clients}
+				recs := make([]*Reception, 0, len(others)+1)
+				recs = append(recs, canon)
+				ok := true
+				var freshRec *Reception = canon // stands when the fresh reception is canonical
+				for _, ob := range others {
+					aligned, okA := z.alignStored(cnView, ob.Samples)
+					if !okA {
+						ok = false
+						break
+					}
+					recs = append(recs, aligned)
+					if ob == rec {
+						freshRec = aligned
+					}
+				}
+				if !ok {
+					if z.Trace != nil {
+						z.tracef("kway store %v canonical %d: alignment failed for positions %v", z.kwMatch, ci, occPositions(canon.Packets))
+					}
+					continue
+				}
+				if z.Trace != nil {
+					for ri, r := range recs {
+						z.tracef("kway canonical %d rec %d: positions %v", ci, ri, occPositions(r.Packets))
+					}
+				}
+				decodes++
+				if evs, okD := z.kwayDecodeAssignments(recs, st.clients, freshRec); okD {
+					for j := len(z.kwMatch) - 1; j >= 0; j-- {
+						z.dropStored(z.kwMatch[j])
+					}
+					return evs, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// kwCand is one hypothesized packet position in a canonical reception
+// of a k-way collision, scored by how strongly its content window is
+// found in the other receptions of the group.
+type kwCand struct {
+	sync     phy.Sync
+	evidence float64
+}
+
+// kwayCandidates hypothesizes the true packet positions of a canonical
+// reception. Positions come from the canonical's own detections plus
+// every other reception's occurrence windows located inside the
+// canonical by wide-window correlation (a preamble buried for the
+// canonical's detector is often detected in a differently-offset
+// reception). Each hypothesis is then scored by locating *its* window
+// in every other reception: a real packet was transmitted in all k
+// collisions and correlates everywhere, while a detection phantom's
+// window is an interference mixture specific to its reception.
+// Candidates are returned sorted by that evidence, descending.
+func (z *Receiver) kwayCandidates(cn *storedCollision, others []*Reception) []kwCand {
+	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
+	var cands []kwCand
+	add := func(s phy.Sync) {
+		for _, c := range cands {
+			if absInt(c.sync.RefPos-s.RefPos) < preLen/4 {
+				return
+			}
+		}
+		cands = append(cands, kwCand{sync: s})
+	}
+	for _, oc := range cn.rec.Packets {
+		add(oc.Sync)
+	}
+	for _, ob := range others {
+		for _, oc := range ob.Packets {
+			ls := locatePacket(z.cfg, ob.Samples, oc.Sync.Start, cn.rec.Samples, 1, &z.loc)
+			if len(ls) == 0 || ls[0].Score < z.cfg.matchThreshold() {
+				continue
+			}
+			if sync, ok := z.sync.Measure(cn.rec.Samples, ls[0].Pos, 3, oc.Sync.Freq); ok {
+				add(sync)
+			}
+		}
+	}
+	for i := range cands {
+		for _, ob := range others {
+			ls := locatePacket(z.cfg, cn.rec.Samples, cands[i].sync.Start, ob.Samples, 1, &z.loc)
+			if len(ls) > 0 && ls[0].Score >= z.cfg.matchThreshold() {
+				cands[i].evidence += ls[0].Score
+			}
+		}
+	}
+	slices.SortStableFunc(cands, func(a, b kwCand) int { return cmp.Compare(b.evidence, a.evidence) })
+	if z.Trace != nil {
+		for _, c := range cands {
+			z.tracef("kway candidate pos=%d evidence=%.3f", c.sync.RefPos, c.evidence)
+		}
+	}
+	return cands
+}
+
+// kwaySubsets enumerates k-sized subsets of the ranked position
+// hypotheses in decreasing total-evidence order. The cap is generous:
+// a wrong subset is almost always rejected by the cheap alignment
+// stage (cross-alignments collide or repeat stored offsets), and
+// tryKWayStore separately bounds how many subsets may reach a joint
+// decode. Subset members are ordered by position, matching the
+// detector's convention.
+func kwaySubsets(cands []kwCand, k int) [][]kwCand {
+	const maxSubsets = 24
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	type scored struct {
+		set []kwCand
+		ev  float64
+	}
+	var all []scored
+	for {
+		s := scored{set: make([]kwCand, k)}
+		for i, j := range idx {
+			s.set[i] = cands[j]
+			s.ev += cands[j].evidence
+		}
+		slices.SortFunc(s.set, func(a, b kwCand) int { return cmp.Compare(a.sync.RefPos, b.sync.RefPos) })
+		all = append(all, s)
+		// next combination
+		i := k - 1
+		for i >= 0 && idx[i] == len(cands)-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	slices.SortStableFunc(all, func(a, b scored) int { return cmp.Compare(b.ev, a.ev) })
+	if len(all) > maxSubsets {
+		all = all[:maxSubsets]
+	}
+	out := make([][]kwCand, len(all))
+	for i := range all {
+		out[i] = all[i].set
+	}
+	return out
+}
+
+// kwayDecodeAssignments joint-decodes the assembled receptions under
+// every distinct client→packet assignment until one passes all frame
+// checksums. On success it delivers the events (learning from the
+// fresh reception's syncs) and reports true.
+func (z *Receiver) kwayDecodeAssignments(recs []*Reception, clients []uint8, joint *Reception) ([]Event, bool) {
+	k := len(clients)
+	perm := make([]uint8, k)
+	copy(perm, clients)
+	// Snapshot the located positions: each assignment re-measures every
+	// occurrence under its own CFO hypothesis (the channel estimate H and
+	// sub-sample start depend on the compensation frequency), anchored at
+	// the original position so hypotheses don't drift.
+	orig := make([][]phy.Sync, len(recs))
+	for i, r := range recs {
+		orig[i] = make([]phy.Sync, len(r.Packets))
+		for j := range r.Packets {
+			orig[i][j] = r.Packets[j].Sync
+		}
+	}
+	var tried [][]uint8
+	var evs []Event
+	found := false
+	permuteUntil(perm, 0, func(p []uint8) bool {
+		// Skip assignments indistinguishable from one already tried
+		// (clients with identical scheme and CFO).
+		for _, q := range tried {
+			if sameClientMetas(z, p, q) {
+				return false
+			}
+		}
+		tried = append(tried, append([]uint8(nil), p...))
+		for i, r := range recs {
+			for j := range r.Packets {
+				freq := z.clients[p[r.Packets[j].Packet]].Freq
+				if s, ok := z.sync.Measure(r.Samples, orig[i][j].RefPos, 3, freq); ok {
+					r.Packets[j].Sync = s
+				} else {
+					r.Packets[j].Sync = orig[i][j]
+					r.Packets[j].Sync.Freq = freq
+				}
+			}
+		}
+		jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(p), recs)
+		if err == nil && jres.AllOK() {
+			z.tracef("kway assignment %v: joint decode ok (k=%d, %d receptions)", p, k, len(recs))
+			evs = z.deliver(jres, p, "zigzag", joint)
+			found = true
+			return true
+		}
+		if err == nil {
+			for i := range jres.Packets {
+				z.tracef("kway assignment %v: joint pkt%d err=%v", p, i, jres.Packets[i].Err)
+			}
+		} else {
+			z.tracef("kway assignment %v: joint decode error: %v", p, err)
+		}
+		return false
+	})
+	return evs, found
+}
+
+// permuteUntil enumerates the permutations of s[i:] in a deterministic
+// order, calling f on each full permutation; f returning true stops the
+// enumeration (unlike match.go's permute, which always visits all).
+func permuteUntil(s []uint8, i int, f func([]uint8) bool) bool {
+	if i == len(s) {
+		return f(s)
+	}
+	for j := i; j < len(s); j++ {
+		s[i], s[j] = s[j], s[i]
+		if permuteUntil(s, i+1, f) {
+			return true
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+	return false
+}
+
+// sameClientMetas reports whether two client assignments are
+// indistinguishable to the decoder (same scheme and CFO slot by slot).
+func sameClientMetas(z *Receiver, a, b []uint8) bool {
+	for i := range a {
+		ca, cb := z.clients[a[i]], z.clients[b[i]]
+		if ca.Scheme != cb.Scheme || ca.Freq != cb.Freq {
+			return false
+		}
+	}
+	return true
+}
+
+// sameClientSet reports whether two occurrence client lists name the
+// same set of senders (order-independent; detection order follows
+// arrival position, which differs between collisions).
+func sameClientSet(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeSingleReception runs the joint decoder on one reception. The
+// returned Reception is one of two receiver-owned scratch slots,
+// ping-ponged so that a rejected redetect round does not clobber the
+// reception the caller keeps; anything retained longer (the collision
+// store) copies out of it.
 func (z *Receiver) decodeSingleReception(rx []complex128, occs []Occurrence, clients []uint8) (*Result, *Reception) {
-	rec := &Reception{Samples: rx, Packets: append([]Occurrence(nil), occs...)}
+	rec := &z.srRecs[z.srFlip]
+	z.srFlip ^= 1
+	rec.Samples = rx
+	rec.Packets = append(rec.Packets[:0], occs...)
 	for i := range rec.Packets {
 		rec.Packets[i].Packet = i
 	}
-	res, err := DecodeWith(&z.dec, z.cfg, z.metaFor(clients), []*Reception{rec})
+	z.srList[0] = rec
+	res, err := DecodeWith(&z.dec, z.cfg, z.metaFor(clients), z.srList[:])
 	if err != nil {
 		return nil, rec
 	}
@@ -419,19 +854,24 @@ func (z *Receiver) decodeSingleReception(rx []complex128, occs []Occurrence, cli
 // gone, so the residual shows their true preamble cleanly.
 func (z *Receiver) redetect(residual []complex128, occs []Occurrence, clients []uint8, res *Result) ([]Occurrence, []uint8, bool) {
 	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
-	okPos := make([]int, 0, len(occs))
-	occOf := map[uint8]int{}
+	okPos := z.rdOk[:0]
+	var hasOcc [256]bool
+	var occIdx [256]int
 	for i, id := range clients {
-		occOf[id] = i
+		hasOcc[id], occIdx[id] = true, i
 		if i < len(res.Packets) && res.Packets[i].OK() {
 			okPos = append(okPos, occs[i].Sync.RefPos)
 		}
 	}
-	outOccs := append([]Occurrence(nil), occs...)
-	outClients := append([]uint8(nil), clients...)
+	z.rdOk = okPos
+	// The returned slices live on the receiver scratch; a second round
+	// passes them back in, which the self-append below handles (the
+	// prefix copy is element-wise onto identical values).
+	outOccs := append(z.rdOccs[:0], occs...)
+	outClients := append(z.rdClients[:0], clients...)
 	changed := false
 	for id, c := range z.clients {
-		idx, has := occOf[id]
+		idx, has := occIdx[id], hasOcc[id]
 		if has && idx < len(res.Packets) && res.Packets[idx].OK() {
 			continue // already decoded; leave it alone
 		}
@@ -472,6 +912,7 @@ func (z *Receiver) redetect(residual []complex128, occs []Occurrence, clients []
 			changed = true
 		}
 	}
+	z.rdOccs, z.rdClients = outOccs, outClients
 	return outOccs, outClients, changed
 }
 
@@ -492,11 +933,14 @@ func absInt(v int) int {
 	return v
 }
 
+// deliver assembles the per-packet events on the receiver-owned event
+// buffer (valid until the next Receive).
 func (z *Receiver) deliver(res *Result, clients []uint8, via string, rec *Reception) []Event {
-	evs := make([]Event, 0, len(res.Packets))
+	evs := z.evBuf[:0]
 	for i := range res.Packets {
 		evs = append(evs, z.eventFor(&res.Packets[i], clients[i], via, rec, i))
 	}
+	z.evBuf = evs
 	return evs
 }
 
@@ -514,53 +958,59 @@ func (z *Receiver) eventFor(pr *PacketResult, client uint8, via string, rec *Rec
 
 // learn refreshes a client's coarse channel amplitude from a successful
 // decode, as the paper's AP maintains coarse estimates from prior
-// packets.
+// packets, and restarts the estimate's aging clock. An estimate that
+// had begun aging is replaced outright rather than blended: it already
+// failed to describe the channel for several receptions, and EWMA-ing
+// the fresh measurement into it would keep the receiver half-deaf for
+// several more rounds of decay.
 func (z *Receiver) learn(id uint8, s phy.Sync) {
 	c, ok := z.clients[id]
 	if !ok {
 		return
 	}
 	a := cmplx.Abs(s.H)
-	if c.Amp == 0 {
+	if c.Amp == 0 || z.ampAging(id) > 1 {
 		c.Amp = a
 	} else {
 		c.Amp = 0.7*c.Amp + 0.3*a // EWMA
 	}
 	if !math.IsNaN(c.Amp) {
 		z.clients[id] = c
+		z.ampStamp[id] = z.recSeq
 	}
 }
 
 // store retains a collision for future matching. The reception's
-// samples are copied into a receiver-owned buffer (recycled from
-// evicted entries), and the client list is cloned — callers are free
-// to reuse their rx buffer and the detect scratch for the next
-// reception — the pooled session engine renders every episode into one
-// such buffer.
+// samples, occurrences and client list are all copied into a
+// receiver-owned entry (recycled from evicted/consumed ones) — callers
+// are free to reuse their rx buffer and every piece of per-reception
+// scratch for the next reception — the pooled session engine renders
+// every episode into one such buffer.
 func (z *Receiver) store(rec *Reception, clients []uint8) {
 	max := z.MaxStored
 	if max <= 0 {
 		max = 4
 	}
-	var buf []complex128
-	if n := len(z.bufFree); n > 0 {
-		buf, z.bufFree = z.bufFree[n-1], z.bufFree[:n-1]
+	var st *storedCollision
+	if n := len(z.stFree); n > 0 {
+		st, z.stFree = z.stFree[n-1], z.stFree[:n-1]
+	} else {
+		st = &storedCollision{rec: &Reception{}}
 	}
-	buf = dsp.Ensure(buf, len(rec.Samples))
-	copy(buf, rec.Samples)
-	z.stored = append(z.stored, &storedCollision{
-		rec:     &Reception{Samples: buf, Packets: rec.Packets},
-		clients: append([]uint8(nil), clients...),
-		buf:     buf,
-	})
+	st.buf = dsp.Ensure(st.buf, len(rec.Samples))
+	copy(st.buf, rec.Samples)
+	st.occs = append(st.occs[:0], rec.Packets...)
+	st.clients = append(st.clients[:0], clients...)
+	st.rec.Samples, st.rec.Packets = st.buf, st.occs
+	z.stored = append(z.stored, st)
 	for len(z.stored) > max {
 		z.dropStored(0)
 	}
 }
 
-// dropStored removes stored entry i, recycling its sample buffer.
+// dropStored removes stored entry i, recycling the whole entry.
 func (z *Receiver) dropStored(i int) {
-	z.bufFree = append(z.bufFree, z.stored[i].buf)
+	z.stFree = append(z.stFree, z.stored[i])
 	z.stored = append(z.stored[:i], z.stored[i+1:]...)
 	z.stored[:cap(z.stored)][len(z.stored)] = nil // drop the tail reference
 }
@@ -577,9 +1027,16 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 	preLen := z.cfg.PHY.PreambleBits * z.cfg.PHY.SamplesPerSymbol
 	joint := &Reception{Samples: rx}
 	var positions []int
+	// With k ≥ 3 overlapping packets the window yields up to k-1
+	// cross-alignment peaks besides the true one, so widen the candidate
+	// list accordingly (the pair path keeps its historical 3).
+	maxCands := 3
+	if n := len(st.rec.Packets); n > 2 {
+		maxCands = 2 * n
+	}
 	for i, oc := range st.rec.Packets {
 		client := z.clients[st.clients[i]]
-		cands := locatePacket(z.cfg, st.rec.Samples, oc.Sync.Start, rx, 3, &z.loc)
+		cands := locatePacket(z.cfg, st.rec.Samples, oc.Sync.Start, rx, maxCands, &z.loc)
 		var chosen *phy.Sync
 		for _, c := range cands {
 			if c.Score < z.cfg.matchThreshold() {
@@ -595,6 +1052,23 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 					break
 				}
 			}
+			// With three or more overlapping packets the locator's window
+			// unavoidably contains the other packets' content, and a
+			// cross-alignment onto one of them reproduces that packet's
+			// stored relative offset exactly. A candidate repeating a
+			// stored pairwise offset is therefore rejected — a genuine
+			// retransmission at a repeated offset would contribute no new
+			// equations either (§4.2.2 needs a different offset).
+			if !clash && len(st.rec.Packets) >= 3 {
+				for j, p := range positions {
+					dTarget := c.Pos - p
+					dCanon := oc.Sync.RefPos - st.rec.Packets[j].Sync.RefPos
+					if absInt(dTarget-dCanon) < preLen/4 {
+						clash = true
+						break
+					}
+				}
+			}
 			if clash {
 				continue
 			}
@@ -602,9 +1076,12 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 			if !ok {
 				continue
 			}
-			if client.Amp > 0 {
+			// The consistency window widens with the estimate's age
+			// (ampAging) and disappears once it has aged out — the same
+			// decay the detector applies.
+			if g := z.ampAging(client.ID); client.Amp > 0 && !math.IsInf(g, 1) {
 				a := cmplx.Abs(sync.H)
-				if a < 0.5*client.Amp || a > 2.5*client.Amp {
+				if a < 0.5*client.Amp/g || a > 2.5*client.Amp*g {
 					continue // cross-alignment, not this packet's preamble
 				}
 			}
@@ -612,6 +1089,11 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 			break
 		}
 		if chosen == nil {
+			if z.Trace != nil {
+				for _, c := range cands {
+					z.tracef("alignStored pkt%d: cand pos=%d score=%.3f (thr %.3f)", i, c.Pos, c.Score, z.cfg.matchThreshold())
+				}
+			}
 			return nil, false
 		}
 		positions = append(positions, chosen.RefPos)

@@ -150,3 +150,31 @@ func TestHarshSuiteWorkerInvariant(t *testing.T) {
 		return HarshChannelSuite(scaled(w), 13)
 	})
 }
+
+// TestHarshSuiteK3WorkerInvariant is the k-way acceptance pin: a k=3
+// harsh sweep (the same one `zigzag-bench -exp harsh -k 3` runs) is
+// byte-identical at any worker count.
+func TestHarshSuiteK3WorkerInvariant(t *testing.T) {
+	assertWorkerInvariant(t, "HarshChannelSuiteK(3)", func(w int) HarshResult {
+		return HarshChannelSuiteK(scaled(w), 13, 3)
+	})
+}
+
+// TestKWaySuiteK2MatchesPair pins that the generalized harsh suite at
+// k=2 is byte-identical to the historical pairwise suite — the
+// collisionSet/berHarshK generalization must not move a single golden.
+func TestKWaySuiteK2MatchesPair(t *testing.T) {
+	sc := scaled(2)
+	if got, want := HarshChannelSuiteK(sc, 13, 2), HarshChannelSuite(sc, 13); !reflect.DeepEqual(got, want) {
+		t.Fatalf("HarshChannelSuiteK(2) diverged from HarshChannelSuite:\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestKWayOrderSweepWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the k=3 harsh invariance test above covers the k-way scheduling surface in short mode")
+	}
+	assertWorkerInvariant(t, "KWayOrderSweep", func(w int) KWayResult {
+		return KWayOrderSweep(scaled(w), 15)
+	})
+}

@@ -116,6 +116,7 @@ type pairScenario struct {
 	recs     []*core.Reception
 	rxUsed   int
 	recList  []*core.Reception
+	offBuf   []int
 	isi      dsp.FIR
 
 	// impair caches the worker's harsh-channel chain keyed by profile.
@@ -235,13 +236,51 @@ func (s *pairScenario) pair(r1, r2 *core.Reception) []*core.Reception {
 
 // collisionPair renders the canonical two-collision scenario with random
 // jitter offsets drawn from the contention window (in samples; one slot
-// is 20 samples at the 1 µs/sample rate).
+// is 20 samples at the 1 µs/sample rate). It is the k=2 view of
+// collisionSet, so the rng stream (and therefore every golden) is
+// unchanged from the historical pairwise implementation.
 func (s *pairScenario) collisionPair(rng *rand.Rand) (*core.Reception, *core.Reception) {
+	recs := s.collisionSet(rng, 2)
+	return recs[0], recs[1]
+}
+
+// collisionSet generalizes collisionPair to the scenario's k senders
+// colliding nrecs times. Every reception carries all k packets: the
+// first pinned at the 40-sample front porch, the rest at random
+// contention-window jitters that never repeat across the whole set —
+// a repeated jitter would reproduce an existing inter-packet offset,
+// and repeated offsets contribute no new equations (§4.2.2). All
+// jitters are drawn before any reception renders, matching the
+// historical collisionPair draw order so k=2, nrecs=2 is
+// rng-stream-identical to it. The returned slice is the scenario's
+// reusable reception list (same arena discipline as pair).
+func (s *pairScenario) collisionSet(rng *rand.Rand, nrecs int) []*core.Reception {
 	const slotSamples = 20
 	draw := func() int { return 40 + (1+rng.Intn(31))*slotSamples }
-	d1, d2 := draw(), draw()
-	for d2 == d1 {
-		d2 = draw()
+	k := len(s.metas)
+	s.offBuf = s.offBuf[:0]
+	for r := 0; r < nrecs; r++ {
+		s.offBuf = append(s.offBuf, 40)
+		for j := 1; j < k; j++ {
+			d := draw()
+			for seenOffset(s.offBuf, d) {
+				d = draw()
+			}
+			s.offBuf = append(s.offBuf, d)
+		}
 	}
-	return s.reception(rng, []int{40, d1}), s.reception(rng, []int{40, d2})
+	s.recList = s.recList[:0]
+	for r := 0; r < nrecs; r++ {
+		s.recList = append(s.recList, s.reception(rng, s.offBuf[r*k:(r+1)*k]))
+	}
+	return s.recList
+}
+
+func seenOffset(offs []int, d int) bool {
+	for _, o := range offs {
+		if o == d {
+			return true
+		}
+	}
+	return false
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"zigzag/internal/bitutil"
 	"zigzag/internal/core"
 	"zigzag/internal/impair"
@@ -43,55 +45,81 @@ const harshSNR = 15.0
 // HarshChannelSuite runs the harsh-channel sweeps at the given scale.
 // Every point is a Monte-Carlo pair sweep on pooled sessions with
 // splitmix per-trial seeding, so results are byte-identical at any
-// Scale.Workers value (the determinism suite pins it).
+// Scale.Workers value (the determinism suite pins it). It is the k=2
+// view of HarshChannelSuiteK and its output is byte-identical to the
+// historical pairwise implementation.
 func HarshChannelSuite(sc Scale, seed int64) HarshResult {
+	return HarshChannelSuiteK(sc, seed, 2)
+}
+
+// HarshChannelSuiteK runs the same sweeps at collision order k: every
+// trial collides k packets k times and decodes them jointly, so the
+// suite explores collision order alongside channel severity (§7). k=2
+// reproduces HarshChannelSuite exactly, series names included.
+func HarshChannelSuiteK(sc Scale, seed int64, k int) HarshResult {
+	tag := ""
+	if k != 2 {
+		tag = fmt.Sprintf(" (k=%d)", k)
+	}
 	var out HarshResult
-	out.BERvsDoppler.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking on)"
-	out.BERvsDopplerNoTrack.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking off)"
-	out.BERvsRicianK.Name = "Harsh: BER vs Rician K (Doppler 1e-3)"
-	out.BERvsInterfDuty.Name = "Harsh: BER vs interferer duty cycle"
-	out.BERvsDrift.Name = "Harsh: BER vs CFO drift rate (µrad/sample²)"
+	out.BERvsDoppler.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking on)" + tag
+	out.BERvsDopplerNoTrack.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking off)" + tag
+	out.BERvsRicianK.Name = "Harsh: BER vs Rician K (Doppler 1e-3)" + tag
+	out.BERvsInterfDuty.Name = "Harsh: BER vs interferer duty cycle" + tag
+	out.BERvsDrift.Name = "Harsh: BER vs CFO drift rate (µrad/sample²)" + tag
 
 	for i, fd := range []float64{0, 1e-4, 3e-4, 1e-3, 3e-3} {
 		prof := impair.Profile{Doppler: fd}
 		s := runner.TrialSeed(seed, 100+i)
 		out.BERvsDoppler.Points = append(out.BERvsDoppler.Points,
-			metrics.Point{X: fd, Y: berHarsh(sc, s, prof, false)})
+			metrics.Point{X: fd, Y: berHarshK(sc, s, prof, false, k)})
 		out.BERvsDopplerNoTrack.Points = append(out.BERvsDopplerNoTrack.Points,
-			metrics.Point{X: fd, Y: berHarsh(sc, s, prof, true)})
+			metrics.Point{X: fd, Y: berHarshK(sc, s, prof, true, k)})
 	}
-	for i, k := range []float64{0, 1, 3, 10, 30} {
-		prof := impair.Profile{Doppler: 1e-3, RicianK: k}
+	for i, kf := range []float64{0, 1, 3, 10, 30} {
+		prof := impair.Profile{Doppler: 1e-3, RicianK: kf}
 		out.BERvsRicianK.Points = append(out.BERvsRicianK.Points,
-			metrics.Point{X: k, Y: berHarsh(sc, runner.TrialSeed(seed, 200+i), prof, false)})
+			metrics.Point{X: kf, Y: berHarshK(sc, runner.TrialSeed(seed, 200+i), prof, false, k)})
 	}
 	for i, duty := range []float64{0, 0.05, 0.15, 0.3, 0.5} {
 		prof := impair.Profile{InterfDuty: duty, InterfAmp: 0.6}
 		out.BERvsInterfDuty.Points = append(out.BERvsInterfDuty.Points,
-			metrics.Point{X: duty, Y: berHarsh(sc, runner.TrialSeed(seed, 300+i), prof, false)})
+			metrics.Point{X: duty, Y: berHarshK(sc, runner.TrialSeed(seed, 300+i), prof, false, k)})
 	}
 	for i, rate := range []float64{0, 1e-7, 3e-7, 1e-6, 3e-6} {
 		prof := impair.Profile{DriftRate: rate}
 		out.BERvsDrift.Points = append(out.BERvsDrift.Points,
-			metrics.Point{X: rate * 1e6, Y: berHarsh(sc, runner.TrialSeed(seed, 400+i), prof, false)})
+			metrics.Point{X: rate * 1e6, Y: berHarshK(sc, runner.TrialSeed(seed, 400+i), prof, false, k)})
 	}
 	return out
 }
 
 // berHarsh measures ZigZag's BER over collision pairs at harshSNR under
-// an impairment profile (berAt's harsh-channel counterpart). noTrack
-// runs the DisablePhaseTracking ablation. The chain seed is drawn from
-// the trial stream before the scenario, so the only difference between
-// profiles at one (seed, trial) is the impairment itself.
+// an impairment profile (berAt's harsh-channel counterpart).
 func berHarsh(sc Scale, seed int64, prof impair.Profile, noTrack bool) float64 {
+	return berHarshK(sc, seed, prof, noTrack, 2)
+}
+
+// berHarshK is berHarsh at collision order k: every trial renders k
+// equal-power packets colliding k times and decodes the set jointly.
+// noTrack runs the DisablePhaseTracking ablation. The chain seed is
+// drawn from the trial stream before the scenario, so the only
+// difference between profiles at one (seed, trial) is the impairment
+// itself; at k=2 the rng stream is identical to the historical pairwise
+// berHarsh (collisionSet pins it).
+func berHarshK(sc Scale, seed int64, prof impair.Profile, noTrack bool, k int) float64 {
 	cfg := core.DefaultConfig()
 	cfg.PHY.DisablePhaseTracking = noTrack
 	cfg.Workers = sc.Workers
+	snrs := make([]float64, k)
+	for i := range snrs {
+		snrs[i] = harshSNR
+	}
 	counts := session.MapTrials(cfg, sc.Pairs, cfg.Workers, seed, func(sess *session.Session, _ int) bitCounts {
 		rng := sess.Rng
 		chainSeed := rng.Int63()
 		var c bitCounts
-		s := newPairScenario(sess, sc.Payload, []float64{harshSNR, harshSNR}, 0.05)
+		s := newPairScenario(sess, sc.Payload, snrs, 0.05)
 		// As in berAt: the offline decoder knows the fixed packet size.
 		for i := range s.metas {
 			s.metas[i].BitLen = len(s.truth[i])
@@ -101,8 +129,8 @@ func berHarsh(sc Scale, seed int64, prof impair.Profile, noTrack bool) float64 {
 			ch.Reset(chainSeed)
 			sess.Air.Impair = ch
 		}
-		r1, r2 := s.collisionPair(rng)
-		res, err := sess.Decode(s.metas, s.pair(r1, r2))
+		recs := s.collisionSet(rng, k)
+		res, err := sess.Decode(s.metas, recs)
 		for i := range s.truth {
 			c.totBits += len(s.truth[i])
 			if err != nil || i >= len(res.Packets) {

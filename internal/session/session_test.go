@@ -124,6 +124,113 @@ func TestSessionReuseBitIdentical(t *testing.T) {
 	}
 }
 
+// kTrialOutcome is runTrialK's observable result for one k-way trial.
+type kTrialOutcome struct {
+	OK      []bool
+	Bits    [][]byte
+	Sources []string
+	Iters   int
+}
+
+// runTrialK is runTrial at collision order k: k senders collide k
+// times and the receptions decode jointly through the generalized SIC
+// path. Everything random flows from the session Rng, as in runTrial.
+func runTrialK(s *Session, k int) kTrialOutcome {
+	rng := s.Rng
+	payload := 90
+	var metas []core.PacketMeta
+	var waves [][]complex128
+	var links []*channel.Params
+	for i := 0; i < k; i++ {
+		p := make([]byte, payload)
+		rng.Read(p)
+		f := &frame.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(rng.Intn(100)), Scheme: modem.BPSK, Payload: p}
+		freq := 0.002 - 0.0015*float64(i)
+		link := s.Link(i)
+		*link = *channel.RandomParams(rng, 15, 0.03, 0, 0.3, channel.TypicalISI(1))
+		link.FreqOffset = freq
+		w, err := s.Waveform(i, f)
+		if err != nil {
+			panic(err)
+		}
+		waves = append(waves, append([]complex128(nil), w...))
+		links = append(links, link)
+		metas = append(metas, core.PacketMeta{Scheme: modem.BPSK, Freq: freq * 0.98, BitLen: f.BitLen()})
+	}
+	s.Air.NoisePower = 0.03
+	s.Air.RandomizePhase = true
+	mkRec := func(offs []int) *core.Reception {
+		var ems []channel.Emission
+		n := 0
+		for i, off := range offs {
+			ems = append(ems, channel.Emission{Samples: waves[i], Link: links[i], Offset: off})
+			if end := off + len(waves[i]) + 60; end > n {
+				n = end
+			}
+		}
+		rx := s.Mix(n, ems...)
+		rec := &core.Reception{Samples: append([]complex128(nil), rx...)}
+		for i, off := range offs {
+			if sync, ok := s.Sync.Measure(rec.Samples, off, 3, metas[i].Freq); ok {
+				rec.Packets = append(rec.Packets, core.Occurrence{Packet: i, Sync: sync})
+			}
+		}
+		return rec
+	}
+	var recs []*core.Reception
+	for r := 0; r < k; r++ {
+		offs := make([]int, k)
+		offs[0] = 40
+		for j := 1; j < k; j++ {
+			offs[j] = 40 + 20*(1+rng.Intn(25))
+		}
+		recs = append(recs, mkRec(offs))
+	}
+	res, err := s.Decode(metas, recs)
+	var out kTrialOutcome
+	if err != nil {
+		return out
+	}
+	out.Iters = res.Iterations
+	for i := range res.Packets {
+		out.OK = append(out.OK, res.Packets[i].OK())
+		out.Bits = append(out.Bits, res.Packets[i].Bits)
+		out.Sources = append(out.Sources, res.Packets[i].Source)
+	}
+	return out
+}
+
+// TestSessionReuseBitIdenticalK3 extends the reuse contract to the
+// generalized k-way decode: a session recycled across k=3 trials
+// produces exactly the outcomes of a fresh session per trial — the
+// pooled decode scratch holds no state that leaks between three-packet
+// joint decodes.
+func TestSessionReuseBitIdenticalK3(t *testing.T) {
+	cfg := core.DefaultConfig()
+	const trials = 4
+	seeds := make([]int64, trials)
+	for i := range seeds {
+		seeds[i] = runner.TrialSeed(21, i)
+	}
+
+	fresh := make([]kTrialOutcome, trials)
+	for i, seed := range seeds {
+		s := New(cfg)
+		s.Reset(seed)
+		fresh[i] = runTrialK(s, 3)
+	}
+
+	reused := make([]kTrialOutcome, trials)
+	s := New(cfg)
+	for i, seed := range seeds {
+		s.Reset(seed)
+		reused[i] = runTrialK(s, 3)
+	}
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("reused session diverged from fresh-per-trial at k=3:\nfresh:  %+v\nreused: %+v", fresh, reused)
+	}
+}
+
 // TestResetRandMatchesReset pins the two lifecycle entry points against
 // each other: Reset(TrialSeed(base, i)) and ResetRand(NewRand(base, i))
 // install identical streams.

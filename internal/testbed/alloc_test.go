@@ -69,3 +69,42 @@ func TestRenderEpisodeAllocFree(t *testing.T) {
 		t.Errorf("renderEpisode (impaired channel): %v allocs per run in steady state, want 0", n)
 	}
 }
+
+// TestRenderEpisodeAllocFreeK3 repeats the steady-state pin for a
+// three-station episode: the k-way generalization must not reopen the
+// rendering hot path when a third transmission joins the collision.
+func TestRenderEpisodeAllocFreeK3(t *testing.T) {
+	cfg := RunConfig{
+		SNRs: []float64{14, 14, 13},
+		Senses: [][]bool{
+			{true, false, false},
+			{false, true, false},
+			{false, false, true},
+		},
+		Packets: 2,
+		Payload: 120,
+		Noise:   0.05,
+		Seed:    17,
+	}
+	sess := session.New(cfg.CoreConfig())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sess.ResetRand(rng)
+	r := &run{cfg: cfg, sess: sess, phyCfg: sess.Cfg.PHY, rng: rng, air: sess.Air, arena: arenaOf(sess)}
+	r.air.NoisePower = cfg.Noise
+	r.air.RandomizePhase = true
+	for i := 0; i < 3; i++ {
+		link := sess.Link(i)
+		link.Randomize(rng, cfg.SNRs[i], cfg.Noise, 0, 0.35, typicalLinkISI)
+		r.links = append(r.links, link)
+	}
+	ep := mac.Episode{Transmissions: []mac.Transmission{
+		{Station: 1, Seq: 0, Start: 0},
+		{Station: 2, Seq: 1, Start: 90 * time.Microsecond},
+		{Station: 3, Seq: 2, Start: 210 * time.Microsecond},
+	}}
+	op := func() { r.renderEpisode(ep) }
+	op() // warm up the arenas
+	if n := testing.AllocsPerRun(50, op); n != 0 {
+		t.Errorf("renderEpisode (three stations): %v allocs per run in steady state, want 0", n)
+	}
+}
