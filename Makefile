@@ -19,6 +19,10 @@
 #   make bench-kway — k-way SIC gate only: end-to-end joint-decode cost
 #                     at k=2/3/4 vs BENCH_kway.json + k=2
 #                     generalized-vs-pairwise bit-identity
+#   make bench-campaign — campaign gate only: 2-shard-merge vs unsharded
+#                     byte-identity, streaming-vs-legacy-metrics
+#                     bit-identity, calibrated cost + shard overhead vs
+#                     BENCH_campaign.json
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -59,7 +63,15 @@ IMPAIR_PKGS = ./internal/impair/... ./internal/channel/... ./internal/testbed/..
 # calls on each path.
 KWAY_PKGS = ./internal/core/... ./internal/session/... ./internal/experiments/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway bench bench-correlate bench-decode bench-impair bench-check bench-kway ci
+# Packages touched by the streaming-metrics campaign stack;
+# test-race-campaign runs them twice under the race detector on both
+# metrics paths (streaming reducers and the ZIGZAG_LEGACY_METRICS=1
+# escape hatch), so the block-based Reduce scheduler, the mergeable
+# accumulators, checkpoint/resume, and the sharded sweeps are exercised
+# across repeated steady-state calls on each path.
+CAMPAIGN_PKGS = ./internal/metrics/... ./internal/runner/... ./internal/session/... ./internal/campaign/... ./internal/experiments/...
+
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign ci
 
 all: build
 
@@ -100,6 +112,10 @@ test-race-kway: build
 	$(GO) test -short -race -count=2 $(KWAY_PKGS)
 	ZIGZAG_PAIRWISE_SIC=1 $(GO) test -short -race -count=2 $(KWAY_PKGS)
 
+test-race-campaign: build
+	$(GO) test -short -race -count=2 $(CAMPAIGN_PKGS)
+	ZIGZAG_LEGACY_METRICS=1 $(GO) test -short -race -count=2 $(CAMPAIGN_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -120,11 +136,15 @@ bench-check: build
 bench-kway: build
 	$(GO) run ./cmd/zigzag-bench -check -kway-only
 
+bench-campaign: build
+	$(GO) run ./cmd/zigzag-bench -check -campaign-only
+
 # test-race-correlate is not a ci prerequisite: test-race-decode's
 # default-path run covers the same packages (plus channel) with the
 # same flags, so listing both would race-test dsp/phy/core twice.
 # test-race-impair IS listed: its no-impair leg and the impair/testbed
 # packages are not covered by the decode matrix. test-race-kway is
 # likewise listed for its pairwise-hatch leg and the session/experiments
-# coverage of the generalized scheduler.
-ci: vet test-race test-race-decode test-race-impair test-race-kway
+# coverage of the generalized scheduler. test-race-campaign adds the
+# metrics/runner/campaign packages and the legacy-metrics-hatch leg.
+ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign

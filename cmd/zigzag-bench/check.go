@@ -117,7 +117,7 @@ func timeSweep(fn func() any) (time.Duration, any) {
 	return time.Since(start), out
 }
 
-func runBenchCheck(outPath string, kwayOnly bool) int {
+func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 	wasDisabled := session.PoolDisabled()
 	defer session.SetPoolDisabled(wasDisabled)
 
@@ -145,7 +145,7 @@ func runBenchCheck(outPath string, kwayOnly bool) int {
 	results := map[string]measuredSweep{}
 	failed := false
 	sweeps := checkSweeps
-	if kwayOnly {
+	if kwayOnly || campaignOnly {
 		sweeps = nil
 	}
 	for _, sw := range sweeps {
@@ -179,9 +179,20 @@ func runBenchCheck(outPath string, kwayOnly bool) int {
 	}
 
 	session.SetPoolDisabled(false)
-	kwayUnits, kwayFailed := runKWayCheck(cal)
-	if kwayFailed {
-		failed = true
+	var kwayUnits, campaignUnits map[string]float64
+	if !campaignOnly {
+		var kwayFailed bool
+		kwayUnits, kwayFailed = runKWayCheck(cal)
+		if kwayFailed {
+			failed = true
+		}
+	}
+	if !kwayOnly {
+		var campaignFailed bool
+		campaignUnits, campaignFailed = runCampaignCheck(cal)
+		if campaignFailed {
+			failed = true
+		}
 	}
 
 	if outPath != "" {
@@ -189,6 +200,7 @@ func runBenchCheck(outPath string, kwayOnly bool) int {
 			"calibration_seconds": cal,
 			"sweeps":              results,
 			"kway_units":          kwayUnits,
+			"campaign_units":      campaignUnits,
 		}, "", "  ")
 		if err == nil {
 			err = os.WriteFile(outPath, append(data, '\n'), 0o644)

@@ -5,9 +5,11 @@
 //
 //	zigzag-bench [-exp all|fig4-2|fig4-4|lemma4-4-1|fig4-7a|fig4-7b|
 //	              table5-1|fig5-2a|fig5-2b|fig5-3|fig5-4|fig5-5|fig5-9|
-//	              harsh|kway]
+//	              harsh|kway|campaign]
 //	             [-scale quick|full] [-seed N] [-workers N] [-k N]
-//	             [-pairwise-sic]
+//	             [-pairwise-sic] [-legacy-metrics]
+//	             [-shards N -shard i [-shard-out FILE]] [-merge F1,F2,...]
+//	             [-checkpoint FILE [-checkpoint-every N] [-stop-after-blocks N]]
 //
 // -workers sizes the worker pool that Monte-Carlo trials fan out across
 // (0 = all cores); per-trial seed derivation keeps every figure
@@ -28,6 +30,19 @@
 // -pairwise-sic (or ZIGZAG_PAIRWISE_SIC=1) forces every decode onto the
 // legacy pairwise chunk-ordering policy regardless of k — the escape
 // hatch for the generalized k-way SIC framework.
+//
+// "campaign" is the city-scale engine (internal/campaign): overlapping
+// BSSes with churned station placement, k-way collision episodes
+// jointly decoded on pooled sessions, folded through streaming
+// mergeable accumulators (O(workers) memory). -checkpoint persists and
+// resumes shard state mid-run.
+//
+// The counting sweeps (fig5-3, harsh, kway) and the campaign shard:
+// -shards N -shard i runs one contiguous slice of the trial space and
+// writes a mergeable JSON partial; -merge folds partials and renders
+// stdout byte-identical to the unsharded run, at any shard split and
+// worker count. -legacy-metrics (or ZIGZAG_LEGACY_METRICS=1) pins the
+// historical materialize-then-fold metrics path, bit-identically.
 //
 // Every output block is labelled with the paper artifact it reproduces;
 // EXPERIMENTS.md records paper-vs-measured values for each.
@@ -65,11 +80,22 @@ func main() {
 	noImpair := flag.Bool("no-impair", false,
 		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	check := flag.Bool("check", false,
-		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the k-way cost/identity gate against BENCH_kway.json")
+		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the k-way gate (BENCH_kway.json) and the campaign shard-merge gate (BENCH_campaign.json)")
 	kwayOnly := flag.Bool("kway-only", false,
 		"with -check: run only the k-way gate (k=2/3/4 decode cost + k=2 generalized-vs-pairwise identity)")
+	campaignOnly := flag.Bool("campaign-only", false,
+		"with -check: run only the campaign gate (shard-merge identity + reducer cost)")
 	benchOut := flag.String("bench-out", "",
 		"with -check: also write the measured numbers to this JSON file")
+	legacyMetrics := flag.Bool("legacy-metrics", false,
+		"pin the counting sweeps to the historical materialize-then-fold metrics path instead of the streaming reducers (bit-identical escape hatch)")
+	shards := flag.Int("shards", 1, "split the experiment's trial space into N shards (fig5-3, harsh, kway, campaign)")
+	shard := flag.Int("shard", 0, "with -shards: which shard THIS process runs (0-based)")
+	shardOut := flag.String("shard-out", "", "with -shards: write the mergeable shard partial JSON here (default stdout)")
+	mergeList := flag.String("merge", "", "comma-separated shard partial files to merge and render (replaces running)")
+	checkpoint := flag.String("checkpoint", "", "campaign only: checkpoint file; written during the run and resumed from when it exists")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "write the checkpoint every n-th completed block (0 = every block)")
+	stopAfterBlocks := flag.Int("stop-after-blocks", 0, "campaign only: stop scheduling new blocks after n complete (deterministic interruption for resume demos)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
@@ -84,12 +110,20 @@ func main() {
 		// default never clobbers ZIGZAG_PAIRWISE_SIC=1.
 		core.SetPairwiseSIC(true)
 	}
+	if *legacyMetrics {
+		// Same discipline: only force on an explicit flag so a bare
+		// default never clobbers ZIGZAG_LEGACY_METRICS=1.
+		metrics.SetLegacy(true)
+	}
 	if *kOrder < 2 || *kOrder > 4 {
 		fmt.Fprintln(os.Stderr, "-k must be 2, 3 or 4")
 		os.Exit(2)
 	}
 	if *check {
-		os.Exit(runBenchCheck(*benchOut, *kwayOnly))
+		os.Exit(runBenchCheck(*benchOut, *kwayOnly, *campaignOnly))
+	}
+	if *mergeList != "" {
+		os.Exit(runMerge(*mergeList))
 	}
 
 	sc := experiments.Quick
@@ -97,6 +131,11 @@ func main() {
 		sc = experiments.Full
 	}
 	sc.Workers = *workers
+
+	if *shards > 1 {
+		os.Exit(runShard(*exp, *scaleName, sc, *seed, *kOrder, *shards, *shard,
+			*shardOut, *checkpoint, *checkpointEvery, *stopAfterBlocks))
+	}
 
 	runners := []struct {
 		name string
@@ -116,6 +155,9 @@ func main() {
 		{"fig5-9", func() { fig59(sc, *seed) }},
 		{"harsh", func() { harsh(sc, *seed, *kOrder) }},
 		{"kway", func() { kway(sc, *seed) }},
+		{"campaign", func() {
+			runCampaign(*scaleName, *seed, *workers, *kOrder, *checkpoint, *checkpointEvery, *stopAfterBlocks)
+		}},
 	}
 	ran := false
 	for _, r := range runners {
@@ -186,7 +228,10 @@ func fig52b(seed int64) {
 }
 
 func fig53(sc experiments.Scale, seed int64) {
-	res := experiments.Fig53BERvsSNR(sc, seed)
+	printFig53(experiments.Fig53BERvsSNR(sc, seed))
+}
+
+func printFig53(res experiments.Fig53Result) {
 	fmt.Print(res.ZigZag.Format())
 	fmt.Print(res.ZigZagFwdOnly.Format())
 	fmt.Print(res.CollisionFree.Format())
@@ -224,7 +269,10 @@ func testbedFigs(sc experiments.Scale, seed int64) {
 }
 
 func harsh(sc experiments.Scale, seed int64, k int) {
-	res := experiments.HarshChannelSuiteK(sc, seed, k)
+	printHarsh(experiments.HarshChannelSuiteK(sc, seed, k))
+}
+
+func printHarsh(res experiments.HarshResult) {
 	fmt.Print(res.BERvsDoppler.Format())
 	fmt.Print(res.BERvsDopplerNoTrack.Format())
 	fmt.Print(res.BERvsRicianK.Format())
@@ -236,7 +284,10 @@ func harsh(sc experiments.Scale, seed int64, k int) {
 }
 
 func kway(sc experiments.Scale, seed int64) {
-	res := experiments.KWayOrderSweep(sc, seed)
+	printKWay(experiments.KWayOrderSweep(sc, seed))
+}
+
+func printKWay(res experiments.KWayResult) {
 	fmt.Print(res.BERvsK.Format())
 	fmt.Print(res.BERvsKFading.Format())
 	fmt.Println("# each extra colliding packet adds one re-encode error source per chunk;")

@@ -39,6 +39,7 @@ import (
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
 	"zigzag/internal/impair"
+	"zigzag/internal/metrics"
 	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
@@ -73,10 +74,17 @@ func main() {
 		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	pairwise := flag.Bool("pairwise-sic", false,
 		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)")
+	legacyMetrics := flag.Bool("legacy-metrics", false,
+		"pin metrics collection to the historical in-memory Sample path instead of the streaming reducers (bit-identical escape hatch)")
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
 	session.SetPoolDisabled(*noSessionPool)
+	if *legacyMetrics {
+		// Same discipline: a bare default must not clobber
+		// ZIGZAG_LEGACY_METRICS=1.
+		metrics.SetLegacy(true)
+	}
 	if *noImpair {
 		// Only force-disable on an explicit flag: a bare default must not
 		// clobber a ZIGZAG_NO_IMPAIR=1 environment.

@@ -1,0 +1,138 @@
+// Campaign example: one city-scale Monte-Carlo campaign split across
+// TWO OS PROCESSES whose partial results merge byte-identically with
+// the single-process run.
+//
+// The parent re-executes itself twice (CAMPAIGN_SHARD=0 and =1), each
+// child runs one contiguous half of the global trial space through the
+// streaming reducer and writes its accumulator as JSON, and the parent
+// merges the two partials. Because per-trial seeds derive from the
+// GLOBAL trial index and every accumulator is exactly mergeable
+// (integer counters, exact sums, integer-bucket sketches), the merged
+// report is byte-for-byte the single-process report — which the demo
+// verifies at the end by running the whole campaign in-process too.
+//
+// Run with: go run ./examples/campaign
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+
+	"zigzag/internal/campaign"
+)
+
+// demoConfig is the campaign both the parent and the shard children
+// run; it must be identical everywhere, so it lives in one place.
+func demoConfig() campaign.Config {
+	cfg := campaign.DefaultConfig()
+	cfg.Trials = 48
+	cfg.Seed = 7
+	return cfg
+}
+
+// shardPartial writes/reads one child's result.
+type shardPartial struct {
+	Index int           `json:"index"`
+	Acc   *campaign.Acc `json:"acc"`
+}
+
+// runShard is the child role: run shard index of 2, write the partial.
+func runShard(index int, outPath string) error {
+	acc, err := campaign.Run(demoConfig(), 2, index, nil)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(shardPartial{Index: index, Acc: acc})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, data, 0o644)
+}
+
+// mergeShards is the in-process half of the demo: fold partial files
+// into one accumulator.
+func mergeShards(paths []string) (*campaign.Acc, error) {
+	merged := campaign.NewAcc()
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		p := shardPartial{Acc: campaign.NewAcc()}
+		if err := json.Unmarshal(data, &p); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		merged.Merge(p.Acc)
+	}
+	return merged, nil
+}
+
+func main() {
+	if v := os.Getenv("CAMPAIGN_SHARD"); v != "" {
+		index, err := strconv.Atoi(v)
+		if err == nil {
+			err = runShard(index, os.Getenv("CAMPAIGN_OUT"))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "zigzag-campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Launch both shard processes concurrently — separate address
+	// spaces, separate session pools, separate halves of the trial
+	// space.
+	var paths []string
+	var cmds []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		out := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		paths = append(paths, out)
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			"CAMPAIGN_SHARD="+strconv.Itoa(i), "CAMPAIGN_OUT="+out)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	merged, err := mergeShards(paths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== merged report (2 processes) ===")
+	fmt.Print(merged.Report())
+
+	whole, err := campaign.Run(demoConfig(), 1, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if merged.Report() == whole.Report() {
+		fmt.Println("=== byte-identical to the single-process run ===")
+	} else {
+		fmt.Println("=== MISMATCH against the single-process run ===")
+		fmt.Print(whole.Report())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"zigzag/internal/campaign"
+)
+
+// TestShardMergeIdentity smoke-tests the demo's machinery in-process:
+// both shard halves written and re-read through the JSON partial
+// format, merged, and compared byte-for-byte against the unsharded
+// run — the same property the two-process main verifies.
+func TestShardMergeIdentity(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 2; i++ {
+		out := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := runShard(i, out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		paths = append(paths, out)
+	}
+	merged, err := mergeShards(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := campaign.Run(demoConfig(), 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := merged.Report(), whole.Report(); got != want {
+		t.Fatalf("merged shards diverged from single-process run\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if merged.Trials.Value() != int64(demoConfig().Trials) {
+		t.Fatalf("merged trials = %d, want %d", merged.Trials.Value(), demoConfig().Trials)
+	}
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"zigzag/internal/experiments"
+	"zigzag/internal/metrics"
+)
+
+// Acc is a campaign shard's accumulator. Every field is exactly
+// mergeable — integer counters, exact-sum moments, integer-bucket
+// quantile sketches — so Merge is exactly associative and commutative
+// and any shard split × worker count reproduces the unsharded
+// accumulator's observables bit for bit. It marshals losslessly to
+// JSON (shard partials, checkpoints) and restores with UnmarshalJSON.
+type Acc struct {
+	// Trials and Episodes count completed work; Failures counts
+	// episodes whose joint decode failed outright.
+	Trials   metrics.Counter `json:"trials"`
+	Episodes metrics.Counter `json:"episodes"`
+	Failures metrics.Counter `json:"failures"`
+	// ErrBits/TotBits are the exact aggregate bit tallies.
+	ErrBits metrics.Counter `json:"err_bits"`
+	TotBits metrics.Counter `json:"tot_bits"`
+	// EpisodeBER sketches the per-episode BER distribution; SNR sketches
+	// the per-sender link SNR the topology produced.
+	EpisodeBER *metrics.QuantileSketch `json:"episode_ber"`
+	SNR        *metrics.QuantileSketch `json:"snr"`
+	// BERMoments carries the exact first two moments of episode BER.
+	BERMoments metrics.Moments `json:"ber_moments"`
+}
+
+// NewAcc returns an empty accumulator.
+func NewAcc() *Acc {
+	return &Acc{
+		EpisodeBER: metrics.NewQuantileSketch(metrics.DefaultSketchAccuracy),
+		SNR:        metrics.NewQuantileSketch(metrics.DefaultSketchAccuracy),
+	}
+}
+
+// observe folds one episode in.
+func (a *Acc) observe(ep experiments.EpisodeResult) {
+	a.Episodes.Add(1)
+	if ep.DecodeFailed {
+		a.Failures.Add(1)
+	}
+	a.ErrBits.Add(int64(ep.ErrBits))
+	a.TotBits.Add(int64(ep.TotBits))
+	ber := ep.BER()
+	a.EpisodeBER.Add(ber)
+	a.BERMoments.Add(ber)
+}
+
+// Merge folds another shard's accumulator in (exact).
+func (a *Acc) Merge(b *Acc) {
+	a.Trials.Merge(b.Trials)
+	a.Episodes.Merge(b.Episodes)
+	a.Failures.Merge(b.Failures)
+	a.ErrBits.Merge(b.ErrBits)
+	a.TotBits.Merge(b.TotBits)
+	a.EpisodeBER.Merge(b.EpisodeBER)
+	a.SNR.Merge(b.SNR)
+	a.BERMoments.Merge(&b.BERMoments)
+}
+
+// BER returns the campaign's aggregate bit error rate.
+func (a *Acc) BER() float64 {
+	if a.TotBits == 0 {
+		return 0
+	}
+	return float64(a.ErrBits) / float64(a.TotBits)
+}
+
+// FailureRate returns the fraction of episodes whose joint decode
+// failed outright.
+func (a *Acc) FailureRate() float64 {
+	if a.Episodes == 0 {
+		return 0
+	}
+	return float64(a.Failures) / float64(a.Episodes)
+}
+
+// Report renders the campaign summary. It is a pure function of the
+// accumulator's mergeable observables, so a merged run's report is
+// byte-identical to the unsharded run's — the merge-identity tests and
+// the CLI acceptance path pin exactly this string.
+func (a *Acc) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trials            %d\n", a.Trials.Value())
+	fmt.Fprintf(&b, "episodes          %d\n", a.Episodes.Value())
+	fmt.Fprintf(&b, "decode failures   %d (%.5f of episodes)\n", a.Failures.Value(), a.FailureRate())
+	fmt.Fprintf(&b, "aggregate BER     %.6g  (%d / %d bits)\n", a.BER(), a.ErrBits.Value(), a.TotBits.Value())
+	fmt.Fprintf(&b, "episode BER mean  %.6g  std %.6g\n", a.BERMoments.Mean(), a.BERMoments.Std())
+	fmt.Fprintf(&b, "episode BER p50   %.6g  p90 %.6g  p99 %.6g  max %.6g\n",
+		a.EpisodeBER.Quantile(0.50), a.EpisodeBER.Quantile(0.90), a.EpisodeBER.Quantile(0.99), a.EpisodeBER.Max())
+	fmt.Fprintf(&b, "link SNR (dB) p10 %.4g  p50 %.4g  p90 %.4g  range [%.4g, %.4g]\n",
+		a.SNR.Quantile(0.10), a.SNR.Quantile(0.50), a.SNR.Quantile(0.90), a.SNR.Min(), a.SNR.Max())
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// testConfig is a tiny city the suite can sweep repeatedly.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cells = 2
+	cfg.StationsPerCell = 3
+	cfg.Rounds = 2
+	cfg.Payload = 40
+	cfg.Trials = 12
+	cfg.BlockSize = 2
+	cfg.Seed = 9
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config, shards, index int, ck *Checkpointer) *Acc {
+	t.Helper()
+	acc, err := Run(cfg, shards, index, ck)
+	if err != nil {
+		t.Fatalf("Run(%d/%d): %v", index, shards, err)
+	}
+	return acc
+}
+
+// TestShardWorkerInvariant is the campaign acceptance pin: any shard
+// split × any worker count merges to the same observables as the
+// unsharded single-worker run — compared on the rendered Report, which
+// is exactly what the CLI emits.
+func TestShardWorkerInvariant(t *testing.T) {
+	cfg := testConfig()
+	cfg.Workers = 1
+	want := mustRun(t, cfg, 1, 0, nil).Report()
+
+	workersSweep := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		workersSweep = append(workersSweep, n)
+	}
+	for _, shards := range []int{1, 2, 5} {
+		for _, w := range workersSweep {
+			c := cfg
+			c.Workers = w
+			merged := NewAcc()
+			for i := 0; i < shards; i++ {
+				merged.Merge(mustRun(t, c, shards, i, nil))
+			}
+			if got := merged.Report(); got != want {
+				t.Fatalf("shards=%d workers=%d report diverged\nwant:\n%s\ngot:\n%s", shards, w, want, got)
+			}
+		}
+	}
+}
+
+// TestTrialAccounting pins the work bookkeeping: trials, episodes and
+// per-sender SNR observations match the configured volumes.
+func TestTrialAccounting(t *testing.T) {
+	cfg := testConfig()
+	acc := mustRun(t, cfg, 1, 0, nil)
+	if got, want := acc.Trials.Value(), int64(cfg.Trials); got != want {
+		t.Fatalf("trials = %d, want %d", got, want)
+	}
+	if got, want := acc.Episodes.Value(), int64(cfg.Trials*cfg.Rounds); got != want {
+		t.Fatalf("episodes = %d, want %d", got, want)
+	}
+	if got, want := acc.SNR.N(), cfg.Trials*cfg.Rounds*cfg.K; got != want {
+		t.Fatalf("snr observations = %d, want %d", got, want)
+	}
+	if acc.TotBits.Value() == 0 {
+		t.Fatal("no bits measured")
+	}
+	for _, v := range []float64{acc.SNR.Min(), acc.SNR.Max()} {
+		if v < cfg.MinSNR || v > cfg.MaxSNR {
+			t.Fatalf("SNR %v outside clamp [%v, %v]", v, cfg.MinSNR, cfg.MaxSNR)
+		}
+	}
+}
+
+// TestCheckpointResume pins resumability: a run stopped mid-shard and
+// resumed from its checkpoint reports byte-identically to the
+// uninterrupted run.
+func TestCheckpointResume(t *testing.T) {
+	cfg := testConfig()
+	want := mustRun(t, cfg, 1, 0, nil).Report()
+
+	path := filepath.Join(t.TempDir(), "shard0.ckpt")
+	first := &Checkpointer{Path: path, StopAfterBlocks: 2}
+	partial := mustRun(t, cfg, 1, 0, first)
+	if partial.Trials.Value() >= int64(cfg.Trials) {
+		t.Fatalf("interruption did not interrupt: %d trials", partial.Trials.Value())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	resumed := mustRun(t, cfg, 1, 0, &Checkpointer{Path: path})
+	if got := resumed.Report(); got != want {
+		t.Fatalf("resumed run diverged\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	// A third run resumes a COMPLETE checkpoint: nothing left to do,
+	// same report.
+	again := mustRun(t, cfg, 1, 0, &Checkpointer{Path: path})
+	if got := again.Report(); got != want {
+		t.Fatalf("complete-checkpoint rerun diverged\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestCheckpointRejectsMismatch pins the fingerprint: a checkpoint
+// from one campaign cannot resume another.
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	cfg := testConfig()
+	path := filepath.Join(t.TempDir(), "shard.ckpt")
+	mustRun(t, cfg, 2, 0, &Checkpointer{Path: path})
+
+	other := cfg
+	other.Seed++
+	if _, err := Run(other, 2, 0, &Checkpointer{Path: path}); err == nil {
+		t.Fatal("foreign-campaign checkpoint accepted")
+	}
+	if _, err := Run(cfg, 2, 1, &Checkpointer{Path: path}); err == nil {
+		t.Fatal("wrong-shard checkpoint accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cfg, 2, 0, &Checkpointer{Path: path}); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestAccJSONRoundTrip pins the shard-partial wire format: an
+// accumulator survives marshal/unmarshal with identical observables
+// and still merges.
+func TestAccJSONRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	a := mustRun(t, cfg, 2, 0, nil)
+	b := mustRun(t, cfg, 2, 1, nil)
+
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewAcc()
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Report(), a.Report(); got != want {
+		t.Fatalf("round-trip report diverged\nwant:\n%s\ngot:\n%s", want, got)
+	}
+
+	whole := mustRun(t, cfg, 1, 0, nil)
+	restored.Merge(b)
+	if got, want := restored.Report(), whole.Report(); got != want {
+		t.Fatalf("restored+merged report diverged from whole\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestValidate pins the config guard rails.
+func TestValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cells = 0 },
+		func(c *Config) { c.K = 1 },
+		func(c *Config) { c.StationsPerCell = 1; c.Cells = 1; c.K = 3 },
+		func(c *Config) { c.Trials = 0 },
+		func(c *Config) { c.CellRadius = -1 },
+		func(c *Config) { c.MinSNR = 10; c.MaxSNR = 5 },
+	}
+	for i, mutate := range bad {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if _, err := Run(DefaultConfig(), 2, 5, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range shard index accepted (err=%v)", err)
+	}
+}

@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sync/atomic"
+
+	"zigzag/internal/runner"
+	"zigzag/internal/session"
+)
+
+// Checkpointer persists a shard's streaming state — done-block flags
+// plus the mergeable accumulator — so an interrupted campaign resumes
+// instead of restarting. The checkpoint is written atomically
+// (temp file + rename) after block completions, and is fingerprinted
+// by the campaign config and shard coordinates: resuming against a
+// different campaign fails loudly rather than merging garbage.
+type Checkpointer struct {
+	// Path is the checkpoint file. If it exists when the run starts and
+	// its fingerprint matches, the run resumes from it.
+	Path string
+	// EveryBlocks writes the checkpoint every n-th completed block
+	// (<= 0 means every block).
+	EveryBlocks int
+	// StopAfterBlocks, when positive, stops scheduling new blocks once
+	// that many have completed in this process — deterministic
+	// interruption for the resume tests and the two-process demo.
+	StopAfterBlocks int
+
+	blocks atomic.Int32
+	since  int
+	err    error
+}
+
+// checkpointFile is the on-disk shape.
+type checkpointFile struct {
+	Key  string `json:"key"`
+	Done []bool `json:"done"`
+	Acc  *Acc   `json:"acc"`
+}
+
+// fingerprint identifies a (campaign, shard) pair. BlockSize rides in
+// the config, so resume granularity mismatches are caught too; Workers
+// is excluded — resuming at a different worker count is valid and
+// byte-identical.
+func fingerprint(cfg Config, shards, index int) string {
+	j, err := json.Marshal(cfg)
+	if err != nil {
+		panic(err) // Config is a fixed marshalable struct
+	}
+	return fmt.Sprintf("campaign/v1 shard %d/%d %s", index, shards, j)
+}
+
+// Err returns the first checkpoint-write error, if any. Run surfaces
+// it, so callers only need this when driving arm by hand.
+func (ck *Checkpointer) Err() error { return ck.err }
+
+// arm wires the checkpointer into a reduce spec: restore state from an
+// existing checkpoint and install the save/stop hooks.
+func (ck *Checkpointer) arm(spec *runner.ReduceSpec[*session.Session, *Acc], cfg Config, shards, index int) error {
+	key := fingerprint(cfg, shards, index)
+	if data, err := os.ReadFile(ck.Path); err == nil {
+		f := checkpointFile{Acc: NewAcc()}
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("campaign: corrupt checkpoint %s: %w", ck.Path, err)
+		}
+		if f.Key != key {
+			return fmt.Errorf("campaign: checkpoint %s belongs to a different campaign or shard", ck.Path)
+		}
+		if len(f.Done) != spec.NumBlocks() {
+			return fmt.Errorf("campaign: checkpoint %s has %d blocks, campaign has %d", ck.Path, len(f.Done), spec.NumBlocks())
+		}
+		acc := f.Acc
+		spec.Done = f.Done
+		spec.Init = func() *Acc { return acc }
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+
+	spec.OnBlock = func(_ int, done []bool, acc *Acc) {
+		ck.blocks.Add(1)
+		ck.since++
+		every := ck.EveryBlocks
+		if every <= 0 {
+			every = 1
+		}
+		if ck.since < every {
+			return
+		}
+		ck.since = 0
+		if err := ck.save(key, done, acc); err != nil && ck.err == nil {
+			ck.err = err
+		}
+	}
+	if ck.StopAfterBlocks > 0 {
+		spec.Stop = func() bool { return int(ck.blocks.Load()) >= ck.StopAfterBlocks }
+	}
+	return nil
+}
+
+// save writes the checkpoint atomically: marshal, write a sibling temp
+// file, rename over Path.
+func (ck *Checkpointer) save(key string, done []bool, acc *Acc) error {
+	f := checkpointFile{Key: key, Done: done, Acc: acc}
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
+	}
+	tmp := ck.Path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, ck.Path); err != nil {
+		return fmt.Errorf("campaign: commit checkpoint: %w", err)
+	}
+	return nil
+}

@@ -26,19 +26,37 @@ type Fig53Result struct {
 // SNRs. 802.11 is omitted as in the paper (its BER on these collisions
 // is ≈0.5).
 func Fig53BERvsSNR(sc Scale, seed int64) Fig53Result {
+	return Fig53FromCounts(Fig53Counts(sc, seed, Shard{}))
+}
+
+// Fig53Counts runs one shard of the Fig 5-3 sweep and returns the raw
+// bit tallies: three series (ZigZag, forward-only, collision-free) in
+// that order. Shards from the same (sc, seed) merge with MergeCounts;
+// the full merge renders — via Fig53FromCounts — byte-identically to
+// the unsharded Fig53BERvsSNR at any shard split and worker count.
+func Fig53Counts(sc Scale, seed int64, sh Shard) []CountSeries {
+	zz := CountSeries{Name: "Fig 5-3: BER vs SNR — ZigZag (fwd+bwd MRC)"}
+	fwd := CountSeries{Name: "Fig 5-3: BER vs SNR — ZigZag (forward only)"}
+	cf := CountSeries{Name: "Fig 5-3: BER vs SNR — Collision-Free Scheduler"}
+	for _, snr := range []float64{4, 5, 6, 7, 8, 9, 10} {
+		zz.Points = append(zz.Points, countPoint(snr, berAtCounts(sc, seed, snr, false, sh)))
+		fwd.Points = append(fwd.Points, countPoint(snr, berAtCounts(sc, seed, snr, true, sh)))
+		cf.Points = append(cf.Points, countPoint(snr, berCollisionFreeCounts(sc, seed, snr, sh)))
+	}
+	return []CountSeries{zz, fwd, cf}
+}
+
+// Fig53FromCounts renders merged Fig 5-3 tallies to the figure,
+// including the MeanRatio summary.
+func Fig53FromCounts(cs []CountSeries) Fig53Result {
 	var out Fig53Result
-	out.ZigZag.Name = "Fig 5-3: BER vs SNR — ZigZag (fwd+bwd MRC)"
-	out.ZigZagFwdOnly.Name = "Fig 5-3: BER vs SNR — ZigZag (forward only)"
-	out.CollisionFree.Name = "Fig 5-3: BER vs SNR — Collision-Free Scheduler"
-	snrs := []float64{4, 5, 6, 7, 8, 9, 10}
+	out.ZigZag = cs[0].series()
+	out.ZigZagFwdOnly = cs[1].series()
+	out.CollisionFree = cs[2].series()
 	ratioSum, ratioN := 0.0, 0
-	for _, snr := range snrs {
-		zz := berAt(sc, seed, snr, false)
-		fwd := berAt(sc, seed, snr, true)
-		cf := berCollisionFree(sc, seed, snr)
-		out.ZigZag.Points = append(out.ZigZag.Points, metrics.Point{X: snr, Y: zz})
-		out.ZigZagFwdOnly.Points = append(out.ZigZagFwdOnly.Points, metrics.Point{X: snr, Y: fwd})
-		out.CollisionFree.Points = append(out.CollisionFree.Points, metrics.Point{X: snr, Y: cf})
+	for i := range out.ZigZag.Points {
+		zz := out.ZigZag.Points[i].Y
+		cf := out.CollisionFree.Points[i].Y
 		if zz > 0 {
 			ratioSum += cf / zz
 			ratioN++
@@ -51,6 +69,11 @@ func Fig53BERvsSNR(sc Scale, seed int64) Fig53Result {
 		out.MeanRatio = ratioSum / float64(ratioN)
 	}
 	return out
+}
+
+// countPoint lifts a bitCounts tally to a mergeable CountPoint at x.
+func countPoint(x float64, c bitCounts) CountPoint {
+	return CountPoint{X: x, Err: int64(c.errBits), Tot: int64(c.totBits)}
 }
 
 // bitCounts accumulates a trial's error/total bit tallies.
@@ -76,10 +99,16 @@ func sumCounts(cs []bitCounts) bitCounts {
 // Pairs run as independent trials on the worker pool, each on its
 // worker's pooled session.
 func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
+	return berAtCounts(sc, seed, snr, fwdOnly, Shard{}).rate()
+}
+
+// berAtCounts is berAt's mergeable form: the summed bit tallies of one
+// shard of the pair sweep, folded through the streaming reducer.
+func berAtCounts(sc Scale, seed int64, snr float64, fwdOnly bool, sh Shard) bitCounts {
 	cfg := core.DefaultConfig()
 	cfg.DisableBackward = fwdOnly
 	cfg.Workers = sc.Workers
-	counts := session.MapTrials(cfg, sc.Pairs, cfg.Workers, seed^int64(snr*1000), func(sess *session.Session, _ int) bitCounts {
+	return reduceCounts(cfg, sc.Pairs, sh, cfg.Workers, seed^int64(snr*1000), func(sess *session.Session, _ int) bitCounts {
 		rng := sess.Rng
 		var c bitCounts
 		s := newPairScenario(sess, sc.Payload, []float64{snr, snr}, 0.05)
@@ -102,15 +131,19 @@ func berAt(sc Scale, seed int64, snr float64, fwdOnly bool) float64 {
 		}
 		return c
 	})
-	return sumCounts(counts).rate()
 }
 
 // berCollisionFree measures the same decoder on interference-free
 // packets (each in its own slot).
 func berCollisionFree(sc Scale, seed int64, snr float64) float64 {
+	return berCollisionFreeCounts(sc, seed, snr, Shard{}).rate()
+}
+
+// berCollisionFreeCounts is berCollisionFree's mergeable shard form.
+func berCollisionFreeCounts(sc Scale, seed int64, snr float64, sh Shard) bitCounts {
 	cfg := core.DefaultConfig()
 	cfg.Workers = sc.Workers
-	counts := session.MapTrials(cfg, 2*sc.Pairs, cfg.Workers, seed^int64(snr*1000)^0x5a5a, func(sess *session.Session, _ int) bitCounts {
+	return reduceCounts(cfg, 2*sc.Pairs, sh, cfg.Workers, seed^int64(snr*1000)^0x5a5a, func(sess *session.Session, _ int) bitCounts {
 		var c bitCounts
 		s := newPairScenario(sess, sc.Payload, []float64{snr}, 0.05)
 		air := sess.Air
@@ -128,5 +161,4 @@ func berCollisionFree(sc Scale, seed int64, snr float64) float64 {
 		c.errBits = int(ber * float64(len(s.truth[0])))
 		return c
 	})
-	return sumCounts(counts).rate()
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"zigzag/internal/bitutil"
+	"zigzag/internal/impair"
+	"zigzag/internal/session"
+)
+
+// EpisodeResult is one collision episode's outcome: exact bit tallies
+// plus whether the joint decode failed outright (no packet list at
+// all, as opposed to decoding with errors).
+type EpisodeResult struct {
+	ErrBits      int
+	TotBits      int
+	DecodeFailed bool
+}
+
+// BER returns the episode's bit error rate (0 when empty).
+func (r EpisodeResult) BER() float64 {
+	if r.TotBits == 0 {
+		return 0
+	}
+	return float64(r.ErrBits) / float64(r.TotBits)
+}
+
+// CollisionEpisode renders one k-sender collision episode on the
+// worker's pooled session — k = len(snrs) packets, each at its own
+// SNR, colliding k times — and jointly decodes the set, under an
+// optional impairment profile. This is the campaign engine's unit of
+// work: the city-scale simulator computes per-station SNRs from its
+// topology and calls this per episode, reusing the same scenario
+// arenas, decode path, and tallying conventions as the paper-figure
+// sweeps (undecodable packets count half their bits errored — the
+// coin-flip floor).
+//
+// All randomness comes from sess.Rng, so an episode is a pure function
+// of the session's trial stream position; the impairment chain seed is
+// drawn first, exactly as in the harsh sweeps.
+func CollisionEpisode(sess *session.Session, payload int, snrs []float64, noise float64, prof impair.Profile) EpisodeResult {
+	rng := sess.Rng
+	chainSeed := rng.Int63()
+	s := newPairScenario(sess, payload, snrs, noise)
+	// As in berAt: the offline decoder knows the fixed packet size.
+	for i := range s.metas {
+		s.metas[i].BitLen = len(s.truth[i])
+	}
+	if prof.Empty() {
+		sess.Air.Impair = nil
+	} else {
+		ch := s.impair.Get(prof)
+		ch.Reset(chainSeed)
+		sess.Air.Impair = ch
+	}
+	recs := s.collisionSet(rng, len(snrs))
+	res, err := sess.Decode(s.metas, recs)
+	var out EpisodeResult
+	out.DecodeFailed = err != nil
+	for i := range s.truth {
+		out.TotBits += len(s.truth[i])
+		if err != nil || i >= len(res.Packets) {
+			out.ErrBits += len(s.truth[i]) / 2
+			continue
+		}
+		ber := bitutil.BitErrorRate(s.truth[i], res.Packets[i].Bits)
+		out.ErrBits += int(ber * float64(len(s.truth[i])))
+	}
+	return out
+}

@@ -57,41 +57,55 @@ func HarshChannelSuite(sc Scale, seed int64) HarshResult {
 // suite explores collision order alongside channel severity (§7). k=2
 // reproduces HarshChannelSuite exactly, series names included.
 func HarshChannelSuiteK(sc Scale, seed int64, k int) HarshResult {
+	return HarshFromCounts(HarshCounts(sc, seed, k, Shard{}))
+}
+
+// HarshCounts runs one shard of the harsh-channel suite at collision
+// order k and returns the raw bit tallies: five series in HarshResult
+// field order (Doppler tracking-on, Doppler tracking-off, Rician K,
+// interferer duty, CFO drift). Shards from the same (sc, seed, k)
+// merge with MergeCounts and render via HarshFromCounts.
+func HarshCounts(sc Scale, seed int64, k int, sh Shard) []CountSeries {
 	tag := ""
 	if k != 2 {
 		tag = fmt.Sprintf(" (k=%d)", k)
 	}
-	var out HarshResult
-	out.BERvsDoppler.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking on)" + tag
-	out.BERvsDopplerNoTrack.Name = "Harsh: BER vs normalized Doppler — ZigZag (tracking off)" + tag
-	out.BERvsRicianK.Name = "Harsh: BER vs Rician K (Doppler 1e-3)" + tag
-	out.BERvsInterfDuty.Name = "Harsh: BER vs interferer duty cycle" + tag
-	out.BERvsDrift.Name = "Harsh: BER vs CFO drift rate (µrad/sample²)" + tag
+	ds := CountSeries{Name: "Harsh: BER vs normalized Doppler — ZigZag (tracking on)" + tag}
+	dsNo := CountSeries{Name: "Harsh: BER vs normalized Doppler — ZigZag (tracking off)" + tag}
+	rk := CountSeries{Name: "Harsh: BER vs Rician K (Doppler 1e-3)" + tag}
+	duty := CountSeries{Name: "Harsh: BER vs interferer duty cycle" + tag}
+	drift := CountSeries{Name: "Harsh: BER vs CFO drift rate (µrad/sample²)" + tag}
 
 	for i, fd := range []float64{0, 1e-4, 3e-4, 1e-3, 3e-3} {
 		prof := impair.Profile{Doppler: fd}
 		s := runner.TrialSeed(seed, 100+i)
-		out.BERvsDoppler.Points = append(out.BERvsDoppler.Points,
-			metrics.Point{X: fd, Y: berHarshK(sc, s, prof, false, k)})
-		out.BERvsDopplerNoTrack.Points = append(out.BERvsDopplerNoTrack.Points,
-			metrics.Point{X: fd, Y: berHarshK(sc, s, prof, true, k)})
+		ds.Points = append(ds.Points, countPoint(fd, berHarshCounts(sc, s, prof, false, k, sh)))
+		dsNo.Points = append(dsNo.Points, countPoint(fd, berHarshCounts(sc, s, prof, true, k, sh)))
 	}
 	for i, kf := range []float64{0, 1, 3, 10, 30} {
 		prof := impair.Profile{Doppler: 1e-3, RicianK: kf}
-		out.BERvsRicianK.Points = append(out.BERvsRicianK.Points,
-			metrics.Point{X: kf, Y: berHarshK(sc, runner.TrialSeed(seed, 200+i), prof, false, k)})
+		rk.Points = append(rk.Points, countPoint(kf, berHarshCounts(sc, runner.TrialSeed(seed, 200+i), prof, false, k, sh)))
 	}
-	for i, duty := range []float64{0, 0.05, 0.15, 0.3, 0.5} {
-		prof := impair.Profile{InterfDuty: duty, InterfAmp: 0.6}
-		out.BERvsInterfDuty.Points = append(out.BERvsInterfDuty.Points,
-			metrics.Point{X: duty, Y: berHarshK(sc, runner.TrialSeed(seed, 300+i), prof, false, k)})
+	for i, dc := range []float64{0, 0.05, 0.15, 0.3, 0.5} {
+		prof := impair.Profile{InterfDuty: dc, InterfAmp: 0.6}
+		duty.Points = append(duty.Points, countPoint(dc, berHarshCounts(sc, runner.TrialSeed(seed, 300+i), prof, false, k, sh)))
 	}
 	for i, rate := range []float64{0, 1e-7, 3e-7, 1e-6, 3e-6} {
 		prof := impair.Profile{DriftRate: rate}
-		out.BERvsDrift.Points = append(out.BERvsDrift.Points,
-			metrics.Point{X: rate * 1e6, Y: berHarshK(sc, runner.TrialSeed(seed, 400+i), prof, false, k)})
+		drift.Points = append(drift.Points, countPoint(rate*1e6, berHarshCounts(sc, runner.TrialSeed(seed, 400+i), prof, false, k, sh)))
 	}
-	return out
+	return []CountSeries{ds, dsNo, rk, duty, drift}
+}
+
+// HarshFromCounts renders merged harsh-suite tallies to the figure.
+func HarshFromCounts(cs []CountSeries) HarshResult {
+	return HarshResult{
+		BERvsDoppler:        cs[0].series(),
+		BERvsDopplerNoTrack: cs[1].series(),
+		BERvsRicianK:        cs[2].series(),
+		BERvsInterfDuty:     cs[3].series(),
+		BERvsDrift:          cs[4].series(),
+	}
 }
 
 // berHarsh measures ZigZag's BER over collision pairs at harshSNR under
@@ -108,6 +122,11 @@ func berHarsh(sc Scale, seed int64, prof impair.Profile, noTrack bool) float64 {
 // itself; at k=2 the rng stream is identical to the historical pairwise
 // berHarsh (collisionSet pins it).
 func berHarshK(sc Scale, seed int64, prof impair.Profile, noTrack bool, k int) float64 {
+	return berHarshCounts(sc, seed, prof, noTrack, k, Shard{}).rate()
+}
+
+// berHarshCounts is berHarshK's mergeable shard form.
+func berHarshCounts(sc Scale, seed int64, prof impair.Profile, noTrack bool, k int, sh Shard) bitCounts {
 	cfg := core.DefaultConfig()
 	cfg.PHY.DisablePhaseTracking = noTrack
 	cfg.Workers = sc.Workers
@@ -115,7 +134,7 @@ func berHarshK(sc Scale, seed int64, prof impair.Profile, noTrack bool, k int) f
 	for i := range snrs {
 		snrs[i] = harshSNR
 	}
-	counts := session.MapTrials(cfg, sc.Pairs, cfg.Workers, seed, func(sess *session.Session, _ int) bitCounts {
+	return reduceCounts(cfg, sc.Pairs, sh, cfg.Workers, seed, func(sess *session.Session, _ int) bitCounts {
 		rng := sess.Rng
 		chainSeed := rng.Int63()
 		var c bitCounts
@@ -142,5 +161,4 @@ func berHarshK(sc Scale, seed int64, prof impair.Profile, noTrack bool, k int) f
 		}
 		return c
 	})
-	return sumCounts(counts).rate()
 }

@@ -30,16 +30,28 @@ const kwayFadingDoppler = 1e-4
 // Scale.Workers value (splitmix per-trial seeding; the determinism
 // suite pins the k=3 harsh sweep).
 func KWayOrderSweep(sc Scale, seed int64) KWayResult {
-	var out KWayResult
-	out.BERvsK.Name = "k-way: BER vs collision order k (static channel)"
-	out.BERvsKFading.Name = fmt.Sprintf("k-way: BER vs collision order k (Doppler %g)", kwayFadingDoppler)
+	return KWayFromCounts(KWayCounts(sc, seed, Shard{}))
+}
+
+// KWayCounts runs one shard of the collision-order sweep and returns
+// the raw bit tallies: two series (static, fading) in KWayResult field
+// order. Shards from the same (sc, seed) merge with MergeCounts and
+// render via KWayFromCounts.
+func KWayCounts(sc Scale, seed int64, sh Shard) []CountSeries {
+	static := CountSeries{Name: "k-way: BER vs collision order k (static channel)"}
+	fading := CountSeries{Name: fmt.Sprintf("k-way: BER vs collision order k (Doppler %g)", kwayFadingDoppler)}
 	for i, k := range []int{2, 3, 4} {
-		out.BERvsK.Points = append(out.BERvsK.Points,
-			metrics.Point{X: float64(k), Y: KWayBER(sc, runner.TrialSeed(seed, 500+i), k, impair.Profile{})})
-		out.BERvsKFading.Points = append(out.BERvsKFading.Points,
-			metrics.Point{X: float64(k), Y: KWayBER(sc, runner.TrialSeed(seed, 600+i), k, impair.Profile{Doppler: kwayFadingDoppler})})
+		static.Points = append(static.Points,
+			countPoint(float64(k), berHarshCounts(sc, runner.TrialSeed(seed, 500+i), impair.Profile{}, false, k, sh)))
+		fading.Points = append(fading.Points,
+			countPoint(float64(k), berHarshCounts(sc, runner.TrialSeed(seed, 600+i), impair.Profile{Doppler: kwayFadingDoppler}, false, k, sh)))
 	}
-	return out
+	return []CountSeries{static, fading}
+}
+
+// KWayFromCounts renders merged k-way tallies to the figure.
+func KWayFromCounts(cs []CountSeries) KWayResult {
+	return KWayResult{BERvsK: cs[0].series(), BERvsKFading: cs[1].series()}
 }
 
 // KWayBER measures the joint-decode BER of k-packet collisions (k

@@ -15,15 +15,42 @@ import (
 const MaxAcceptableBER = 1e-3
 
 // Sample accumulates scalar observations.
+//
+// Sample is the legacy O(trials) accumulator: it materializes every
+// observation. The streaming campaign stack (Counter, Moments,
+// QuantileSketch in stream.go) replaces it where memory must stay
+// O(workers); Sample remains the exact-order-statistics path the
+// testbed CDF figures are built from, and the ZIGZAG_LEGACY_METRICS=1
+// escape hatch pins migrated suites back onto it.
 type Sample struct {
 	xs []float64
+
+	// sorted memoizes the sorted view of xs so repeated Quantile/CDF
+	// calls with no intervening Add sort once instead of per call. It is
+	// valid iff clean is true; Add invalidates it.
+	sorted []float64
+	clean  bool
 }
 
 // Add appends an observation.
-func (s *Sample) Add(v float64) { s.xs = append(s.xs, v) }
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.clean = false
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
+
+// sortedView returns the memoized sorted copy of the observations,
+// re-sorting only when an Add happened since the last call.
+func (s *Sample) sortedView() []float64 {
+	if !s.clean {
+		s.sorted = append(s.sorted[:0], s.xs...)
+		sort.Float64s(s.sorted)
+		s.clean = true
+	}
+	return s.sorted
+}
 
 // Mean returns the average, or NaN when empty.
 func (s *Sample) Mean() float64 {
@@ -43,8 +70,7 @@ func (s *Sample) Quantile(q float64) float64 {
 	if len(s.xs) == 0 {
 		return math.NaN()
 	}
-	xs := append([]float64(nil), s.xs...)
-	sort.Float64s(xs)
+	xs := s.sortedView()
 	if q <= 0 {
 		return xs[0]
 	}
@@ -66,8 +92,7 @@ func (s *Sample) CDF() []Point {
 	if len(s.xs) == 0 {
 		return nil
 	}
-	xs := append([]float64(nil), s.xs...)
-	sort.Float64s(xs)
+	xs := s.sortedView()
 	var out []Point
 	n := float64(len(xs))
 	for i := 0; i < len(xs); i++ {

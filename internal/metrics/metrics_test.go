@@ -82,6 +82,59 @@ func TestQuantileMatchesSortedIndexProperty(t *testing.T) {
 	}
 }
 
+// TestQuantileMemoization is the regression test for the re-sort fix:
+// repeated Quantile/CDF calls with no intervening Add must not re-sort
+// (pinned via AllocsPerRun — the memoized path allocates nothing), and
+// an Add between calls must invalidate the memo so answers stay exact.
+func TestQuantileMemoization(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	var s Sample
+	for i := 0; i < 512; i++ {
+		s.Add(r.NormFloat64())
+	}
+	first := s.Quantile(0.5)
+	if allocs := testing.AllocsPerRun(50, func() {
+		if s.Quantile(0.5) != first {
+			t.Fatal("memoized quantile drifted")
+		}
+	}); allocs != 0 {
+		t.Fatalf("repeated Quantile allocates %v/op; memoization broken", allocs)
+	}
+
+	// Interleaved Add/Quantile must match a fresh Sample at every step —
+	// the trap the memo must not fall into is serving a stale sort.
+	var memo, fresh Sample
+	for i := 0; i < 200; i++ {
+		v := r.NormFloat64()
+		memo.Add(v)
+		fresh = Sample{}
+		for _, x := range memo.xs {
+			fresh.Add(x)
+		}
+		q := 0.25 * float64(i%5)
+		if got, want := memo.Quantile(q), fresh.Quantile(q); got != want {
+			t.Fatalf("step %d q=%v: memoized %v != fresh %v", i, q, got, want)
+		}
+		if i%7 == 0 {
+			if got, want := memo.CDF(), fresh.CDF(); !pointsEqual(got, want) {
+				t.Fatalf("step %d: memoized CDF diverged", i)
+			}
+		}
+	}
+}
+
+func pointsEqual(a, b []Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestFlowStats(t *testing.T) {
 	f := FlowStats{Sent: 10, Delivered: 8}
 	if math.Abs(f.LossRate()-0.2) > 1e-12 {

@@ -1,0 +1,297 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/big"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestExactSumMatchesBigFloat pins exactness: the rounded sum equals
+// the arbitrary-precision reference for adversarial magnitude spreads.
+func TestExactSumMatchesBigFloat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for rep := 0; rep < 20; rep++ {
+		var s ExactSum
+		exact := new(big.Float).SetPrec(400)
+		for i := 0; i < 300; i++ {
+			v := r.NormFloat64() * math.Pow(10, float64(r.Intn(30)-15))
+			s.Add(v)
+			exact.Add(exact, new(big.Float).SetPrec(400).SetFloat64(v))
+		}
+		want, _ := exact.Float64()
+		if got := s.Sum(); got != want {
+			t.Fatalf("rep %d: ExactSum=%v big.Float=%v", rep, got, want)
+		}
+	}
+}
+
+// TestExactSumMergeInvariant pins the campaign contract: any grouping
+// of the same values into shards, merged in any order, rounds to the
+// identical float64.
+func TestExactSumMergeInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = r.NormFloat64() * math.Pow(2, float64(r.Intn(80)-40))
+	}
+	var ref ExactSum
+	for _, v := range vals {
+		ref.Add(v)
+	}
+	want := ref.Sum()
+	for _, shards := range []int{2, 3, 7, 16} {
+		parts := make([]ExactSum, shards)
+		for i, v := range vals {
+			parts[i%shards].Add(v)
+		}
+		// Merge in a scrambled order.
+		order := r.Perm(shards)
+		var m ExactSum
+		for _, idx := range order {
+			m.Merge(&parts[idx])
+		}
+		if got := m.Sum(); got != want {
+			t.Fatalf("shards=%d: merged sum %v != unsharded %v", shards, got, want)
+		}
+	}
+}
+
+func TestExactSumJSONRoundTrip(t *testing.T) {
+	var s ExactSum
+	for _, v := range []float64{1e300, 1e-300, -1e300, 3.5, 0.1} {
+		s.Add(v)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExactSum
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sum() != s.Sum() {
+		t.Fatalf("round trip changed sum: %v != %v", back.Sum(), s.Sum())
+	}
+}
+
+func TestMomentsMergeInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var whole Moments
+	parts := make([]Moments, 7)
+	for i := 0; i < 700; i++ {
+		v := r.NormFloat64()*3 + 1
+		whole.Add(v)
+		parts[i%7].Add(v)
+	}
+	var merged Moments
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged.Mean() != whole.Mean() || merged.Variance() != whole.Variance() || merged.N() != whole.N() {
+		t.Fatalf("merged moments diverged: mean %v/%v var %v/%v n %d/%d",
+			merged.Mean(), whole.Mean(), merged.Variance(), whole.Variance(), merged.N(), whole.N())
+	}
+	if math.Abs(whole.Mean()-1) > 0.5 || math.Abs(whole.Std()-3) > 0.5 {
+		t.Fatalf("moments implausible: mean %v std %v", whole.Mean(), whole.Std())
+	}
+	var empty Moments
+	if !math.IsNaN(empty.Mean()) || !math.IsNaN(empty.Variance()) {
+		t.Fatal("empty moments should be NaN")
+	}
+}
+
+// sketchObservablesEqual compares every output-bearing piece of sketch
+// state: bucket counts, zero count, total, exact min/max and the
+// rounded exact sum. The ExactSum expansion itself is not canonical
+// across add/merge orders — only its rounded value is — so whole-struct
+// DeepEqual would over-constrain the contract.
+func sketchObservablesEqual(a, b *QuantileSketch) bool {
+	return reflect.DeepEqual(a.pos, b.pos) &&
+		reflect.DeepEqual(a.neg, b.neg) &&
+		a.zero == b.zero && a.count == b.count &&
+		a.min == b.min && a.max == b.max &&
+		a.sum.Sum() == b.sum.Sum() &&
+		a.accuracy == b.accuracy
+}
+
+// TestSketchMergeShardInvariant is the metrics half of the campaign
+// acceptance pin: splitting a stream into 1, 2 and 7 shards and merging
+// in any order reproduces the unsharded sketch observables exactly
+// (bucket counts included).
+func TestSketchMergeShardInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		switch i % 5 {
+		case 0:
+			vals[i] = 0
+		case 1:
+			vals[i] = -math.Abs(r.NormFloat64())
+		default:
+			vals[i] = math.Exp(r.NormFloat64() * 4)
+		}
+	}
+	whole := NewQuantileSketch(0)
+	for _, v := range vals {
+		whole.Add(v)
+	}
+	for _, shards := range []int{1, 2, 7} {
+		parts := make([]*QuantileSketch, shards)
+		for i := range parts {
+			parts[i] = NewQuantileSketch(0)
+		}
+		for i, v := range vals {
+			parts[i%shards].Add(v)
+		}
+		merged := NewQuantileSketch(0)
+		for _, idx := range r.Perm(shards) {
+			merged.Merge(parts[idx])
+		}
+		if !sketchObservablesEqual(merged, whole) {
+			t.Fatalf("shards=%d: merged sketch state diverged from unsharded", shards)
+		}
+	}
+}
+
+// TestSketchQuantileAccuracy pins the DDSketch guarantee against the
+// exact order statistics of a Sample fed the same values.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sk := NewQuantileSketch(0.01)
+	var ref Sample
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(r.NormFloat64() * 2)
+		sk.Add(v)
+		ref.Add(v)
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got, want := sk.Quantile(q), ref.Quantile(q)
+		// The exact reference interpolates between neighbours; allow the
+		// sketch its relative accuracy plus one bucket of slack.
+		if math.Abs(got-want) > 0.035*math.Abs(want)+1e-12 {
+			t.Errorf("q=%v: sketch %v vs exact %v", q, got, want)
+		}
+	}
+	if sk.Quantile(0) != ref.Quantile(0) || sk.Quantile(1) != ref.Quantile(1) {
+		t.Error("q=0/1 must be the exact min/max")
+	}
+	if math.Abs(sk.Mean()-ref.Mean()) > 1e-12*math.Abs(ref.Mean()) {
+		t.Errorf("sketch mean %v vs exact %v", sk.Mean(), ref.Mean())
+	}
+}
+
+func TestSketchCDFMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	sk := NewQuantileSketch(0)
+	for i := 0; i < 1000; i++ {
+		sk.Add(r.NormFloat64())
+	}
+	pts := sk.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if last := pts[len(pts)-1].Y; last != 1 {
+		t.Fatalf("CDF must end exactly at 1, got %v", last)
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sk := NewQuantileSketch(0.02)
+	for i := 0; i < 500; i++ {
+		sk.Add(r.NormFloat64() * 100)
+	}
+	sk.Add(0)
+	data, err := json.Marshal(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := new(QuantileSketch)
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if !sketchObservablesEqual(back, sk) {
+		t.Fatal("JSON round trip changed sketch state")
+	}
+	// A round-tripped sketch must keep merging exactly: merge two copies
+	// through JSON and compare to the direct merge.
+	data2, _ := json.Marshal(sk)
+	other := new(QuantileSketch)
+	if err := json.Unmarshal(data2, other); err != nil {
+		t.Fatal(err)
+	}
+	direct := NewQuantileSketch(0.02)
+	direct.Merge(sk)
+	direct.Merge(sk)
+	viaJSON := NewQuantileSketch(0.02)
+	viaJSON.Merge(back)
+	viaJSON.Merge(other)
+	if !sketchObservablesEqual(direct, viaJSON) {
+		t.Fatal("merging via JSON round trip diverged from direct merge")
+	}
+}
+
+func TestSketchEmptyAndZeroes(t *testing.T) {
+	sk := NewQuantileSketch(0)
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.Mean()) || sk.CDF() != nil {
+		t.Fatal("empty sketch should be NaN/nil")
+	}
+	for i := 0; i < 5; i++ {
+		sk.Add(0)
+	}
+	if sk.Quantile(0.5) != 0 || sk.Min() != 0 || sk.Max() != 0 {
+		t.Fatal("all-zero sketch quantiles should be 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var a, b Counter
+	a.Add(3)
+	b.Add(4)
+	a.Merge(b)
+	if a.Value() != 7 {
+		t.Fatalf("counter = %d", a.Value())
+	}
+}
+
+func TestLegacyHatch(t *testing.T) {
+	was := LegacyEnabled()
+	defer SetLegacy(was)
+	SetLegacy(true)
+	if !LegacyEnabled() {
+		t.Fatal("SetLegacy(true) not observed")
+	}
+	SetLegacy(false)
+	if LegacyEnabled() {
+		t.Fatal("SetLegacy(false) not observed")
+	}
+}
+
+// TestSketchWalkOrder pins that CDF visits buckets in ascending value
+// order with negatives first (a regression trap for the key sort).
+func TestSketchWalkOrder(t *testing.T) {
+	sk := NewQuantileSketch(0)
+	for _, v := range []float64{5, -3, 0, 0.5, -0.1, 80} {
+		sk.Add(v)
+	}
+	pts := sk.CDF()
+	xs := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = p.X
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatalf("CDF xs not sorted: %v", xs)
+	}
+	if xs[0] > -2.9 || xs[len(xs)-1] < 79 {
+		t.Fatalf("CDF range wrong: %v", xs)
+	}
+}

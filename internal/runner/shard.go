@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"math/rand"
+	"runtime/debug"
+	"sync"
+)
+
+// Shard-aware streaming execution.
+//
+// Map materializes every trial result — O(trials) memory — which caps
+// sweeps at what one process can hold. Reduce streams instead: workers
+// fold contiguous BLOCKS of trials into per-block accumulators and
+// merge them into one shard accumulator as they complete, so resident
+// state is O(workers), independent of the trial count.
+//
+// A SHARD is a contiguous range of the global trial index space
+// (ShardRange). Per-trial seeds are always derived from the GLOBAL
+// trial index — TrialSeed(base, globalTrial) — never from a
+// shard-relative one, so trial i runs the identical random stream
+// whether it executes in shard 0 of 1, shard 3 of 7, or any worker
+// count. That, plus the accumulator contract below, is what lets a
+// campaign split across processes and merge byte-identically.
+//
+// Accumulator contract: the caller's Merge must be EXACTLY associative
+// and commutative (integer tallies, metrics.Counter/ExactSum/
+// QuantileSketch, min/max — not naive float sums), because block
+// completion order depends on scheduling. The merge-identity suites in
+// campaign and experiments pin the contract end to end.
+
+// ShardRange returns shard index's contiguous range of the global
+// trial space [0, trials): [trials·i/n, trials·(i+1)/n). The ranges of
+// all n shards tile [0, trials) exactly.
+func ShardRange(trials, shards, index int) Batch {
+	if shards <= 0 {
+		shards, index = 1, 0
+	}
+	return Batch{Lo: trials * index / shards, Hi: trials * (index + 1) / shards}
+}
+
+// DefaultBlockSize is the per-block trial count Reduce uses when the
+// spec leaves BlockSize zero: coarse enough that per-block merge/
+// checkpoint overhead amortizes, fine enough that checkpoints land
+// frequently and load balances across workers.
+const DefaultBlockSize = 32
+
+// ReduceSpec configures one streaming reduction over a shard.
+type ReduceSpec[S, A any] struct {
+	// Shard is the global trial index range to run (ShardRange output;
+	// Batch{0, trials} for an unsharded run).
+	Shard Batch
+	// BlockSize is the trials-per-block granularity of scheduling,
+	// checkpointing and resume (0 = DefaultBlockSize). Blocks are
+	// shard-relative: block b covers global trials
+	// [Shard.Lo+b·BlockSize, min(Shard.Lo+(b+1)·BlockSize, Shard.Hi)).
+	BlockSize int
+	// Opts carries Workers, BaseSeed and OnProgress. Seeds derive from
+	// the GLOBAL trial index.
+	Opts Options
+
+	// Acquire/Release bracket worker-local state exactly as in MapLocal
+	// (pooled sessions). Either may be nil.
+	Acquire func() S
+	Release func(S)
+
+	// NewAcc returns a fresh empty accumulator (per block, and the
+	// shard's initial accumulator when Init is nil).
+	NewAcc func() A
+	// Fold folds one trial into acc and returns it. rng is the trial's
+	// deterministic stream (NewRand(BaseSeed, globalTrial)).
+	Fold func(local S, acc A, trial int, rng *rand.Rand) A
+	// Merge combines two accumulators. It MUST be exactly associative
+	// and commutative; it may mutate and return dst.
+	Merge func(dst, src A) A
+
+	// Done, when non-nil, marks blocks already completed by a previous
+	// (checkpointed) run; they are skipped. len(Done) must equal
+	// NumBlocks. Init must then supply the accumulator holding exactly
+	// those blocks' contributions.
+	Done []bool
+	// Init, when non-nil, supplies the initial shard accumulator
+	// (checkpoint restore). Nil means NewAcc().
+	Init func() A
+	// OnBlock, when non-nil, is called after each block's accumulator
+	// merges into the shard accumulator, with the block index, the done
+	// flags (aliasing internal state — copy to retain) and the current
+	// shard accumulator. Calls are serialized; this is the checkpoint
+	// hook, so the callback may serialize acc but must not retain it.
+	OnBlock func(block int, done []bool, acc A)
+	// Stop, when non-nil, is polled before each block; once it returns
+	// true no new block starts (in-flight blocks finish and are
+	// recorded). It runs on the caller's goroutine concurrently with
+	// OnBlock, so state shared between the two must be synchronized. The returned accumulator then covers only the completed
+	// blocks — paired with Done/Init via OnBlock checkpoints this gives
+	// deterministic interruption, which the resume tests exploit.
+	Stop func() bool
+}
+
+// NumBlocks returns the number of scheduling blocks in the spec's
+// shard.
+func (spec *ReduceSpec[S, A]) NumBlocks() int {
+	bs := spec.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	n := spec.Shard.Hi - spec.Shard.Lo
+	if n <= 0 {
+		return 0
+	}
+	return (n + bs - 1) / bs
+}
+
+// Reduce runs the spec's fold over its shard on a worker pool and
+// returns the merged accumulator. Memory is O(workers): one block
+// accumulator per in-flight worker plus the shard accumulator. A
+// panicking trial re-raises on the caller after the pool drains
+// (MustMap's discipline; folds are infallible by construction).
+func Reduce[S, A any](spec ReduceSpec[S, A]) A {
+	bs := spec.BlockSize
+	if bs <= 0 {
+		bs = DefaultBlockSize
+	}
+	nblocks := spec.NumBlocks()
+
+	var acc A
+	if spec.Init != nil {
+		acc = spec.Init()
+	} else {
+		acc = spec.NewAcc()
+	}
+	done := make([]bool, nblocks)
+	doneTrials := 0
+	if spec.Done != nil {
+		if len(spec.Done) != nblocks {
+			panic("runner: ReduceSpec.Done length does not match NumBlocks")
+		}
+		copy(done, spec.Done)
+		for b, d := range done {
+			if d {
+				doneTrials += spec.blockRange(b, bs).len()
+			}
+		}
+	}
+	if nblocks == 0 {
+		return acc
+	}
+
+	workers := spec.Opts.workers()
+	if workers > nblocks {
+		workers = nblocks
+	}
+	totalTrials := spec.Shard.Hi - spec.Shard.Lo
+
+	var (
+		mu       sync.Mutex
+		panicked *PanicError
+		quit     = make(chan struct{})
+		quitOnce sync.Once
+	)
+	runBlock := func(local S, b int) {
+		trial := -1
+		defer func() {
+			if v := recover(); v != nil {
+				mu.Lock()
+				if panicked == nil {
+					panicked = &PanicError{Trial: trial, Value: v, Stack: debug.Stack()}
+				}
+				mu.Unlock()
+				quitOnce.Do(func() { close(quit) })
+			}
+		}()
+		blockAcc := spec.NewAcc()
+		r := spec.blockRange(b, bs)
+		for trial = r.Lo; trial < r.Hi; trial++ {
+			rng := NewRand(spec.Opts.BaseSeed, trial)
+			blockAcc = spec.Fold(local, blockAcc, trial, rng)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		acc = spec.Merge(acc, blockAcc)
+		done[b] = true
+		doneTrials += r.len()
+		if spec.OnBlock != nil {
+			spec.OnBlock(b, done, acc)
+		}
+		if spec.Opts.OnProgress != nil {
+			spec.Opts.OnProgress(doneTrials, totalTrials)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local S
+			if spec.Acquire != nil {
+				local = spec.Acquire()
+			}
+			if spec.Release != nil {
+				defer spec.Release(local)
+			}
+			for b := range jobs {
+				runBlock(local, b)
+			}
+		}()
+	}
+feed:
+	for b := 0; b < nblocks; b++ {
+		if done[b] {
+			continue
+		}
+		if spec.Stop != nil && spec.Stop() {
+			break
+		}
+		select {
+		case jobs <- b:
+		case <-quit:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if panicked != nil {
+		panic(panicked)
+	}
+	return acc
+}
+
+// blockRange returns block b's global trial range.
+func (spec *ReduceSpec[S, A]) blockRange(b, bs int) Batch {
+	lo := spec.Shard.Lo + b*bs
+	hi := lo + bs
+	if hi > spec.Shard.Hi {
+		hi = spec.Shard.Hi
+	}
+	return Batch{Lo: lo, Hi: hi}
+}
+
+// len returns the number of trials in the batch.
+func (b Batch) len() int { return b.Hi - b.Lo }

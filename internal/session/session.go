@@ -296,12 +296,65 @@ func PoolDisabled() bool { return noPool.Load() }
 // before the trial body runs. It is the session-engine counterpart of
 // runner.MustMap: same seeding discipline, same trial-order results,
 // byte-identical output at any worker count.
+//
+// MapTrials materializes one result per trial — O(trials) memory. The
+// campaign stack's streaming counterpart is ReduceTrials/ReduceShard.
 func MapTrials[T any](cfg core.Config, trials, workers int, baseSeed int64, fn func(s *Session, trial int) T) []T {
-	return runner.MustMapLocal(trials, runner.Options{Workers: workers, BaseSeed: baseSeed},
+	return MapShard(cfg, runner.Batch{Lo: 0, Hi: trials}, workers, baseSeed, fn)
+}
+
+// MapShard is MapTrials over a contiguous range of the global trial
+// space: trial indices (and therefore seeds and random streams) are the
+// GLOBAL ones, so shard [lo,hi) of a sweep reproduces exactly the
+// trials the unsharded run executes at those indices. It remains
+// O(range) memory — the legacy aggregation path under the
+// -legacy-metrics hatch runs on it.
+func MapShard[T any](cfg core.Config, sh runner.Batch, workers int, baseSeed int64, fn func(s *Session, trial int) T) []T {
+	n := sh.Hi - sh.Lo
+	if n < 0 {
+		n = 0
+	}
+	return runner.MustMapLocal(n, runner.Options{Workers: workers, BaseSeed: baseSeed},
 		func() *Session { return Acquire(cfg) },
 		Release,
-		func(s *Session, trial int, rng *rand.Rand) T {
+		func(s *Session, i int, rng *rand.Rand) T {
+			trial := sh.Lo + i
+			if sh.Lo != 0 {
+				// MustMapLocal seeds rng by the local index; re-derive the
+				// global trial's stream so sharding never moves a byte.
+				rng = runner.NewRand(baseSeed, trial)
+			}
 			s.ResetRand(rng)
 			return fn(s, trial)
 		})
+}
+
+// ReduceTrials streams trials through pooled per-worker sessions into a
+// mergeable accumulator: the session-engine counterpart of
+// runner.Reduce, and the memory-bounded replacement for
+// MapTrials-plus-serial-fold. Merge must be exactly associative and
+// commutative (see runner.ReduceSpec); resident memory is O(workers).
+func ReduceTrials[A any](cfg core.Config, trials, workers int, baseSeed int64,
+	newAcc func() A, fold func(s *Session, acc A, trial int) A, merge func(dst, src A) A) A {
+	return ReduceShard(cfg, runner.Batch{Lo: 0, Hi: trials}, workers, baseSeed, newAcc, fold, merge)
+}
+
+// ReduceShard is ReduceTrials over a contiguous range of the global
+// trial space (runner.ShardRange output). Per-trial seeds derive from
+// the global index, so any shard split × any worker count merges
+// byte-identically with the unsharded run.
+func ReduceShard[A any](cfg core.Config, sh runner.Batch, workers int, baseSeed int64,
+	newAcc func() A, fold func(s *Session, acc A, trial int) A, merge func(dst, src A) A) A {
+	return runner.Reduce(runner.ReduceSpec[*Session, A]{
+		Shard:   sh,
+		Opts:    runner.Options{Workers: workers, BaseSeed: baseSeed},
+		Acquire: func() *Session { return Acquire(cfg) },
+		Release: Release,
+		NewAcc:  newAcc,
+		Fold: func(s *Session, acc A, trial int, rng *rand.Rand) A {
+			s.ResetRand(rng)
+			return fold(s, acc, trial)
+		},
+		Merge: merge,
+	})
 }

@@ -265,6 +265,52 @@ func TestMapTrialsMatchesSerialAndWorkers(t *testing.T) {
 	}
 }
 
+// TestReduceShardMatchesMapTrials pins the streaming reducer path to
+// the materializing reference: folding trial outcomes through
+// ReduceShard over 1, 2 and 7 shards at several worker counts must
+// reproduce the MapTrials fold exactly — the session half of the
+// campaign engine's shard-split byte-identity guarantee. MapShard's
+// global-index seeding is pinned by the same comparison.
+func TestReduceShardMatchesMapTrials(t *testing.T) {
+	cfg := core.DefaultConfig()
+	const trials = 8
+	ref := MapTrials(cfg, trials, 1, 5, func(s *Session, _ int) trialOutcome {
+		return runTrial(s)
+	})
+	for _, shards := range []int{1, 2, 7} {
+		for _, w := range []int{1, 2, 4} {
+			var got []trialOutcome
+			for i := 0; i < shards; i++ {
+				sh := runner.ShardRange(trials, shards, i)
+				part := ReduceShard(cfg, sh, w, 5,
+					func() map[int]trialOutcome { return map[int]trialOutcome{} },
+					func(s *Session, acc map[int]trialOutcome, trial int) map[int]trialOutcome {
+						acc[trial] = runTrial(s)
+						return acc
+					},
+					func(dst, src map[int]trialOutcome) map[int]trialOutcome {
+						for k, v := range src {
+							dst[k] = v
+						}
+						return dst
+					})
+				mapped := MapShard(cfg, sh, w, 5, func(s *Session, trial int) trialOutcome {
+					return runTrial(s)
+				})
+				for j := sh.Lo; j < sh.Hi; j++ {
+					if !reflect.DeepEqual(part[j], mapped[j-sh.Lo]) {
+						t.Fatalf("shards=%d workers=%d trial %d: MapShard diverged from ReduceShard", shards, w, j)
+					}
+					got = append(got, part[j])
+				}
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("shards=%d workers=%d: sharded reduce diverged from MapTrials reference", shards, w)
+			}
+		}
+	}
+}
+
 // TestPoolRecyclesByConfig checks Acquire/Release round-trips sessions
 // per config and that pooling disabled always builds fresh.
 func TestPoolRecyclesByConfig(t *testing.T) {
