@@ -23,6 +23,12 @@
 #                     byte-identity, streaming-vs-legacy-metrics
 #                     bit-identity, calibrated cost + shard overhead vs
 #                     BENCH_campaign.json
+#   make bench-kern — DSP kernel-layer benchmarks: the kern package's
+#                     kernel microbenchmarks plus the impair per-model
+#                     and FullChain rows they accelerate
+#   make bench-kern-v3 — bench-kern rebuilt with GOAMD64=v3 (AVX/FMA
+#                     baseline), for comparing instruction-set levels;
+#                     record the level next to any number you commit
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -71,7 +77,15 @@ KWAY_PKGS = ./internal/core/... ./internal/session/... ./internal/experiments/..
 # across repeated steady-state calls on each path.
 CAMPAIGN_PKGS = ./internal/metrics/... ./internal/runner/... ./internal/session/... ./internal/campaign/... ./internal/experiments/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign ci
+# Packages touched by the DSP kernel layer; test-race-kern runs them
+# twice under the race detector on both kernel paths (the packed/
+# recurrence kernels and the ZIGZAG_NAIVE_KERNELS=1 scalar-reference
+# hatch), so the kernel dispatch flag, the per-model oscillator banks
+# and the batched emission rendering are exercised across repeated
+# steady-state calls on each path.
+KERN_PKGS = ./internal/dsp/... ./internal/impair/... ./internal/channel/... ./internal/phy/... ./internal/core/...
+
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign bench-kern bench-kern-v3 ci
 
 all: build
 
@@ -116,6 +130,10 @@ test-race-campaign: build
 	$(GO) test -short -race -count=2 $(CAMPAIGN_PKGS)
 	ZIGZAG_LEGACY_METRICS=1 $(GO) test -short -race -count=2 $(CAMPAIGN_PKGS)
 
+test-race-kern: build
+	$(GO) test -short -race -count=2 $(KERN_PKGS)
+	ZIGZAG_NAIVE_KERNELS=1 $(GO) test -short -race -count=2 $(KERN_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -139,6 +157,15 @@ bench-kway: build
 bench-campaign: build
 	$(GO) run ./cmd/zigzag-bench -check -campaign-only
 
+bench-kern: build
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/dsp/kern
+	$(GO) test -bench='BenchmarkFading|BenchmarkMultipath|BenchmarkDrift|BenchmarkInterferer|BenchmarkADC|BenchmarkFullChain' -benchmem -run='^$$' ./internal/impair
+
+bench-kern-v3:
+	GOAMD64=v3 $(GO) build ./...
+	GOAMD64=v3 $(GO) test -bench=. -benchmem -run='^$$' ./internal/dsp/kern
+	GOAMD64=v3 $(GO) test -bench='BenchmarkFading|BenchmarkMultipath|BenchmarkDrift|BenchmarkInterferer|BenchmarkADC|BenchmarkFullChain' -benchmem -run='^$$' ./internal/impair
+
 # test-race-correlate is not a ci prerequisite: test-race-decode's
 # default-path run covers the same packages (plus channel) with the
 # same flags, so listing both would race-test dsp/phy/core twice.
@@ -147,4 +174,6 @@ bench-campaign: build
 # likewise listed for its pairwise-hatch leg and the session/experiments
 # coverage of the generalized scheduler. test-race-campaign adds the
 # metrics/runner/campaign packages and the legacy-metrics-hatch leg.
-ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign
+# test-race-kern adds the naive-kernels-hatch leg across every package
+# the kernel layer dispatches in.
+ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern

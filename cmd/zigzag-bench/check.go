@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"zigzag/internal/experiments"
@@ -81,6 +83,34 @@ type measuredSweep struct {
 	UnpooledSeconds float64 `json:"unpooled_seconds"`
 	PoolSpeedup     float64 `json:"pool_speedup"`
 	Units           float64 `json:"units"` // pooled_seconds / calibration_seconds
+}
+
+// buildGoamd64 returns the GOAMD64 microarchitecture level this binary
+// was compiled for ("" when the build info does not record one, e.g.
+// non-amd64 targets). Recorded in every written bench file so kernel
+// numbers are never compared across instruction-set baselines
+// unknowingly.
+func buildGoamd64() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
+
+// hostRecord is the environment block stamped into every bench file
+// this binary writes.
+func hostRecord() map[string]any {
+	return map[string]any{
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"goamd64":    buildGoamd64(),
+		"cpus":       runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
 }
 
 // calibrate times the fixed splitmix kernel (100M mixes, min of 3
@@ -179,6 +209,14 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 	}
 
 	session.SetPoolDisabled(false)
+	var kernUnits map[string]float64
+	if !kwayOnly && !campaignOnly {
+		var kernFailed bool
+		kernUnits, kernFailed = runKernCheck(cal)
+		if kernFailed {
+			failed = true
+		}
+	}
 	var kwayUnits, campaignUnits map[string]float64
 	if !campaignOnly {
 		var kwayFailed bool
@@ -197,8 +235,10 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 
 	if outPath != "" {
 		data, err := json.MarshalIndent(map[string]any{
+			"host":                hostRecord(),
 			"calibration_seconds": cal,
 			"sweeps":              results,
+			"kern_units":          kernUnits,
 			"kway_units":          kwayUnits,
 			"campaign_units":      campaignUnits,
 		}, "", "  ")

@@ -57,6 +57,7 @@ import (
 	"zigzag/internal/core"
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
+	"zigzag/internal/dsp/kern"
 	"zigzag/internal/experiments"
 	"zigzag/internal/impair"
 	"zigzag/internal/metrics"
@@ -75,12 +76,14 @@ func main() {
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	naiveInterp := flag.Bool("naive-interp", false,
 		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
+	naiveKernels := flag.Bool("naive-kernels", false,
+		"pin the DSP kernel layer (oscillator banks, packed FIR/rotation, batched emission impairment) to its per-sample scalar reference paths (debugging)")
 	noSessionPool := flag.Bool("no-session-pool", false,
 		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
 	noImpair := flag.Bool("no-impair", false,
 		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	check := flag.Bool("check", false,
-		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the k-way gate (BENCH_kway.json) and the campaign shard-merge gate (BENCH_campaign.json)")
+		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the DSP kernel gate (BENCH_kern.json), the k-way gate (BENCH_kway.json) and the campaign shard-merge gate (BENCH_campaign.json)")
 	kwayOnly := flag.Bool("kway-only", false,
 		"with -check: run only the k-way gate (k=2/3/4 decode cost + k=2 generalized-vs-pairwise identity)")
 	campaignOnly := flag.Bool("campaign-only", false,
@@ -99,6 +102,11 @@ func main() {
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
+	if *naiveKernels {
+		// Only force on an explicit flag: a bare default must not
+		// clobber a ZIGZAG_NAIVE_KERNELS=1 environment.
+		kern.SetNaive(true)
+	}
 	session.SetPoolDisabled(*noSessionPool)
 	if *noImpair {
 		// Only force-disable on an explicit flag: a bare default must not

@@ -38,6 +38,7 @@ import (
 	"zigzag/internal/core"
 	"zigzag/internal/dsp"
 	"zigzag/internal/dsp/fft"
+	"zigzag/internal/dsp/kern"
 	"zigzag/internal/impair"
 	"zigzag/internal/metrics"
 	"zigzag/internal/session"
@@ -59,6 +60,8 @@ func main() {
 		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
 	naiveInterp := flag.Bool("naive-interp", false,
 		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
+	naiveKernels := flag.Bool("naive-kernels", false,
+		"pin the DSP kernel layer (oscillator banks, packed FIR/rotation, batched emission impairment) to its per-sample scalar reference paths (debugging)")
 	noSessionPool := flag.Bool("no-session-pool", false,
 		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
 	doppler := flag.Float64("doppler", 0, "Rayleigh/Rician fading normalized Doppler f_d·T (0 = no fading)")
@@ -79,6 +82,11 @@ func main() {
 	flag.Parse()
 	fft.SetForceNaive(*naiveCorrelate)
 	dsp.SetNaiveInterp(*naiveInterp)
+	if *naiveKernels {
+		// Only force on an explicit flag: a bare default must not
+		// clobber a ZIGZAG_NAIVE_KERNELS=1 environment.
+		kern.SetNaive(true)
+	}
 	session.SetPoolDisabled(*noSessionPool)
 	if *legacyMetrics {
 		// Same discipline: a bare default must not clobber

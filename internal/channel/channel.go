@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/kern"
 )
 
 // Params describes one sender→receiver link. The zero value is a perfect
@@ -142,6 +143,18 @@ type Impairer interface {
 	ImpairFront(buf []complex128)
 }
 
+// EmissionBatcher is the optional batched extension of Impairer: an
+// impairer that can transform every rendered emission of a reception in
+// one call (bufs[i] is emission i's samples, offs[i] its window
+// offset), byte-identically to per-emission ImpairEmission calls. When
+// the installed impairer implements it (impair.Chain does), MixInto
+// renders all emissions first and impairs them as a batch, which lets
+// the impairment engine iterate model-outer and keep each model's
+// kernel state hot across the whole reception.
+type EmissionBatcher interface {
+	ImpairEmissions(bufs [][]complex128, offs []int)
+}
+
 // Air mixes emissions into the receiver's sample buffer and adds AWGN.
 type Air struct {
 	// NoisePower is the mean power E[|w|²] of the complex noise added per
@@ -171,6 +184,13 @@ type Air struct {
 	// is needed.
 	work, work2 []complex128
 	rsc         dsp.Resampler
+
+	// emBufs and emOffs are the batched-emission arena: when the
+	// impairer implements EmissionBatcher, every emission is rendered
+	// into its own reusable buffer so the whole reception can be
+	// impaired in one call before mixing.
+	emBufs [][]complex128
+	emOffs []int
 }
 
 // Mix renders a reception window of length n samples containing all the
@@ -201,20 +221,50 @@ func (a *Air) MixInto(dst []complex128, n int, emissions ...Emission) []complex1
 	if imp != nil {
 		imp.BeginReception()
 	}
-	for i, e := range emissions {
-		link := e.Link
-		if link == nil {
-			link = &Params{}
+	if b, ok := imp.(EmissionBatcher); ok && !kern.Naive() {
+		// Batched path: render every emission first, impair the batch in
+		// one call (byte-identical to the sequential path — each
+		// (emission, model) application derives its own seed), then mix.
+		if cap(a.emBufs) < len(emissions) {
+			a.emBufs = append(a.emBufs[:cap(a.emBufs)], make([][]complex128, len(emissions)-cap(a.emBufs))...)
 		}
-		p := *link // copy so phase randomization is per-emission
-		if a.RandomizePhase {
-			p.Phase0 = a.Rng.Float64() * 2 * math.Pi
+		a.emBufs = a.emBufs[:len(emissions)]
+		if cap(a.emOffs) < len(emissions) {
+			a.emOffs = make([]int, len(emissions))
 		}
-		a.work = p.applyWith(a.work, &a.work2, &a.rsc, e.Samples)
-		if imp != nil {
-			imp.ImpairEmission(i, a.work, e.Offset)
+		a.emOffs = a.emOffs[:len(emissions)]
+		for i, e := range emissions {
+			link := e.Link
+			if link == nil {
+				link = &Params{}
+			}
+			p := *link // copy so phase randomization is per-emission
+			if a.RandomizePhase {
+				p.Phase0 = a.Rng.Float64() * 2 * math.Pi
+			}
+			a.emBufs[i] = p.applyWith(a.emBufs[i], &a.work2, &a.rsc, e.Samples)
+			a.emOffs[i] = e.Offset
 		}
-		dsp.AddAt(out, e.Offset, a.work)
+		b.ImpairEmissions(a.emBufs, a.emOffs)
+		for i := range a.emBufs {
+			dsp.AddAt(out, a.emOffs[i], a.emBufs[i])
+		}
+	} else {
+		for i, e := range emissions {
+			link := e.Link
+			if link == nil {
+				link = &Params{}
+			}
+			p := *link // copy so phase randomization is per-emission
+			if a.RandomizePhase {
+				p.Phase0 = a.Rng.Float64() * 2 * math.Pi
+			}
+			a.work = p.applyWith(a.work, &a.work2, &a.rsc, e.Samples)
+			if imp != nil {
+				imp.ImpairEmission(i, a.work, e.Offset)
+			}
+			dsp.AddAt(out, e.Offset, a.work)
+		}
 	}
 	a.AddNoise(out)
 	if imp != nil {

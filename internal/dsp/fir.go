@@ -1,6 +1,10 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"zigzag/internal/dsp/kern"
+)
 
 // FIR is a finite impulse response filter on complex samples. Taps[Center]
 // multiplies the current sample; taps before it look ahead (future
@@ -74,15 +78,39 @@ func (f FIR) Apply(dst, x []complex128) []complex128 {
 	for n := 0; n < e1; n++ {
 		dst[n] = f.edgeAt(x, n)
 	}
-	for n := e1; n < i2; n++ {
-		base := n + f.Center
-		var re, im float64
-		for k, t := range f.Taps {
-			v := x[base-k]
-			re += real(t)*real(v) - imag(t)*imag(v)
-			im += real(t)*imag(v) + imag(t)*real(v)
+	if l == 3 {
+		// Three taps — the TypicalISI shape that dominates rendering —
+		// take a straight-line interior whose accumulation runs in the
+		// generic loop's exact order, so both paths are bit-identical.
+		t0, t1, t2 := f.Taps[0], f.Taps[1], f.Taps[2]
+		for n := e1; n < i2; n++ {
+			base := n + f.Center
+			v0 := x[base]
+			v1 := x[base-1]
+			v2 := x[base-2]
+			var re, im float64
+			re += real(t0)*real(v0) - imag(t0)*imag(v0)
+			im += real(t0)*imag(v0) + imag(t0)*real(v0)
+			re += real(t1)*real(v1) - imag(t1)*imag(v1)
+			im += real(t1)*imag(v1) + imag(t1)*real(v1)
+			re += real(t2)*real(v2) - imag(t2)*imag(v2)
+			im += real(t2)*imag(v2) + imag(t2)*real(v2)
+			dst[n] = complex(re, im)
 		}
-		dst[n] = complex(re, im)
+	} else if i2 > e1 && kern.FIRCplx(dst[e1:i2], x[e1+f.Center-l+1:], f.Taps) {
+		// Short complex-tap interiors (the fitted ISI image filter) run
+		// on the packed kernel, bit-identical to the generic loop.
+	} else {
+		for n := e1; n < i2; n++ {
+			base := n + f.Center
+			var re, im float64
+			for k, t := range f.Taps {
+				v := x[base-k]
+				re += real(t)*real(v) - imag(t)*imag(v)
+				im += real(t)*imag(v) + imag(t)*real(v)
+			}
+			dst[n] = complex(re, im)
+		}
 	}
 	for n := i2; n < len(dst); n++ {
 		dst[n] = f.edgeAt(x, n)

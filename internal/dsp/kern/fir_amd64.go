@@ -1,0 +1,24 @@
+//go:build amd64 && !purego
+
+package kern
+
+// haveFIRAsm gates the packed FIR kernels (see fir_amd64.s).
+const haveFIRAsm = true
+
+// fir8Asm computes n outputs (n a positive multiple of four) of the
+// eight-coefficient sliding dot product: dst[i] = Σ_{j<8} coef[j]·x[i+j],
+// four outputs in flight per iteration with every coefficient broadcast
+// into a register. Per-output accumulation runs in ascending-j order, so
+// the pass is bit-identical to the scalar reference.
+//
+//go:noescape
+func fir8Asm(dst, x *complex128, n int, coef *float64)
+
+// firCplxAsm computes n outputs (n a positive multiple of four) of the
+// complex-tap convolution dst[i] = Σ_{k<L} taps[k]·x[i+L−1−k]. pairs
+// holds per tap the broadcast real part then the (−imag, +imag) pair
+// (see FIRCplx). Per-output accumulation runs in ascending-k order,
+// bit-identical to the scalar loop.
+//
+//go:noescape
+func firCplxAsm(dst, x *complex128, n int, pairs *float64, l int)

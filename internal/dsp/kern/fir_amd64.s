@@ -1,0 +1,240 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Packed FIR kernels. Both keep each output's tap accumulation in the
+// exact scalar order — packing is only across the independent re/im
+// lanes of one sample (one complex128 per XMM) and across independent
+// outputs — so results are bit-identical to the Go reference loops.
+// Go slice data is only 8-byte aligned, so every memory access uses
+// MOVUPD and arithmetic runs register-register.
+
+// func fir8Asm(dst, x *complex128, n int, coef *float64)
+//
+// Eight real coefficients broadcast into X4..X11; four outputs per
+// iteration in X0..X3, each accumulating coef[j]·x[i+j] for j = 0..7.
+TEXT ·fir8Asm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ coef+24(FP), R8
+	SHRQ $2, CX
+
+	MOVSD    0(R8), X4
+	UNPCKLPD X4, X4
+	MOVSD    8(R8), X5
+	UNPCKLPD X5, X5
+	MOVSD    16(R8), X6
+	UNPCKLPD X6, X6
+	MOVSD    24(R8), X7
+	UNPCKLPD X7, X7
+	MOVSD    32(R8), X8
+	UNPCKLPD X8, X8
+	MOVSD    40(R8), X9
+	UNPCKLPD X9, X9
+	MOVSD    48(R8), X10
+	UNPCKLPD X10, X10
+	MOVSD    56(R8), X11
+	UNPCKLPD X11, X11
+
+loop8:
+	XORPD X0, X0
+	XORPD X1, X1
+	XORPD X2, X2
+	XORPD X3, X3
+
+	// tap 0
+	MOVUPD 0(SI), X12
+	MOVUPD 16(SI), X13
+	MOVUPD 32(SI), X14
+	MOVUPD 48(SI), X15
+	MULPD  X4, X12
+	MULPD  X4, X13
+	MULPD  X4, X14
+	MULPD  X4, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 1
+	MOVUPD 16(SI), X12
+	MOVUPD 32(SI), X13
+	MOVUPD 48(SI), X14
+	MOVUPD 64(SI), X15
+	MULPD  X5, X12
+	MULPD  X5, X13
+	MULPD  X5, X14
+	MULPD  X5, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 2
+	MOVUPD 32(SI), X12
+	MOVUPD 48(SI), X13
+	MOVUPD 64(SI), X14
+	MOVUPD 80(SI), X15
+	MULPD  X6, X12
+	MULPD  X6, X13
+	MULPD  X6, X14
+	MULPD  X6, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 3
+	MOVUPD 48(SI), X12
+	MOVUPD 64(SI), X13
+	MOVUPD 80(SI), X14
+	MOVUPD 96(SI), X15
+	MULPD  X7, X12
+	MULPD  X7, X13
+	MULPD  X7, X14
+	MULPD  X7, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 4
+	MOVUPD 64(SI), X12
+	MOVUPD 80(SI), X13
+	MOVUPD 96(SI), X14
+	MOVUPD 112(SI), X15
+	MULPD  X8, X12
+	MULPD  X8, X13
+	MULPD  X8, X14
+	MULPD  X8, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 5
+	MOVUPD 80(SI), X12
+	MOVUPD 96(SI), X13
+	MOVUPD 112(SI), X14
+	MOVUPD 128(SI), X15
+	MULPD  X9, X12
+	MULPD  X9, X13
+	MULPD  X9, X14
+	MULPD  X9, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 6
+	MOVUPD 96(SI), X12
+	MOVUPD 112(SI), X13
+	MOVUPD 128(SI), X14
+	MOVUPD 144(SI), X15
+	MULPD  X10, X12
+	MULPD  X10, X13
+	MULPD  X10, X14
+	MULPD  X10, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	// tap 7
+	MOVUPD 112(SI), X12
+	MOVUPD 128(SI), X13
+	MOVUPD 144(SI), X14
+	MOVUPD 160(SI), X15
+	MULPD  X11, X12
+	MULPD  X11, X13
+	MULPD  X11, X14
+	MULPD  X11, X15
+	ADDPD  X12, X0
+	ADDPD  X13, X1
+	ADDPD  X14, X2
+	ADDPD  X15, X3
+
+	MOVUPD X0, 0(DI)
+	MOVUPD X1, 16(DI)
+	MOVUPD X2, 32(DI)
+	MOVUPD X3, 48(DI)
+	ADDQ   $64, SI
+	ADDQ   $64, DI
+	DECQ   CX
+	JNZ    loop8
+	RET
+
+// func firCplxAsm(dst, x *complex128, n int, pairs *float64, l int)
+//
+// Four outputs per iteration in X0..X3; the inner loop walks the L taps
+// with the window pointer descending (highest sample first, the scalar
+// loop's order). Per tap, term = trp·v + tip·swap(v) reproduces the
+// scalar (tr·vr − ti·vi, tr·vi + ti·vr) bit for bit.
+TEXT ·firCplxAsm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ pairs+24(FP), R8
+	MOVQ l+32(FP), R9
+	SHRQ $2, CX
+
+	// AX = 16·(L−1): byte offset from &x[i] to tap 0's window sample.
+	MOVQ R9, AX
+	DECQ AX
+	SHLQ $4, AX
+
+outer:
+	XORPD X0, X0
+	XORPD X1, X1
+	XORPD X2, X2
+	XORPD X3, X3
+	LEAQ  (SI)(AX*1), R10
+	MOVQ  R8, R11
+	MOVQ  R9, R12
+
+tap:
+	MOVUPD 0(R11), X4   // (tr, tr)
+	MOVUPD 16(R11), X5  // (−ti, ti)
+	MOVUPD 0(R10), X6   // v for output i
+	MOVUPD 16(R10), X7
+	MOVUPD 32(R10), X8
+	MOVUPD 48(R10), X9
+	MOVAPD X6, X10
+	SHUFPD $1, X10, X10
+	MOVAPD X7, X11
+	SHUFPD $1, X11, X11
+	MOVAPD X8, X12
+	SHUFPD $1, X12, X12
+	MOVAPD X9, X13
+	SHUFPD $1, X13, X13
+	MULPD  X4, X6
+	MULPD  X4, X7
+	MULPD  X4, X8
+	MULPD  X4, X9
+	MULPD  X5, X10
+	MULPD  X5, X11
+	MULPD  X5, X12
+	MULPD  X5, X13
+	ADDPD  X10, X6
+	ADDPD  X11, X7
+	ADDPD  X12, X8
+	ADDPD  X13, X9
+	ADDPD  X6, X0
+	ADDPD  X7, X1
+	ADDPD  X8, X2
+	ADDPD  X9, X3
+	SUBQ   $16, R10
+	ADDQ   $32, R11
+	DECQ   R12
+	JNZ    tap
+
+	MOVUPD X0, 0(DI)
+	MOVUPD X1, 16(DI)
+	MOVUPD X2, 32(DI)
+	MOVUPD X3, 48(DI)
+	ADDQ   $64, DI
+	ADDQ   $64, SI
+	DECQ   CX
+	JNZ    outer
+	RET

@@ -1,0 +1,212 @@
+package kern
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// refFIRReal8 is the scalar reference FIRReal8 promises bit-identity
+// with: per output, the eight coefficients accumulated in j order.
+func refFIRReal8(dst, x []complex128, coef []float64) {
+	c := coef[:8]
+	for i := range dst {
+		w := x[i : i+8 : i+8]
+		var re, im float64
+		for j, cj := range c {
+			re += cj * real(w[j])
+			im += cj * imag(w[j])
+		}
+		dst[i] = complex(re, im)
+	}
+}
+
+// refFIRCplx is the scalar reference FIRCplx promises bit-identity
+// with: dsp.FIR's generic interior loop, window walked
+// highest-sample-first, taps accumulated in k order.
+func refFIRCplx(dst, x []complex128, taps []complex128) {
+	l := len(taps)
+	for i := range dst {
+		base := i + l - 1
+		var re, im float64
+		for k, t := range taps {
+			v := x[base-k]
+			re += real(t)*real(v) - imag(t)*imag(v)
+			im += real(t)*imag(v) + imag(t)*real(v)
+		}
+		dst[i] = complex(re, im)
+	}
+}
+
+func randCplx(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestFIRReal8BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Lengths cover every asm quad remainder (n mod 4) plus the
+	// asm-skipped short cases.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 15, 64, 257, 1000} {
+		x := randCplx(rng, n+7)
+		coef := make([]float64, 8)
+		for j := range coef {
+			coef[j] = rng.NormFloat64()
+		}
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		FIRReal8(got, x, coef)
+		refFIRReal8(want, x, coef)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d output %d: got %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFIRCplxBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for l := 1; l <= 8; l++ {
+		for _, n := range []int{4, 5, 6, 7, 8, 33, 256, 999} {
+			x := randCplx(rng, n+l-1)
+			taps := randCplx(rng, l)
+			got := make([]complex128, n)
+			want := make([]complex128, n)
+			if !FIRCplx(got, x, taps) {
+				if haveFIRAsm {
+					t.Fatalf("l=%d n=%d: packed kernel refused a covered shape", l, n)
+				}
+				continue
+			}
+			refFIRCplx(want, x, taps)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("l=%d n=%d output %d: got %v, want %v", l, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFIRCplxRefusesUncovered(t *testing.T) {
+	x := make([]complex128, 16)
+	dst := make([]complex128, 4)
+	if FIRCplx(dst, x, make([]complex128, 9)) {
+		t.Fatal("accepted 9 taps")
+	}
+	if FIRCplx(dst, x, nil) {
+		t.Fatal("accepted 0 taps")
+	}
+	if FIRCplx(dst[:3], x, make([]complex128, 3)) {
+		t.Fatal("accepted a 3-output span (below the packed minimum)")
+	}
+}
+
+func TestMulTone(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, n := range []int{1, 2, 3, AnchorBlock - 1, AnchorBlock, AnchorBlock + 1, 3*AnchorBlock + 7} {
+		for _, step := range []float64{0, 1e-6, -0.004, 0.3} {
+			phase := (rng.Float64() - 0.5) * 50
+			buf := randCplx(rng, n)
+			want := make([]complex128, n)
+			var scale float64
+			for i, v := range buf {
+				want[i] = v * cmplx.Exp(complex(0, phase+float64(i)*step))
+				if a := cmplx.Abs(v); a > scale {
+					scale = a
+				}
+			}
+			MulTone(buf, phase, step)
+			for i := range buf {
+				if d := cmplx.Abs(buf[i] - want[i]); d > 1e-9*scale {
+					t.Fatalf("n=%d step=%g: sample %d off by %g", n, step, i, d)
+				}
+			}
+		}
+	}
+}
+
+func FuzzFIRReal8(f *testing.F) {
+	f.Add(int64(1), 256)
+	f.Add(int64(2), 3)
+	f.Add(int64(3), 4)
+	f.Add(int64(4), 1023)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		n = clampInt(n, 1, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		x := randCplx(rng, n+7)
+		coef := make([]float64, 8)
+		for j := range coef {
+			coef[j] = rng.NormFloat64()
+		}
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		FIRReal8(got, x, coef)
+		refFIRReal8(want, x, coef)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d n=%d output %d: got %v, want %v", seed, n, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzFIRCplx(f *testing.F) {
+	f.Add(int64(1), 7, 256)
+	f.Add(int64(2), 1, 4)
+	f.Add(int64(3), 8, 101)
+	f.Add(int64(4), 3, 4096)
+	f.Fuzz(func(t *testing.T, seed int64, l, n int) {
+		l = clampInt(l, 1, 8)
+		n = clampInt(n, 4, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		x := randCplx(rng, n+l-1)
+		taps := randCplx(rng, l)
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		if !FIRCplx(got, x, taps) {
+			t.Skip("no packed kernel on this build")
+		}
+		refFIRCplx(want, x, taps)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed=%d l=%d n=%d output %d: got %v, want %v", seed, l, n, i, got[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzMulTone(f *testing.F) {
+	f.Add(int64(1), 0.5, -0.004, 300)
+	f.Add(int64(2), -20.0, 1e-7, AnchorBlock+1)
+	f.Add(int64(3), 0.0, 0.0, 1)
+	f.Add(int64(4), 3.0, 0.2, 4*AnchorBlock)
+	f.Fuzz(func(t *testing.T, seed int64, phase, step float64, n int) {
+		if math.IsNaN(phase) || math.IsNaN(step) ||
+			math.Abs(phase) > 1e6 || math.Abs(step) > math.Pi {
+			t.Skip()
+		}
+		n = clampInt(n, 1, 8192)
+		rng := rand.New(rand.NewSource(seed))
+		buf := randCplx(rng, n)
+		want := make([]complex128, n)
+		var scale float64
+		for i, v := range buf {
+			want[i] = v * cmplx.Exp(complex(0, phase+float64(i)*step))
+			if a := cmplx.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		MulTone(buf, phase, step)
+		for i := range buf {
+			if d := cmplx.Abs(buf[i] - want[i]); d > 1e-9*scale {
+				t.Fatalf("seed=%d n=%d phase=%g step=%g: sample %d off by %g", seed, n, phase, step, i, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package kern
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Seeded fuzz suite: every kernel pinned against its scalar reference.
+// The corpus seeds below run as ordinary unit tests under `go test`;
+// `go test -fuzz` explores further. Tolerance classes follow the
+// package doc: ClipQuant is bit-identical, the recurrence kernels hold
+// ≤1e-9 of the signal scale.
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func FuzzAccum(f *testing.F) {
+	f.Add(int64(1), 4, 256)
+	f.Add(int64(2), 16, 4096)
+	f.Add(int64(3), 7, AnchorBlock+1)
+	f.Add(int64(4), 1, 1)
+	f.Fuzz(func(t *testing.T, seed int64, p, n int) {
+		p = clampInt(p, 1, 64)
+		n = clampInt(n, 1, 8192)
+		rng := rand.New(rand.NewSource(seed))
+		amp, phase, step := randBank(rng, p)
+		re := make([]float64, n)
+		im := make([]float64, n)
+		Accum(re, im, amp, phase, step)
+		wre := make([]float64, n)
+		wim := make([]float64, n)
+		refAccum(wre, wim, amp, phase, step)
+		var scale float64
+		for k := range amp {
+			scale += amp[k]
+		}
+		for i := 0; i < n; i++ {
+			if d := math.Abs(re[i]-wre[i]) + math.Abs(im[i]-wim[i]); d > 1e-9*scale {
+				t.Fatalf("seed=%d p=%d n=%d: sample %d off by %g", seed, p, n, i, d)
+			}
+		}
+	})
+}
+
+func FuzzRotateQuad(f *testing.F) {
+	f.Add(int64(1), 3e-6, true)
+	f.Add(int64(2), 0.0, true)
+	f.Add(int64(3), 1e-7, false)
+	f.Add(int64(4), -2e-6, true)
+	f.Fuzz(func(t *testing.T, seed int64, rate float64, withWalk bool) {
+		if math.IsNaN(rate) || math.Abs(rate) > 1e-3 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1500
+		buf := make([]complex128, n)
+		orig := make([]complex128, n)
+		var deltas []float64
+		if withWalk {
+			deltas = make([]float64, n)
+			for i := range deltas {
+				deltas[i] = 0.02 * rng.NormFloat64()
+			}
+		}
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = buf[i]
+		}
+		RotateQuad(buf, rate, deltas)
+		var walk float64
+		for i := range buf {
+			want := orig[i] * cmplx.Exp(complex(0, rate*float64(i)*float64(i)/2+walk))
+			if withWalk {
+				walk += deltas[i]
+			}
+			scale := cmplx.Abs(orig[i]) + 1
+			if cmplx.Abs(buf[i]-want) > 1e-9*scale {
+				t.Fatalf("seed=%d rate=%g sample %d: off by %g", seed, rate, i, cmplx.Abs(buf[i]-want))
+			}
+		}
+	})
+}
+
+func FuzzAddTone(f *testing.F) {
+	f.Add(int64(1), 0.8, 2.0, 0.3, 700)
+	f.Add(int64(2), 1.0, -1.0, -0.05, AnchorBlock)
+	f.Fuzz(func(t *testing.T, seed int64, amp, phase, step float64, n int) {
+		n = clampInt(n, 1, 8192)
+		if math.IsNaN(amp) || math.IsNaN(phase) || math.IsNaN(step) ||
+			math.Abs(amp) > 100 || math.Abs(phase) > 1000 || math.Abs(step) > math.Pi {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]complex128, n)
+		want := make([]complex128, n)
+		for i := range buf {
+			buf[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			want[i] = buf[i] + complex(amp, 0)*cmplx.Exp(complex(0, phase+float64(i)*step))
+		}
+		AddTone(buf, amp, phase, step)
+		scale := math.Abs(amp) + 1
+		for i := range buf {
+			if cmplx.Abs(buf[i]-want[i]) > 1e-9*scale {
+				t.Fatalf("sample %d: off by %g", i, cmplx.Abs(buf[i]-want[i]))
+			}
+		}
+	})
+}
+
+func FuzzMulTaps(f *testing.F) {
+	f.Add(int64(1), 3, 1024)
+	f.Add(int64(2), 1, 1)
+	f.Add(int64(3), 4, 517)
+	f.Add(int64(4), 3, 2)
+	f.Fuzz(func(t *testing.T, seed int64, taps, n int) {
+		taps = clampInt(taps, 1, 8)
+		n = clampInt(n, 0, 4096)
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		re := make([]float64, taps*n)
+		im := make([]float64, taps*n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			b[i] = a[i]
+		}
+		for i := range re {
+			re[i], im[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		MulTaps(a, re, im, taps)
+		refMulTaps(b, re, im, taps)
+		for i := range a {
+			if !sameBits(a[i], b[i]) {
+				t.Fatalf("taps=%d n=%d sample %d: fused %v != reference %v (bit-identity required)", taps, n, i, a[i], b[i])
+			}
+		}
+	})
+}
+
+func FuzzClipQuant(f *testing.F) {
+	f.Add(int64(1), 4.0, 127.0)
+	f.Add(int64(2), 1.0, 1.0)
+	f.Add(int64(3), 0.5, 8388607.0)
+	f.Fuzz(func(t *testing.T, seed int64, fs, levels float64) {
+		if !(fs > 0) || !(levels >= 1) || fs > 1e6 || levels > 1e8 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1024
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(3*fs*rng.NormFloat64(), 3*fs*rng.NormFloat64())
+			b[i] = a[i]
+		}
+		ClipQuant(a, fs, levels)
+		refClipQuant(b, fs, levels)
+		for i := range a {
+			if real(a[i]) != real(b[i]) || imag(a[i]) != imag(b[i]) {
+				t.Fatalf("sample %d: kernel %v != reference %v (bit-identity required)", i, a[i], b[i])
+			}
+		}
+	})
+}

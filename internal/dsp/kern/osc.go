@@ -1,0 +1,276 @@
+package kern
+
+import "math"
+
+// This file holds the sum-of-sinusoids kernels: an oscillator bank
+// accumulated into re/im planes via the Chebyshev 2-term recurrence,
+// and the fused plane-times-buffer passes that apply the resulting
+// complex gain trajectory to a []complex128 signal.
+
+// Accum adds Σ_k amp[k]·e^{j(phase[k] + n·step[k])} into the plane pair
+// (re, im) for n ∈ [0, len(re)). The banks amp/phase/step must have
+// equal length; re and im must have equal length. Oscillators advance
+// by the 2-term cosine recurrence with the amplitude folded into the
+// seed values (the recurrence is linear), four lanes at a time so the
+// independent multiply-add chains overlap, re-anchored exactly every
+// AnchorBlock samples.
+func Accum(re, im []float64, amp, phase, step []float64) {
+	n := len(re)
+	im = im[:n]
+	for b0 := 0; b0 < n; b0 += AnchorBlock {
+		b1 := b0 + AnchorBlock
+		if b1 > n {
+			b1 = n
+		}
+		if haveAccumAsm {
+			accumAsmBlock(re[b0:b1], im[b0:b1], amp, phase, step, float64(b0))
+			continue
+		}
+		k := 0
+		for ; k+4 <= len(amp); k += 4 {
+			accum4(re[b0:b1], im[b0:b1], amp[k:k+4], phase[k:k+4], step[k:k+4], float64(b0))
+		}
+		for ; k < len(amp); k++ {
+			accum1(re[b0:b1], im[b0:b1], amp[k], phase[k], step[k], float64(b0))
+		}
+	}
+}
+
+// AccumSet is Accum with store semantics: the planes are overwritten
+// with the bank sum instead of accumulated into, so callers rendering a
+// fresh trajectory skip the explicit Zero pass (and, on amd64, the
+// first oscillator group's read-modify-write plane traffic). An empty
+// bank clears the planes. Same tolerance class as Accum.
+func AccumSet(re, im []float64, amp, phase, step []float64) {
+	if !haveAccumAsm || len(amp) == 0 {
+		Zero(re)
+		Zero(im)
+		Accum(re, im, amp, phase, step)
+		return
+	}
+	n := len(re)
+	im = im[:n]
+	for b0 := 0; b0 < n; b0 += AnchorBlock {
+		b1 := b0 + AnchorBlock
+		if b1 > n {
+			b1 = n
+		}
+		accumAsmBlockSet(re[b0:b1], im[b0:b1], amp, phase, step, float64(b0))
+	}
+}
+
+// accum4 accumulates four oscillators over one anchored block starting
+// at absolute sample n0. Eight independent recurrences (cos and sin per
+// lane) overlap in the FPU pipeline, hiding the multiply-add latency of
+// each chain; the per-sample body is branch-free.
+func accum4(re, im []float64, amp, phase, step []float64, n0 float64) {
+	n := len(re)
+	im = im[:n]
+	// Seed each lane at n0 and n0+1 from the closed form, amplitude
+	// folded in; tw is the recurrence multiplier 2cos(ω).
+	sa0, ca0 := math.Sincos(phase[0] + n0*step[0])
+	sb0, cb0 := math.Sincos(phase[1] + n0*step[1])
+	sc0, cc0 := math.Sincos(phase[2] + n0*step[2])
+	sd0, cd0 := math.Sincos(phase[3] + n0*step[3])
+	sa1, ca1 := math.Sincos(phase[0] + (n0+1)*step[0])
+	sb1, cb1 := math.Sincos(phase[1] + (n0+1)*step[1])
+	sc1, cc1 := math.Sincos(phase[2] + (n0+1)*step[2])
+	sd1, cd1 := math.Sincos(phase[3] + (n0+1)*step[3])
+	aa, ab, ac, ad := amp[0], amp[1], amp[2], amp[3]
+	pa2, qa2 := aa*ca0, aa*sa0
+	pb2, qb2 := ab*cb0, ab*sb0
+	pc2, qc2 := ac*cc0, ac*sc0
+	pd2, qd2 := ad*cd0, ad*sd0
+	pa1, qa1 := aa*ca1, aa*sa1
+	pb1, qb1 := ab*cb1, ab*sb1
+	pc1, qc1 := ac*cc1, ac*sc1
+	pd1, qd1 := ad*cd1, ad*sd1
+	ta := 2 * math.Cos(step[0])
+	tb := 2 * math.Cos(step[1])
+	tc := 2 * math.Cos(step[2])
+	td := 2 * math.Cos(step[3])
+
+	re[0] += pa2 + pb2 + pc2 + pd2
+	im[0] += qa2 + qb2 + qc2 + qd2
+	if n == 1 {
+		return
+	}
+	re[1] += pa1 + pb1 + pc1 + pd1
+	im[1] += qa1 + qb1 + qc1 + qd1
+	for i := 2; i < n; i++ {
+		pa := ta*pa1 - pa2
+		pb := tb*pb1 - pb2
+		pc := tc*pc1 - pc2
+		pd := td*pd1 - pd2
+		qa := ta*qa1 - qa2
+		qb := tb*qb1 - qb2
+		qc := tc*qc1 - qc2
+		qd := td*qd1 - qd2
+		re[i] += pa + pb + pc + pd
+		im[i] += qa + qb + qc + qd
+		pa2, pa1 = pa1, pa
+		pb2, pb1 = pb1, pb
+		pc2, pc1 = pc1, pc
+		pd2, pd1 = pd1, pd
+		qa2, qa1 = qa1, qa
+		qb2, qb1 = qb1, qb
+		qc2, qc1 = qc1, qc
+		qd2, qd1 = qd1, qd
+	}
+}
+
+// accum1 is the single-oscillator remainder of Accum.
+func accum1(re, im []float64, amp, phase, step float64, n0 float64) {
+	n := len(re)
+	im = im[:n]
+	s0, c0 := math.Sincos(phase + n0*step)
+	s1, c1 := math.Sincos(phase + (n0+1)*step)
+	p2, q2 := amp*c0, amp*s0
+	p1, q1 := amp*c1, amp*s1
+	tw := 2 * math.Cos(step)
+	re[0] += p2
+	im[0] += q2
+	if n == 1 {
+		return
+	}
+	re[1] += p1
+	im[1] += q1
+	for i := 2; i < n; i++ {
+		p := tw*p1 - p2
+		q := tw*q1 - q2
+		re[i] += p
+		im[i] += q
+		p2, p1 = p1, p
+		q2, q1 = q1, q
+	}
+}
+
+// Zero clears a plane (helper so callers reusing scratch planes stay
+// allocation-free without open-coding the clear).
+func Zero(p []float64) {
+	for i := range p {
+		p[i] = 0
+	}
+}
+
+// MulPlanes multiplies buf by the complex gain trajectory
+// (re[i]+cr) + j·(im[i]+ci) element-wise — the fused "apply the
+// accumulated oscillator bank plus a constant (e.g. line-of-sight)
+// component" pass. The planes must be at least len(buf) long.
+func MulPlanes(buf []complex128, re, im []float64, cr, ci float64) {
+	n := len(buf)
+	re, im = re[:n], im[:n]
+	for i := range buf {
+		gr := re[i] + cr
+		gi := im[i] + ci
+		v := buf[i]
+		buf[i] = complex(real(v)*gr-imag(v)*gi, real(v)*gi+imag(v)*gr)
+	}
+}
+
+// MulPlanesHeld is MulPlanes with the gain held constant over blocks of
+// blk samples: buf[i] is multiplied by plane entry i/blk (piecewise-
+// constant coherence-block fading). The planes must have at least
+// ceil(len(buf)/blk) entries.
+func MulPlanesHeld(buf []complex128, re, im []float64, cr, ci float64, blk int) {
+	for j := 0; len(buf) > 0; j++ {
+		end := blk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		gr := re[j] + cr
+		gi := im[j] + ci
+		blkBuf := buf[:end]
+		for i := range blkBuf {
+			v := blkBuf[i]
+			blkBuf[i] = complex(real(v)*gr-imag(v)*gi, real(v)*gi+imag(v)*gr)
+		}
+		buf = buf[end:]
+	}
+}
+
+// MulTaps applies a short time-varying FIR in place:
+// buf[n] = Σ_{k<taps, k≤n} g_k(n)·buf[n−k], where tap k's coefficient
+// trajectory lives in the plane segments re[k·n:(k+1)·n] and
+// im[k·n:(k+1)·n] (n = len(buf)). The pass runs backwards so the
+// delayed reads see the original signal — no input copy, no output
+// zeroing, one read-modify-write sweep instead of one per tap. The
+// per-sample accumulation order matches a zeroed buffer fed through
+// AccMulDelayed tap by tap, so results are bit-identical to that
+// formulation.
+func MulTaps(buf []complex128, re, im []float64, taps int) {
+	n := len(buf)
+	if taps == 3 && n >= 3 {
+		mulTaps3(buf, re, im)
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		kmax := taps
+		if i+1 < kmax {
+			kmax = i + 1
+		}
+		var ar, ai float64
+		for k := 0; k < kmax; k++ {
+			v := buf[i-k]
+			gr, gi := re[k*n+i], im[k*n+i]
+			ar = ar + real(v)*gr - imag(v)*gi
+			ai = ai + real(v)*gi + imag(v)*gr
+		}
+		buf[i] = complex(ar, ai)
+	}
+}
+
+// mulTaps3 is the straight-line three-tap body of MulTaps (the default
+// multipath profile): same accumulation order, interior unrolled. On
+// amd64 the packed kernel takes the interior two samples at a time;
+// the scalar loop keeps any odd interior sample plus the two heads.
+func mulTaps3(buf []complex128, re, im []float64) {
+	n := len(buf)
+	r0, i0 := re[:n], im[:n]
+	r1, i1 := re[n:2*n], im[n:2*n]
+	r2, i2 := re[2*n:3*n], im[2*n:3*n]
+	top := n - 1
+	if haveMulTapsAsm && n >= 4 {
+		npairs := (n - 2) / 2
+		mulTaps3Asm(&buf[0], &re[0], &im[0], n, npairs)
+		top = n - 2*npairs - 1 // highest interior sample the asm left
+	}
+	for i := top; i >= 2; i-- {
+		v0, v1, v2 := buf[i], buf[i-1], buf[i-2]
+		var ar, ai float64
+		ar = ar + real(v0)*r0[i] - imag(v0)*i0[i]
+		ai = ai + real(v0)*i0[i] + imag(v0)*r0[i]
+		ar = ar + real(v1)*r1[i] - imag(v1)*i1[i]
+		ai = ai + real(v1)*i1[i] + imag(v1)*r1[i]
+		ar = ar + real(v2)*r2[i] - imag(v2)*i2[i]
+		ai = ai + real(v2)*i2[i] + imag(v2)*r2[i]
+		buf[i] = complex(ar, ai)
+	}
+	v0, v1 := buf[1], buf[0]
+	var ar, ai float64
+	ar = ar + real(v0)*r0[1] - imag(v0)*i0[1]
+	ai = ai + real(v0)*i0[1] + imag(v0)*r0[1]
+	ar = ar + real(v1)*r1[1] - imag(v1)*i1[1]
+	ai = ai + real(v1)*i1[1] + imag(v1)*r1[1]
+	buf[1] = complex(ar, ai)
+	ar, ai = 0, 0
+	ar = ar + real(v1)*r0[0] - imag(v1)*i0[0]
+	ai = ai + real(v1)*i0[0] + imag(v1)*r0[0]
+	buf[0] = complex(ar, ai)
+}
+
+// AccMulDelayed accumulates dst[n] += (re[n] + j·im[n]) · src[n−delay]
+// for n ∈ [delay, len(dst)) — one tap of a time-varying FIR whose
+// coefficient trajectory lives in the plane pair. dst and src must have
+// equal length and must not alias; the planes must be at least
+// len(dst) long.
+func AccMulDelayed(dst, src []complex128, re, im []float64, delay int) {
+	n := len(dst)
+	re, im = re[:n], im[:n]
+	for i := delay; i < n; i++ {
+		gr, gi := re[i], im[i]
+		v := src[i-delay]
+		d := dst[i]
+		dst[i] = complex(real(d)+real(v)*gr-imag(v)*gi, imag(d)+real(v)*gi+imag(v)*gr)
+	}
+}

@@ -1,0 +1,206 @@
+//go:build amd64 && !purego
+
+package kern
+
+import "math"
+
+// haveAccumAsm gates the SSE2 packed-double oscillator kernel. The
+// amd64 baseline (GOAMD64=v1) guarantees SSE2, so the assembly needs no
+// runtime feature detection; the purego tag restores the portable
+// kernel for cross-checking.
+const haveAccumAsm = true
+
+// haveMulTapsAsm gates the packed three-tap convolution kernel.
+const haveMulTapsAsm = true
+
+// haveClipQuantAsm gates the packed ADC clip/quantize kernel.
+const haveClipQuantAsm = true
+
+// clipQuantPow2Asm clamps and quantizes n complex samples in place,
+// both rails packed per XMM lane pair; p holds the broadcast constants
+// {fs, −fs, 1/fs, levels, 0.5, −0.5, 1.0, −0.0} (see quant_amd64.s).
+// Requires pow2Normal(fs), so x·(1/fs) carries the same bits as x/fs.
+//
+//go:noescape
+func clipQuantPow2Asm(buf *complex128, n int, p *[8]float64)
+
+// mulTaps3Asm applies the fused three-tap pass to the top 2·npairs
+// samples of buf, two samples per iteration, walking backwards (see
+// osc_amd64.s). n is the plane stride (tap k's trajectory starts at
+// element k·n of re and im). Lanes reproduce the scalar accumulation
+// order exactly, so the pass stays bit-identical to mulTaps3's loop.
+//
+//go:noescape
+func mulTaps3Asm(buf *complex128, re, im *float64, n, npairs int)
+
+// accumTriAsm advances three oscillator lanes over 8·noct samples
+// (see osc_amd64.s). st holds, per chain (cos and sin per oscillator,
+// six chains), the previous and current stride-2 sample pairs, then
+// the three duplicated 2cos(2ω) multipliers.
+//
+//go:noescape
+func accumTriAsm(re, im *float64, noct int, st *[30]float64)
+
+// accumTri3 accumulates three oscillators over one anchored block
+// starting at absolute sample n0: a scalar head long enough to seed
+// the stride-2 pair recurrence and make the remaining length a
+// multiple of eight, then the packed assembly loop. Six independent
+// recurrence chains overlap in the pipeline — enough to hide the
+// multiply-subtract latency that bounds a two-chain kernel — and the
+// sign-absorbed unroll (see osc_amd64.s) advances each chain in three
+// µops per step. The packed recurrence performs the same
+// multiply-subtract advance at stride 2 (doubled angle), which stays
+// in the package's ≤1e-9 tolerance class; seeds come from the same
+// closed-form Sincos anchors as the portable kernel.
+func accumTri3(re, im []float64, amp, phase, step []float64, n0 float64) {
+	n := len(re)
+	im = im[:n]
+	tw := [3]float64{2 * math.Cos(step[0]), 2 * math.Cos(step[1]), 2 * math.Cos(step[2])}
+	// Rolling last-four windows: chain 2o is oscillator o's cos, chain
+	// 2o+1 its sin, amplitude folded into the seeds.
+	var w [6][4]float64
+	for o := 0; o < 3; o++ {
+		s0, c0 := math.Sincos(phase[o] + n0*step[o])
+		s1, c1 := math.Sincos(phase[o] + (n0+1)*step[o])
+		w[2*o][2], w[2*o][3] = amp[o]*c0, amp[o]*c1
+		w[2*o+1][2], w[2*o+1][3] = amp[o]*s0, amp[o]*s1
+	}
+	h := n
+	if n >= 4 {
+		h = 4 + (n-4)%8
+	}
+	re[0] += w[0][2] + w[2][2] + w[4][2]
+	im[0] += w[1][2] + w[3][2] + w[5][2]
+	if n == 1 {
+		return
+	}
+	re[1] += w[0][3] + w[2][3] + w[4][3]
+	im[1] += w[1][3] + w[3][3] + w[5][3]
+	for i := 2; i < h; i++ {
+		for c := 0; c < 6; c++ {
+			nv := tw[c>>1]*w[c][3] - w[c][2]
+			w[c][0], w[c][1], w[c][2], w[c][3] = w[c][1], w[c][2], w[c][3], nv
+		}
+		re[i] += w[0][3] + w[2][3] + w[4][3]
+		im[i] += w[1][3] + w[3][3] + w[5][3]
+	}
+	k := (n - h) / 8
+	if k == 0 {
+		return
+	}
+	// h ≥ 4 here, so every window holds four true samples.
+	t0 := 2 * math.Cos(2*step[0])
+	t1 := 2 * math.Cos(2*step[1])
+	t2 := 2 * math.Cos(2*step[2])
+	st := [30]float64{
+		w[0][0], w[0][1], w[0][2], w[0][3],
+		w[1][0], w[1][1], w[1][2], w[1][3],
+		w[2][0], w[2][1], w[2][2], w[2][3],
+		w[3][0], w[3][1], w[3][2], w[3][3],
+		w[4][0], w[4][1], w[4][2], w[4][3],
+		w[5][0], w[5][1], w[5][2], w[5][3],
+		t0, t0, t1, t1, t2, t2,
+	}
+	accumTriAsm(&re[h], &im[h], k, &st)
+}
+
+// accumTriSetAsm is accumTriAsm with store semantics: the three-lane
+// sums overwrite the planes instead of accumulating into them (see
+// osc_amd64.s).
+//
+//go:noescape
+func accumTriSetAsm(re, im *float64, noct int, st *[30]float64)
+
+// accumTri3Set is accumTri3 with store semantics — the first oscillator
+// group of a fresh trajectory writes the planes directly, so the caller
+// skips both the Zero pass and this group's read-modify-write traffic.
+func accumTri3Set(re, im []float64, amp, phase, step []float64, n0 float64) {
+	n := len(re)
+	im = im[:n]
+	tw := [3]float64{2 * math.Cos(step[0]), 2 * math.Cos(step[1]), 2 * math.Cos(step[2])}
+	var w [6][4]float64
+	for o := 0; o < 3; o++ {
+		s0, c0 := math.Sincos(phase[o] + n0*step[o])
+		s1, c1 := math.Sincos(phase[o] + (n0+1)*step[o])
+		w[2*o][2], w[2*o][3] = amp[o]*c0, amp[o]*c1
+		w[2*o+1][2], w[2*o+1][3] = amp[o]*s0, amp[o]*s1
+	}
+	h := n
+	if n >= 4 {
+		h = 4 + (n-4)%8
+	}
+	re[0] = w[0][2] + w[2][2] + w[4][2]
+	im[0] = w[1][2] + w[3][2] + w[5][2]
+	if n == 1 {
+		return
+	}
+	re[1] = w[0][3] + w[2][3] + w[4][3]
+	im[1] = w[1][3] + w[3][3] + w[5][3]
+	for i := 2; i < h; i++ {
+		for c := 0; c < 6; c++ {
+			nv := tw[c>>1]*w[c][3] - w[c][2]
+			w[c][0], w[c][1], w[c][2], w[c][3] = w[c][1], w[c][2], w[c][3], nv
+		}
+		re[i] = w[0][3] + w[2][3] + w[4][3]
+		im[i] = w[1][3] + w[3][3] + w[5][3]
+	}
+	k := (n - h) / 8
+	if k == 0 {
+		return
+	}
+	t0 := 2 * math.Cos(2*step[0])
+	t1 := 2 * math.Cos(2*step[1])
+	t2 := 2 * math.Cos(2*step[2])
+	st := [30]float64{
+		w[0][0], w[0][1], w[0][2], w[0][3],
+		w[1][0], w[1][1], w[1][2], w[1][3],
+		w[2][0], w[2][1], w[2][2], w[2][3],
+		w[3][0], w[3][1], w[3][2], w[3][3],
+		w[4][0], w[4][1], w[4][2], w[4][3],
+		w[5][0], w[5][1], w[5][2], w[5][3],
+		t0, t0, t1, t1, t2, t2,
+	}
+	accumTriSetAsm(&re[h], &im[h], k, &st)
+}
+
+// accumAsmBlockSet is accumAsmBlock with store semantics for the first
+// oscillator group (len(amp) ≥ 1); the remaining groups accumulate as
+// usual. Pads short leading groups the same way accumAsmBlock pads
+// short trailing ones.
+func accumAsmBlockSet(re, im []float64, amp, phase, step []float64, n0 float64) {
+	k := 3
+	switch len(amp) {
+	case 1:
+		pad := [9]float64{amp[0], 0, 0, phase[0], 0, 0, step[0], 0, 0}
+		accumTri3Set(re, im, pad[0:3], pad[3:6], pad[6:9], n0)
+		return
+	case 2:
+		pad := [9]float64{amp[0], amp[1], 0, phase[0], phase[1], 0, step[0], step[1], 0}
+		accumTri3Set(re, im, pad[0:3], pad[3:6], pad[6:9], n0)
+		return
+	default:
+		accumTri3Set(re, im, amp[0:3], phase[0:3], step[0:3], n0)
+	}
+	accumAsmBlock(re, im, amp[k:], phase[k:], step[k:], n0)
+}
+
+// accumAsmBlock dispatches one anchored block across the assembly
+// kernels: three oscillators at a time, a two-lane pass for a
+// remainder of two, and a zero-amplitude pad for a final single lane
+// (a zero-seeded chain stays exactly zero through the recurrence and
+// contributes nothing, and the packed pass still beats the scalar
+// single-lane kernel, which has too few chains to hide FPU latency).
+func accumAsmBlock(re, im []float64, amp, phase, step []float64, n0 float64) {
+	k := 0
+	for ; k+3 <= len(amp); k += 3 {
+		accumTri3(re, im, amp[k:k+3], phase[k:k+3], step[k:k+3], n0)
+	}
+	switch len(amp) - k {
+	case 2:
+		pad := [9]float64{amp[k], amp[k+1], 0, phase[k], phase[k+1], 0, step[k], step[k+1], 0}
+		accumTri3(re, im, pad[0:3], pad[3:6], pad[6:9], n0)
+	case 1:
+		pad := [9]float64{amp[k], 0, 0, phase[k], 0, 0, step[k], 0, 0}
+		accumTri3(re, im, pad[0:3], pad[3:6], pad[6:9], n0)
+	}
+}

@@ -1,0 +1,438 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func accumTriAsm(re, im *float64, noct int, st *[30]float64)
+//
+// Three oscillators advanced over 8·noct samples. Six chains (cos and
+// sin per oscillator) follow the stride-2 Chebyshev pair recurrence
+// V_next = TW·V_cur − V_prev. The loop tracks sign-flipped pairs
+// u_k = s_k·V_k with the period-4 sign pattern s = +,+,−,−:
+// substituting into the recurrence turns every step into the
+// two-operand form
+//
+//   u_{k+1} = u_{k−1} ∓ TW·u_k
+//
+// whose result lands directly in the register holding u_{k−1} — three
+// µops per chain step (copy, multiply, subtract-or-add) with no
+// write-back move, the minimum SSE2 can do. The ∓ alternates per step
+// and the output sign repeats −,−,+,+ every four steps, so the loop
+// unrolls four pair steps (8 samples) and both signs are absorbed into
+// the opcodes: SUBPD/ADDPD for the recurrence, and subtracting or
+// adding the chain registers in the plane read-modify-write. Six
+// independent multiply-accumulate chains keep the FPU latency hidden.
+// Register layout:
+//
+//   osc1 cos: X0 (u even), X1 (u odd)    osc1 sin: X2, X3
+//   osc2 cos: X4, X5                     osc2 sin: X6, X7
+//   osc3 cos: X8, X9                     osc3 sin: X10, X11
+//   TW:       X12, X13, X14              scratch:  X15
+TEXT ·accumTriAsm(SB), NOSPLIT, $0-32
+	MOVQ	re+0(FP), DI
+	MOVQ	im+8(FP), SI
+	MOVQ	noct+16(FP), CX
+	MOVQ	st+24(FP), DX
+
+	MOVUPD	0(DX), X0	// osc1 cos u0
+	MOVUPD	16(DX), X1	// osc1 cos u1
+	MOVUPD	32(DX), X2	// osc1 sin u0
+	MOVUPD	48(DX), X3	// osc1 sin u1
+	MOVUPD	64(DX), X4	// osc2 cos u0
+	MOVUPD	80(DX), X5	// osc2 cos u1
+	MOVUPD	96(DX), X6	// osc2 sin u0
+	MOVUPD	112(DX), X7	// osc2 sin u1
+	MOVUPD	128(DX), X8	// osc3 cos u0
+	MOVUPD	144(DX), X9	// osc3 cos u1
+	MOVUPD	160(DX), X10	// osc3 sin u0
+	MOVUPD	176(DX), X11	// osc3 sin u1
+	MOVUPD	192(DX), X12	// TW osc1
+	MOVUPD	208(DX), X13	// TW osc2
+	MOVUPD	224(DX), X14	// TW osc3
+
+	XORQ	BX, BX
+
+triloop:
+	// ---- step A: even ← even − TW·odd   (u = −V, output sign −) ----
+	MOVAPD	X1, X15
+	MULPD	X12, X15
+	SUBPD	X15, X0
+	MOVAPD	X3, X15
+	MULPD	X12, X15
+	SUBPD	X15, X2
+	MOVAPD	X5, X15
+	MULPD	X13, X15
+	SUBPD	X15, X4
+	MOVAPD	X7, X15
+	MULPD	X13, X15
+	SUBPD	X15, X6
+	MOVAPD	X9, X15
+	MULPD	X14, X15
+	SUBPD	X15, X8
+	MOVAPD	X11, X15
+	MULPD	X14, X15
+	SUBPD	X15, X10
+	MOVUPD	(DI)(BX*8), X15
+	SUBPD	X0, X15
+	SUBPD	X4, X15
+	SUBPD	X8, X15
+	MOVUPD	X15, (DI)(BX*8)
+	MOVUPD	(SI)(BX*8), X15
+	SUBPD	X2, X15
+	SUBPD	X6, X15
+	SUBPD	X10, X15
+	MOVUPD	X15, (SI)(BX*8)
+
+	// ---- step B: odd ← odd + TW·even   (u = −V, output sign −) ----
+	MOVAPD	X0, X15
+	MULPD	X12, X15
+	ADDPD	X15, X1
+	MOVAPD	X2, X15
+	MULPD	X12, X15
+	ADDPD	X15, X3
+	MOVAPD	X4, X15
+	MULPD	X13, X15
+	ADDPD	X15, X5
+	MOVAPD	X6, X15
+	MULPD	X13, X15
+	ADDPD	X15, X7
+	MOVAPD	X8, X15
+	MULPD	X14, X15
+	ADDPD	X15, X9
+	MOVAPD	X10, X15
+	MULPD	X14, X15
+	ADDPD	X15, X11
+	MOVUPD	16(DI)(BX*8), X15
+	SUBPD	X1, X15
+	SUBPD	X5, X15
+	SUBPD	X9, X15
+	MOVUPD	X15, 16(DI)(BX*8)
+	MOVUPD	16(SI)(BX*8), X15
+	SUBPD	X3, X15
+	SUBPD	X7, X15
+	SUBPD	X11, X15
+	MOVUPD	X15, 16(SI)(BX*8)
+
+	// ---- step C: even ← even − TW·odd   (u = +V, output sign +) ----
+	MOVAPD	X1, X15
+	MULPD	X12, X15
+	SUBPD	X15, X0
+	MOVAPD	X3, X15
+	MULPD	X12, X15
+	SUBPD	X15, X2
+	MOVAPD	X5, X15
+	MULPD	X13, X15
+	SUBPD	X15, X4
+	MOVAPD	X7, X15
+	MULPD	X13, X15
+	SUBPD	X15, X6
+	MOVAPD	X9, X15
+	MULPD	X14, X15
+	SUBPD	X15, X8
+	MOVAPD	X11, X15
+	MULPD	X14, X15
+	SUBPD	X15, X10
+	MOVUPD	32(DI)(BX*8), X15
+	ADDPD	X0, X15
+	ADDPD	X4, X15
+	ADDPD	X8, X15
+	MOVUPD	X15, 32(DI)(BX*8)
+	MOVUPD	32(SI)(BX*8), X15
+	ADDPD	X2, X15
+	ADDPD	X6, X15
+	ADDPD	X10, X15
+	MOVUPD	X15, 32(SI)(BX*8)
+
+	// ---- step D: odd ← odd + TW·even   (u = +V, output sign +) ----
+	MOVAPD	X0, X15
+	MULPD	X12, X15
+	ADDPD	X15, X1
+	MOVAPD	X2, X15
+	MULPD	X12, X15
+	ADDPD	X15, X3
+	MOVAPD	X4, X15
+	MULPD	X13, X15
+	ADDPD	X15, X5
+	MOVAPD	X6, X15
+	MULPD	X13, X15
+	ADDPD	X15, X7
+	MOVAPD	X8, X15
+	MULPD	X14, X15
+	ADDPD	X15, X9
+	MOVAPD	X10, X15
+	MULPD	X14, X15
+	ADDPD	X15, X11
+	MOVUPD	48(DI)(BX*8), X15
+	ADDPD	X1, X15
+	ADDPD	X5, X15
+	ADDPD	X9, X15
+	MOVUPD	X15, 48(DI)(BX*8)
+	MOVUPD	48(SI)(BX*8), X15
+	ADDPD	X3, X15
+	ADDPD	X7, X15
+	ADDPD	X11, X15
+	MOVUPD	X15, 48(SI)(BX*8)
+
+	ADDQ	$8, BX
+	DECQ	CX
+	JNZ	triloop
+	RET
+
+// func accumTriSetAsm(re, im *float64, noct int, st *[30]float64)
+//
+// accumTriAsm with store semantics: the three-lane sums overwrite the
+// output planes instead of read-modify-writing them, so a fresh
+// trajectory needs no prior Zero pass. The negative-sign steps build
+// the stored sum by subtracting the chain registers from a zeroed
+// scratch. Same register layout and recurrence as accumTriAsm above.
+TEXT ·accumTriSetAsm(SB), NOSPLIT, $0-32
+	MOVQ	re+0(FP), DI
+	MOVQ	im+8(FP), SI
+	MOVQ	noct+16(FP), CX
+	MOVQ	st+24(FP), DX
+
+	MOVUPD	0(DX), X0	// osc1 cos u0
+	MOVUPD	16(DX), X1	// osc1 cos u1
+	MOVUPD	32(DX), X2	// osc1 sin u0
+	MOVUPD	48(DX), X3	// osc1 sin u1
+	MOVUPD	64(DX), X4	// osc2 cos u0
+	MOVUPD	80(DX), X5	// osc2 cos u1
+	MOVUPD	96(DX), X6	// osc2 sin u0
+	MOVUPD	112(DX), X7	// osc2 sin u1
+	MOVUPD	128(DX), X8	// osc3 cos u0
+	MOVUPD	144(DX), X9	// osc3 cos u1
+	MOVUPD	160(DX), X10	// osc3 sin u0
+	MOVUPD	176(DX), X11	// osc3 sin u1
+	MOVUPD	192(DX), X12	// TW osc1
+	MOVUPD	208(DX), X13	// TW osc2
+	MOVUPD	224(DX), X14	// TW osc3
+
+	XORQ	BX, BX
+
+trisetloop:
+	// ---- step A: even ← even − TW·odd   (u = −V, store −Σu) ----
+	MOVAPD	X1, X15
+	MULPD	X12, X15
+	SUBPD	X15, X0
+	MOVAPD	X3, X15
+	MULPD	X12, X15
+	SUBPD	X15, X2
+	MOVAPD	X5, X15
+	MULPD	X13, X15
+	SUBPD	X15, X4
+	MOVAPD	X7, X15
+	MULPD	X13, X15
+	SUBPD	X15, X6
+	MOVAPD	X9, X15
+	MULPD	X14, X15
+	SUBPD	X15, X8
+	MOVAPD	X11, X15
+	MULPD	X14, X15
+	SUBPD	X15, X10
+	XORPD	X15, X15
+	SUBPD	X0, X15
+	SUBPD	X4, X15
+	SUBPD	X8, X15
+	MOVUPD	X15, (DI)(BX*8)
+	XORPD	X15, X15
+	SUBPD	X2, X15
+	SUBPD	X6, X15
+	SUBPD	X10, X15
+	MOVUPD	X15, (SI)(BX*8)
+
+	// ---- step B: odd ← odd + TW·even   (u = −V, store −Σu) ----
+	MOVAPD	X0, X15
+	MULPD	X12, X15
+	ADDPD	X15, X1
+	MOVAPD	X2, X15
+	MULPD	X12, X15
+	ADDPD	X15, X3
+	MOVAPD	X4, X15
+	MULPD	X13, X15
+	ADDPD	X15, X5
+	MOVAPD	X6, X15
+	MULPD	X13, X15
+	ADDPD	X15, X7
+	MOVAPD	X8, X15
+	MULPD	X14, X15
+	ADDPD	X15, X9
+	MOVAPD	X10, X15
+	MULPD	X14, X15
+	ADDPD	X15, X11
+	XORPD	X15, X15
+	SUBPD	X1, X15
+	SUBPD	X5, X15
+	SUBPD	X9, X15
+	MOVUPD	X15, 16(DI)(BX*8)
+	XORPD	X15, X15
+	SUBPD	X3, X15
+	SUBPD	X7, X15
+	SUBPD	X11, X15
+	MOVUPD	X15, 16(SI)(BX*8)
+
+	// ---- step C: even ← even − TW·odd   (u = +V, store Σu) ----
+	MOVAPD	X1, X15
+	MULPD	X12, X15
+	SUBPD	X15, X0
+	MOVAPD	X3, X15
+	MULPD	X12, X15
+	SUBPD	X15, X2
+	MOVAPD	X5, X15
+	MULPD	X13, X15
+	SUBPD	X15, X4
+	MOVAPD	X7, X15
+	MULPD	X13, X15
+	SUBPD	X15, X6
+	MOVAPD	X9, X15
+	MULPD	X14, X15
+	SUBPD	X15, X8
+	MOVAPD	X11, X15
+	MULPD	X14, X15
+	SUBPD	X15, X10
+	MOVAPD	X0, X15
+	ADDPD	X4, X15
+	ADDPD	X8, X15
+	MOVUPD	X15, 32(DI)(BX*8)
+	MOVAPD	X2, X15
+	ADDPD	X6, X15
+	ADDPD	X10, X15
+	MOVUPD	X15, 32(SI)(BX*8)
+
+	// ---- step D: odd ← odd + TW·even   (u = +V, store Σu) ----
+	MOVAPD	X0, X15
+	MULPD	X12, X15
+	ADDPD	X15, X1
+	MOVAPD	X2, X15
+	MULPD	X12, X15
+	ADDPD	X15, X3
+	MOVAPD	X4, X15
+	MULPD	X13, X15
+	ADDPD	X15, X5
+	MOVAPD	X6, X15
+	MULPD	X13, X15
+	ADDPD	X15, X7
+	MOVAPD	X8, X15
+	MULPD	X14, X15
+	ADDPD	X15, X9
+	MOVAPD	X10, X15
+	MULPD	X14, X15
+	ADDPD	X15, X11
+	MOVAPD	X1, X15
+	ADDPD	X5, X15
+	ADDPD	X9, X15
+	MOVUPD	X15, 48(DI)(BX*8)
+	MOVAPD	X3, X15
+	ADDPD	X7, X15
+	ADDPD	X11, X15
+	MOVUPD	X15, 48(SI)(BX*8)
+
+	ADDQ	$8, BX
+	DECQ	CX
+	JNZ	trisetloop
+	RET
+
+// func mulTaps3Asm(buf *complex128, re, im *float64, n, npairs int)
+//
+// Fused three-tap time-varying FIR over the top 2·npairs samples of
+// buf, walking backwards two samples per iteration so the delayed
+// reads always see original input. The two samples of a pair are
+// deinterleaved into real/imag lane vectors (UNPCKLPD/UNPCKHPD), the
+// six tap-gain vectors load packed straight off the planes, and each
+// lane reproduces the scalar accumulation order term by term — a
+// zeroed accumulator, ADDPD for the +vr·gr / +vr·gi / +vi·gr terms,
+// SUBPD for −vi·gi — so the pass is bit-identical to the scalar loop.
+//
+//   X0–X3:  complex loads c_{s−2}..c_{s+1}, then gains G0R,G0I,G1R,G1I
+//   X4–X9:  deinterleaved inputs XR0,XI0,XR1,XI1,XR2,XI2
+//   X10,X11: gains G2R,G2I    X12,X13: accumulators    X14,X15: scratch
+TEXT ·mulTaps3Asm(SB), NOSPLIT, $0-40
+	MOVQ	buf+0(FP), DI
+	MOVQ	re+8(FP), R8
+	MOVQ	im+16(FP), R9
+	MOVQ	n+24(FP), R10
+	MOVQ	npairs+32(FP), CX
+
+	MOVQ	R10, BX		// BX = s, lower sample of the pair
+	SUBQ	$2, BX
+	LEAQ	(BX)(R10*1), R11	// s + n   (tap-1 plane index)
+	LEAQ	(R11)(R10*1), R12	// s + 2n  (tap-2 plane index)
+	LEAQ	(BX)(BX*1), R13		// 2s      (buf element scale)
+
+taploop:
+	MOVUPD	-32(DI)(R13*8), X0	// c_{s-2}
+	MOVUPD	-16(DI)(R13*8), X1	// c_{s-1}
+	MOVUPD	(DI)(R13*8), X2		// c_s
+	MOVUPD	16(DI)(R13*8), X3	// c_{s+1}
+	MOVAPD	X2, X4
+	UNPCKLPD	X3, X4		// XR0 = [re_s, re_{s+1}]
+	MOVAPD	X2, X5
+	UNPCKHPD	X3, X5		// XI0
+	MOVAPD	X1, X6
+	UNPCKLPD	X2, X6		// XR1
+	MOVAPD	X1, X7
+	UNPCKHPD	X2, X7		// XI1
+	MOVAPD	X0, X8
+	UNPCKLPD	X1, X8		// XR2
+	MOVAPD	X0, X9
+	UNPCKHPD	X1, X9		// XI2
+
+	MOVUPD	(R8)(BX*8), X0		// G0R
+	MOVUPD	(R9)(BX*8), X1		// G0I
+	MOVUPD	(R8)(R11*8), X2		// G1R
+	MOVUPD	(R9)(R11*8), X3		// G1I
+	MOVUPD	(R8)(R12*8), X10	// G2R
+	MOVUPD	(R9)(R12*8), X11	// G2I
+
+	XORPD	X12, X12		// AR = 0
+	MOVAPD	X4, X14
+	MULPD	X0, X14
+	ADDPD	X14, X12		// + XR0·G0R
+	MOVAPD	X5, X14
+	MULPD	X1, X14
+	SUBPD	X14, X12		// − XI0·G0I
+	MOVAPD	X6, X14
+	MULPD	X2, X14
+	ADDPD	X14, X12		// + XR1·G1R
+	MOVAPD	X7, X14
+	MULPD	X3, X14
+	SUBPD	X14, X12		// − XI1·G1I
+	MOVAPD	X8, X14
+	MULPD	X10, X14
+	ADDPD	X14, X12		// + XR2·G2R
+	MOVAPD	X9, X14
+	MULPD	X11, X14
+	SUBPD	X14, X12		// − XI2·G2I
+
+	XORPD	X13, X13		// AI = 0
+	MOVAPD	X4, X14
+	MULPD	X1, X14
+	ADDPD	X14, X13		// + XR0·G0I
+	MOVAPD	X5, X14
+	MULPD	X0, X14
+	ADDPD	X14, X13		// + XI0·G0R
+	MOVAPD	X6, X14
+	MULPD	X3, X14
+	ADDPD	X14, X13		// + XR1·G1I
+	MOVAPD	X7, X14
+	MULPD	X2, X14
+	ADDPD	X14, X13		// + XI1·G1R
+	MOVAPD	X8, X14
+	MULPD	X11, X14
+	ADDPD	X14, X13		// + XR2·G2I
+	MOVAPD	X9, X14
+	MULPD	X10, X14
+	ADDPD	X14, X13		// + XI2·G2R
+
+	MOVAPD	X12, X14
+	UNPCKLPD	X13, X14	// out_s = [AR.lo, AI.lo]
+	MOVUPD	X14, (DI)(R13*8)
+	MOVAPD	X12, X15
+	UNPCKHPD	X13, X15	// out_{s+1} = [AR.hi, AI.hi]
+	MOVUPD	X15, 16(DI)(R13*8)
+
+	SUBQ	$2, BX
+	SUBQ	$2, R11
+	SUBQ	$2, R12
+	SUBQ	$4, R13
+	DECQ	CX
+	JNZ	taploop
+	RET

@@ -1,0 +1,80 @@
+package kern
+
+import "math"
+
+// ClipQuant clips each rail of buf to ±fs and quantizes it to the
+// mid-tread grid with `levels` positive steps per rail — the ADC
+// front-end kernel. The clamp uses compare-and-assign (an ADC with
+// sane headroom clips rarely, so both branches predict not-taken and
+// cost less than the builtin min/max fixup sequences; NaN falls
+// through both compares unchanged either way) and the rounding
+// expression is kept exactly as the scalar reference writes it
+// (math.Round(x/fs·levels)/levels·fs), so this kernel is bit-identical
+// to the per-sample path. When fs is a normal power of two (the
+// default full scale is 4.0) the x/fs division becomes an exact
+// multiply by 1/fs — same bits, half the divider pressure. (A
+// table-driven reconstruction for the second division was tried and
+// measured slower: it adds a bounds-checked load, an int conversion,
+// and a signed-zero fixup to a loop whose divisions pipeline well.)
+func ClipQuant(buf []complex128, fs, levels float64) {
+	if pow2Normal(fs) {
+		inv := 1 / fs
+		if haveClipQuantAsm && len(buf) > 0 {
+			p := [8]float64{fs, -fs, inv, levels, 0.5, -0.5, 1.0, math.Copysign(0, -1)}
+			clipQuantPow2Asm(&buf[0], len(buf), &p)
+			return
+		}
+		for i := range buf {
+			v := buf[i]
+			x, y := real(v), imag(v)
+			if x > fs {
+				x = fs
+			} else if x < -fs {
+				x = -fs
+			}
+			if y > fs {
+				y = fs
+			} else if y < -fs {
+				y = -fs
+			}
+			buf[i] = complex(
+				math.Round(x*inv*levels)/levels*fs,
+				math.Round(y*inv*levels)/levels*fs,
+			)
+		}
+		return
+	}
+	for i := range buf {
+		v := buf[i]
+		x, y := real(v), imag(v)
+		if x > fs {
+			x = fs
+		} else if x < -fs {
+			x = -fs
+		}
+		if y > fs {
+			y = fs
+		} else if y < -fs {
+			y = -fs
+		}
+		buf[i] = complex(
+			math.Round(x/fs*levels)/levels*fs,
+			math.Round(y/fs*levels)/levels*fs,
+		)
+	}
+}
+
+// pow2Normal reports whether x is a power of two whose reciprocal is
+// exact and far from the subnormal range, i.e. multiplying by 1/x
+// produces the same bits as dividing by x for every float64.
+func pow2Normal(x float64) bool {
+	if !(x > 0) || math.IsInf(x, 0) {
+		return false
+	}
+	b := math.Float64bits(x)
+	if b&(1<<52-1) != 0 {
+		return false
+	}
+	exp := int(b>>52) - 1023
+	return exp > -1000 && exp < 1000
+}

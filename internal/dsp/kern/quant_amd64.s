@@ -1,0 +1,80 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func clipQuantPow2Asm(buf *complex128, n int, p *[8]float64)
+//
+// Packed ADC rail: both rails of each complex sample ride one XMM
+// register through clamp, scale, round, and reconstruction. p holds
+// the scalar constants {fs, −fs, 1/fs, levels, 0.5, −0.5, 1.0, −0.0},
+// broadcast at entry. The round stage is math.Round rebuilt from SSE2
+// primitives, exact over the clamped domain |x·inv·levels| ≤ levels <
+// 2³¹: truncate through packed int32 (CVTTPD2PL/CVTPL2PD are exact
+// there), take the residual d = x − t (exact: both are multiples of
+// ulp(x) and the difference is < 1 in magnitude), and add or subtract
+// 1.0 under the d ≥ 0.5 / d ≤ −0.5 compare masks — half-away-from-zero
+// ties included. Two fixups keep bit-identity with the scalar rail:
+// the sign of the input is OR-ed into the result (a negative rail that
+// quantizes to zero must yield −0, as math.Round's bit-twiddling
+// does), and an unordered-compare blend passes NaN rails through
+// untouched (the clamp's MINPD/MAXPD would otherwise swallow them).
+//
+//   X0 v   X1 x   X10 t   X11 d   X12/X13 masks   X14/X15 scratch
+//   consts: X2 fs  X3 −fs  X4 inv  X5 levels  X6 ½  X7 −½  X8 1  X9 −0
+TEXT ·clipQuantPow2Asm(SB), NOSPLIT, $0-24
+	MOVQ	buf+0(FP), DI
+	MOVQ	n+8(FP), CX
+	MOVQ	p+16(FP), DX
+
+	MOVSD	0(DX), X2
+	UNPCKLPD	X2, X2	// [fs, fs]
+	MOVSD	8(DX), X3
+	UNPCKLPD	X3, X3	// [−fs, −fs]
+	MOVSD	16(DX), X4
+	UNPCKLPD	X4, X4	// [1/fs, 1/fs]
+	MOVSD	24(DX), X5
+	UNPCKLPD	X5, X5	// [levels, levels]
+	MOVSD	32(DX), X6
+	UNPCKLPD	X6, X6	// [0.5, 0.5]
+	MOVSD	40(DX), X7
+	UNPCKLPD	X7, X7	// [−0.5, −0.5]
+	MOVSD	48(DX), X8
+	UNPCKLPD	X8, X8	// [1.0, 1.0]
+	MOVSD	56(DX), X9
+	UNPCKLPD	X9, X9	// [−0.0, −0.0] (sign mask)
+
+quantloop:
+	MOVUPD	(DI), X0	// v = [re, im]
+	MOVAPD	X0, X1
+	MINPD	X2, X1		// clamp high (NaN → fs; blended back below)
+	MAXPD	X3, X1		// clamp low
+	MULPD	X4, X1		// x·(1/fs)
+	MULPD	X5, X1		// ·levels
+	CVTTPD2PL	X1, X10
+	CVTPL2PD	X10, X10	// t = trunc(x)
+	MOVAPD	X1, X11
+	SUBPD	X10, X11	// d = x − t, exact
+	MOVAPD	X11, X12
+	CMPPD	X6, X12, $5	// d ≥ 0.5 (NLT; NaN lanes blended below)
+	ANDPD	X8, X12
+	ADDPD	X12, X10	// round up the positive halves
+	MOVAPD	X11, X13
+	CMPPD	X7, X13, $2	// d ≤ −0.5 (LE)
+	ANDPD	X8, X13
+	SUBPD	X13, X10	// round down the negative halves
+	DIVPD	X5, X10		// /levels
+	MULPD	X2, X10		// ·fs
+	MOVAPD	X0, X14
+	ANDPD	X9, X14
+	ORPD	X14, X10	// restore the input sign on ±0 results
+	MOVAPD	X0, X15
+	CMPPD	X0, X15, $3	// UNORD: all-ones where the rail is NaN
+	ANDPD	X15, X0		// NaN rails of v
+	ANDNPD	X10, X15	// non-NaN rails of the result
+	ORPD	X15, X0
+	MOVUPD	X0, (DI)
+
+	ADDQ	$16, DI
+	DECQ	CX
+	JNZ	quantloop
+	RET

@@ -1,0 +1,97 @@
+package kern
+
+import "math"
+
+// This file holds the rotator-class kernels: the block-renormalized
+// quadratic-phase recurrence (carrier drift, with an optional
+// phase-noise walk plane) and the anchored tone renderer the bursty
+// interferer uses.
+
+// RotateQuad multiplies buf by e^{j·(rate·n²/2 + W(n))} where
+// W(n) = Σ_{k<n} deltas[k] is the phase random walk (deltas nil means
+// W ≡ 0). This is the drift model's oscillator: sample n sees the
+// quadratic carrier ramp plus the walk accumulated over the *previous*
+// samples, matching the scalar reference's update order. The recurrence
+// runs on separate real/imaginary scalars — a first-order phasor for
+// the walk-adjusted carrier and a second-order one for the linearly
+// growing step — and re-anchors from the closed form every AnchorBlock
+// samples; walk increments are rotated in via sincosSmall, so the
+// math.Sincos walk cost of the scalar path is gone unless a draw is
+// unusually large. deltas, when non-nil, must be at least len(buf)
+// long.
+func RotateQuad(buf []complex128, rate float64, deltas []float64) {
+	if rate == 0 && deltas == nil {
+		return
+	}
+	n := len(buf)
+	var walk float64
+	for b0 := 0; b0 < n; b0 += AnchorBlock {
+		b1 := b0 + AnchorBlock
+		if b1 > n {
+			b1 = n
+		}
+		fb := float64(b0)
+		// cur = e^{j(rate·b0²/2 + walk)}, step = e^{j(rate·b0 + rate/2)},
+		// stepInc = e^{j·rate}: the same second-order scheme as the scalar
+		// reference, seeded exactly at the block boundary.
+		cs, cc := math.Sincos(rate*fb*fb/2 + walk)
+		curR, curI := cc, cs
+		ss, sc := math.Sincos(rate*fb + rate/2)
+		stR, stI := sc, ss
+		is, ic := math.Sincos(rate)
+		incR, incI := ic, is
+		if deltas == nil {
+			for i := b0; i < b1; i++ {
+				v := buf[i]
+				buf[i] = complex(real(v)*curR-imag(v)*curI, real(v)*curI+imag(v)*curR)
+				nr := curR*stR - curI*stI
+				ni := curR*stI + curI*stR
+				curR, curI = nr, ni
+				nr = stR*incR - stI*incI
+				ni = stR*incI + stI*incR
+				stR, stI = nr, ni
+			}
+			continue
+		}
+		for i := b0; i < b1; i++ {
+			v := buf[i]
+			buf[i] = complex(real(v)*curR-imag(v)*curI, real(v)*curI+imag(v)*curR)
+			d := deltas[i]
+			walk += d
+			ds, dc := sincosSmall(d)
+			// cur *= e^{jδ} · step (walk first, then the carrier step, as
+			// the scalar reference orders its products).
+			nr := curR*dc - curI*ds
+			ni := curR*ds + curI*dc
+			curR = nr*stR - ni*stI
+			curI = nr*stI + ni*stR
+			nr = stR*incR - stI*incI
+			ni = stR*incI + stI*incR
+			stR, stI = nr, ni
+		}
+	}
+}
+
+// AddTone adds amp·e^{j(phase + m·step)} to buf[m] for m ∈ [0, len(buf))
+// — one interferer burst rendered through the anchored phasor
+// recurrence (first-order: the tone frequency is constant). Callers
+// slice buf to the burst extent and fold the burst's start into phase.
+func AddTone(buf []complex128, amp, phase, step float64) {
+	n := len(buf)
+	is, ic := math.Sincos(step)
+	for b0 := 0; b0 < n; b0 += AnchorBlock {
+		b1 := b0 + AnchorBlock
+		if b1 > n {
+			b1 = n
+		}
+		s, c := math.Sincos(phase + float64(b0)*step)
+		curR, curI := amp*c, amp*s
+		for i := b0; i < b1; i++ {
+			v := buf[i]
+			buf[i] = complex(real(v)+curR, imag(v)+curI)
+			nr := curR*ic - curI*is
+			ni := curR*is + curI*ic
+			curR, curI = nr, ni
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package kern
+
+import "math"
+
+// MulTone multiplies buf[m] by e^{j(phase + m·step)} for m ∈ [0,
+// len(buf)) — the constant-frequency counterpart of RotateQuad, used to
+// apply a linear phase ramp (carrier offset, tracker model) to a whole
+// block. Two phasor chains anchored one sample apart advance by 2·step
+// each, so the serial complex-multiply latency of a single recurrence
+// overlaps across samples; both chains re-anchor from math.Sincos every
+// AnchorBlock samples, which keeps the result within the package's
+// ≤1e-9 tolerance of the per-sample cmplx.Exp (or dsp.Rotator)
+// reference for any ramp length.
+func MulTone(buf []complex128, phase, step float64) {
+	n := len(buf)
+	s2, c2 := math.Sincos(2 * step)
+	for b0 := 0; b0 < n; b0 += AnchorBlock {
+		b1 := b0 + AnchorBlock
+		if b1 > n {
+			b1 = n
+		}
+		s0, c0 := math.Sincos(phase + float64(b0)*step)
+		s1, c1 := math.Sincos(phase + float64(b0+1)*step)
+		aR, aI := c0, s0
+		bR, bI := c1, s1
+		i := b0
+		for ; i+1 < b1; i += 2 {
+			v := buf[i]
+			buf[i] = complex(real(v)*aR-imag(v)*aI, real(v)*aI+imag(v)*aR)
+			w := buf[i+1]
+			buf[i+1] = complex(real(w)*bR-imag(w)*bI, real(w)*bI+imag(w)*bR)
+			nr := aR*c2 - aI*s2
+			ni := aR*s2 + aI*c2
+			aR, aI = nr, ni
+			nr = bR*c2 - bI*s2
+			ni = bR*s2 + bI*c2
+			bR, bI = nr, ni
+		}
+		if i < b1 {
+			v := buf[i]
+			buf[i] = complex(real(v)*aR-imag(v)*aI, real(v)*aI+imag(v)*aR)
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+
+	"zigzag/internal/dsp/kern"
 )
 
 // This file holds the polyphase fractional-delay resampling engine that
@@ -147,6 +149,29 @@ func (pp *Polyphase) Kernel(dst []float64, mu float64) []float64 {
 type Resampler struct {
 	Interp Interpolator
 	coef   []float64
+
+	// pp caches the shared polyphase bank for ppTaps, so steady-state
+	// grid evaluation skips the PolyphaseFor sync.Map lookup.
+	pp     *Polyphase
+	ppTaps int
+
+	// coefMu is the fractional offset the current coef contents were
+	// generated for (NaN when coef is stale). Kernel is a pure function
+	// of (taps, mu), so reusing coef when mu repeats is bit-identical;
+	// under a constant-offset EvalDrift the fractional part takes only a
+	// handful of distinct values over a whole emission, which turns the
+	// per-sample Kernel generation into a rare event.
+	coefMu float64
+}
+
+// bank returns the polyphase bank for t taps through the cache.
+func (rs *Resampler) bank(t int) *Polyphase {
+	if rs.pp == nil || rs.ppTaps != t {
+		rs.pp = PolyphaseFor(t)
+		rs.ppTaps = t
+		rs.coefMu = math.NaN()
+	}
+	return rs.pp
 }
 
 // EvalGrid writes dst[i] = x(pos0+i) for i ∈ [0, n): the signal
@@ -182,7 +207,11 @@ func (rs *Resampler) EvalGrid(dst, x []complex128, pos0 float64, n int) []comple
 		return dst
 	}
 	t := rs.Interp.taps()
-	rs.coef = PolyphaseFor(t).Kernel(rs.coef, mu)
+	pp := rs.bank(t)
+	if mu != rs.coefMu {
+		rs.coef = pp.Kernel(rs.coef, mu)
+		rs.coefMu = mu
+	}
 	coef := rs.coef
 	// Output i reads x[base0+i−t+1 : base0+i+t+1); split the range into
 	// the fully supported interior and the zero-padded edges.
@@ -202,14 +231,46 @@ func (rs *Resampler) EvalGrid(dst, x []complex128, pos0 float64, n int) []comple
 	if i2 > n {
 		i2 = n
 	}
-	for i := 0; i < e1; i++ {
+	// Outputs whose window misses x entirely are exactly zero (the
+	// clipped accumulation over an empty overlap): window [base0+i−t+1,
+	// base0+i+t] lies fully below x for i < −base0−t and fully above for
+	// i ≥ len(x)+t−1−base0. Zero-fill those stretches outright so the
+	// per-tap clipped evaluation only runs where the window actually
+	// straddles an edge.
+	z0 := -base0 - t
+	if z0 < 0 {
+		z0 = 0
+	}
+	if z0 > e1 {
+		z0 = e1
+	}
+	z1 := len(x) + t - 1 - base0
+	if z1 < i2 {
+		z1 = i2
+	}
+	if z1 > n {
+		z1 = n
+	}
+	for i := 0; i < z0; i++ {
+		dst[i] = 0
+	}
+	for i := z0; i < e1; i++ {
 		dst[i] = dotKernelClipped(x, base0+i-t+1, coef)
 	}
-	for i := e1; i < i2; i++ {
-		dst[i] = dotKernel(x[base0+i-t+1:], coef)
+	if len(coef) == 8 && i2 > e1 {
+		// The default support takes the packed sliding-window kernel —
+		// bit-identical to the dotKernel8 loop (see kern.FIRReal8).
+		kern.FIRReal8(dst[e1:i2], x[base0+e1-t+1:], coef)
+	} else {
+		for i := e1; i < i2; i++ {
+			dst[i] = dotKernel(x[base0+i-t+1:], coef)
+		}
 	}
-	for i := i2; i < n; i++ {
+	for i := i2; i < z1; i++ {
 		dst[i] = dotKernelClipped(x, base0+i-t+1, coef)
+	}
+	for i := z1; i < n; i++ {
+		dst[i] = 0
 	}
 	return dst
 }
@@ -229,9 +290,10 @@ func (rs *Resampler) EvalDrift(dst, x []complex128, mu0, drift float64) []comple
 		return dst
 	}
 	t := rs.Interp.taps()
-	pp := PolyphaseFor(t)
+	pp := rs.bank(t)
 	if cap(rs.coef) < 2*t {
 		rs.coef = make([]float64, 2*t)
+		rs.coefMu = math.NaN()
 	}
 	coef := rs.coef[:2*t]
 	for n := range dst {
@@ -246,7 +308,10 @@ func (rs *Resampler) EvalDrift(dst, x []complex128, mu0, drift float64) []comple
 			}
 			continue
 		}
-		pp.Kernel(coef, mu)
+		if mu != rs.coefMu {
+			pp.Kernel(coef, mu)
+			rs.coefMu = mu
+		}
 		if w0 := base - t + 1; w0 >= 0 && w0+2*t <= len(x) {
 			dst[n] = dotKernel(x[w0:], coef)
 		} else {
@@ -258,8 +323,13 @@ func (rs *Resampler) EvalDrift(dst, x []complex128, mu0, drift float64) []comple
 
 // dotKernel is the full-support inner product Σ_j coef[j]·w[j], with
 // the real/imaginary accumulation matching complex(coef[j],0)·w[j]
-// addition bit for bit.
+// addition bit for bit. The default-support case (4 one-sided taps →
+// 8 coefficients) takes a straight-line specialization whose adds run
+// in the loop's exact order, so both paths are bit-identical.
 func dotKernel(w []complex128, coef []float64) complex128 {
+	if len(coef) == 8 {
+		return dotKernel8(w, coef)
+	}
 	w = w[:len(coef)]
 	var re, im float64
 	for j, c := range coef {
@@ -267,6 +337,31 @@ func dotKernel(w []complex128, coef []float64) complex128 {
 		re += c * real(v)
 		im += c * imag(v)
 	}
+	return complex(re, im)
+}
+
+// dotKernel8 is dotKernel for exactly eight coefficients: the same
+// sequential accumulation with the loop and bounds checks peeled away.
+func dotKernel8(w []complex128, coef []float64) complex128 {
+	w = w[:8]
+	coef = coef[:8]
+	var re, im float64
+	re += coef[0] * real(w[0])
+	im += coef[0] * imag(w[0])
+	re += coef[1] * real(w[1])
+	im += coef[1] * imag(w[1])
+	re += coef[2] * real(w[2])
+	im += coef[2] * imag(w[2])
+	re += coef[3] * real(w[3])
+	im += coef[3] * imag(w[3])
+	re += coef[4] * real(w[4])
+	im += coef[4] * imag(w[4])
+	re += coef[5] * real(w[5])
+	im += coef[5] * imag(w[5])
+	re += coef[6] * real(w[6])
+	im += coef[6] * imag(w[6])
+	re += coef[7] * real(w[7])
+	im += coef[7] * imag(w[7])
 	return complex(re, im)
 }
 

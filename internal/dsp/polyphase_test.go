@@ -5,6 +5,8 @@ import (
 	"math/cmplx"
 	"math/rand"
 	"testing"
+
+	"zigzag/internal/dsp/kern"
 )
 
 // TestKernelMatchesSincHann pins the closed-form phase FIR against
@@ -173,11 +175,23 @@ func TestRotatorMatchesExp(t *testing.T) {
 	for i := range x {
 		x[i] = complex(1, 0)
 	}
+	// Default path: Rotate runs on kern.MulTone, pinned to the closed
+	// form within the kernel layer's 1e-9 tolerance. Naive path: bit
+	// identical to the Rotator recurrence it is built on.
 	got := Rotate(nil, x, phase0, step)
+	for i := range got {
+		want := cmplx.Exp(complex(0, phase0+float64(i)*step))
+		if e := absC(got[i] - want); e > 1e-9 {
+			t.Fatalf("Rotate drifted from closed form at %d: Δ=%g", i, e)
+		}
+	}
+	kern.SetNaive(true)
+	defer kern.SetNaive(false)
+	got = Rotate(nil, x, phase0, step)
 	ref := NewRotator(phase0, step)
 	for i := range got {
 		if got[i] != ref.Next() {
-			t.Fatalf("Rotate is not bit-identical to the Rotator recurrence at %d", i)
+			t.Fatalf("naive Rotate is not bit-identical to the Rotator recurrence at %d", i)
 		}
 	}
 }

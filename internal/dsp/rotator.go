@@ -30,7 +30,9 @@ func (r *Rotator) Next() complex128 {
 	v := r.cur
 	r.cur *= r.inc
 	if r.n&0x3ff == 0x3ff {
-		r.cur /= complex(cmplx.Abs(r.cur), 0)
+		// DivPosReal performs the builtin division's exact operations for
+		// a positive real divisor, so the renorm stays bit-identical.
+		r.cur = DivPosReal(r.cur, cmplx.Abs(r.cur))
 	}
 	r.n++
 	return v

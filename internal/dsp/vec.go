@@ -19,6 +19,8 @@ package dsp
 import (
 	"math"
 	"math/cmplx"
+
+	"zigzag/internal/dsp/kern"
 )
 
 // Add returns dst = a + b element-wise. The slices must have equal length.
@@ -98,12 +100,17 @@ func Scale(dst []complex128, c complex128, a []complex128) []complex128 {
 // initial phase phase0 (§3.1.1: y[n] = H·x[n]·e^{j2πnδfT}). dst may alias a.
 func Rotate(dst, a []complex128, phase0, step float64) []complex128 {
 	dst = ensure(dst, len(a))
-	// Incrementally updated rotator with periodic renormalization
-	// instead of a cmplx.Exp call per sample.
-	rot := NewRotator(phase0, step)
-	for i := range a {
-		dst[i] = a[i] * rot.Next()
+	if kern.Naive() {
+		// Incrementally updated rotator with periodic renormalization
+		// instead of a cmplx.Exp call per sample.
+		rot := NewRotator(phase0, step)
+		for i := range a {
+			dst[i] = a[i] * rot.Next()
+		}
+		return dst
 	}
+	copy(dst, a)
+	kern.MulTone(dst, phase0, step)
 	return dst
 }
 
@@ -179,6 +186,21 @@ func WrapPhase(phi float64) float64 {
 // chunk image and the corresponding residual signal.
 func PhaseDiff(a, b complex128) float64 {
 	return cmplx.Phase(a * cmplx.Conj(b))
+}
+
+// DivPosReal returns c / complex(d, 0) for d > 0 without the generic
+// complex-division runtime call. It performs exactly the operations
+// Smith's algorithm reduces to when the divisor's imaginary part is
+// zero — the ratio term is +0, and the multiplications by it are kept
+// so signed-zero components come out bit-identical to the builtin
+// division (verified exhaustively over signed zeros and extreme
+// magnitudes). Callers must guarantee d > 0; other divisors take the
+// builtin path.
+func DivPosReal(c complex128, d float64) complex128 {
+	if !(d > 0) {
+		return c / complex(d, 0)
+	}
+	return complex((real(c)+imag(c)*0)/d, (imag(c)-real(c)*0)/d)
 }
 
 // Clone returns a copy of a.

@@ -4,11 +4,18 @@ import "testing"
 
 // Model-level benchmarks: one application over a 4096-sample emission
 // (a ~2000-bit BPSK packet at 2 samples/symbol). These are the costs
-// the impairment engine adds per emission per reception.
+// the impairment engine adds per emission per reception. Every
+// benchmark reuses one scratch copy per iteration (copy, not re-slice,
+// so allocation and layout effects cannot hide) and reports MB/s over
+// the emission's 16-byte samples, making ns/sample directly readable
+// across kernel PRs.
+
+const benchEmission = 4096
 
 func benchLink(b *testing.B, m LinkModel) {
-	buf := testBuf(4096, 1)
+	buf := testBuf(benchEmission, 1)
 	work := append([]complex128(nil), buf...)
+	b.SetBytes(benchEmission * 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -18,8 +25,9 @@ func benchLink(b *testing.B, m LinkModel) {
 }
 
 func benchFront(b *testing.B, m FrontModel) {
-	buf := testBuf(4096, 1)
+	buf := testBuf(benchEmission, 1)
 	work := append([]complex128(nil), buf...)
+	b.SetBytes(benchEmission * 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -34,6 +42,15 @@ func BenchmarkFadingBlock64(b *testing.B)   { benchLink(b, &Fading{Doppler: 3e-4
 func BenchmarkMultipath(b *testing.B)       { benchLink(b, &Multipath{Doppler: 2e-4}) }
 func BenchmarkDrift(b *testing.B)           { benchLink(b, &Drift{Rate: 5e-7}) }
 func BenchmarkDriftPhaseNoise(b *testing.B) { benchLink(b, &Drift{Rate: 5e-7, PhaseNoise: 2e-3}) }
+
+// BenchmarkDriftPhaseNoiseZero pins the PhaseNoise == 0 guard: a
+// struct-configured drift with the field explicitly zero must collapse
+// to the pure rotator recurrence (no per-sample draws, no Sincos) and
+// match BenchmarkDrift, not BenchmarkDriftPhaseNoise.
+func BenchmarkDriftPhaseNoiseZero(b *testing.B) {
+	benchLink(b, &Drift{Rate: 5e-7, PhaseNoise: 0})
+}
+
 func BenchmarkInterferer(b *testing.B) {
 	benchFront(b, &Interferer{Freq: 0.3, Amp: 0.8, MeanOn: 200, MeanOff: 800})
 }
@@ -44,8 +61,9 @@ func BenchmarkADC(b *testing.B) { benchFront(b, &ADC{Bits: 10}) }
 func BenchmarkFullChain(b *testing.B) {
 	c := fullChain()
 	c.Reset(5)
-	buf := testBuf(4096, 1)
+	buf := testBuf(benchEmission, 1)
 	work := append([]complex128(nil), buf...)
+	b.SetBytes(benchEmission * 16)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

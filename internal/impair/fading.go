@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/kern"
 )
 
 // Fading multiplies an emission by a time-varying complex gain g(n)
@@ -22,6 +23,12 @@ import (
 // coherent within a reception window — which is the regime that
 // stresses ZigZag's chunk-wise re-estimation — and independent across
 // receptions, matching how the rest of the simulator re-draws links.
+//
+// The hot path runs on the kern oscillator-bank kernels (gain
+// trajectory accumulated into SoA planes, one fused multiply pass);
+// kern.SetNaive pins the per-sample rotator reference, which the kern
+// path reproduces to ≤1e-9 of the signal scale (identical rng draws,
+// reassociated arithmetic).
 type Fading struct {
 	// Doppler is the normalized maximum Doppler shift f_d·T in cycles
 	// per sample. 0 freezes each trajectory at its initial draw (pure
@@ -38,7 +45,11 @@ type Fading struct {
 	// Block·T) instead of evaluating it per sample.
 	Block int
 
-	rot []dsp.Rotator // per-path oscillators, re-seeded per application
+	rot []dsp.Rotator // per-path oscillators (naive path), re-seeded per application
+
+	// kern-path scratch: the oscillator bank and the gain planes.
+	amp, phase, step []float64
+	re, im           []float64
 }
 
 // DefaultFadingPaths is the sum-of-sinusoids order used when
@@ -67,6 +78,48 @@ func (f *Fading) block() int {
 // on the reception's sample grid so an emission's trajectory does not
 // depend on where in the window it starts being rendered.
 func (f *Fading) ApplyLink(seed int64, buf []complex128, off int) {
+	if kern.Naive() {
+		f.applyNaive(seed, buf, off)
+		return
+	}
+	p := f.paths()
+	blk := f.block()
+	rng := newStream(seed)
+	f.amp = growF(f.amp, p)
+	f.phase = growF(f.phase, p)
+	f.step = growF(f.step, p)
+	// Per-path arrival angles and phases, drawn in the naive path's
+	// exact order; the grid origin off is folded into the initial phase
+	// so the trajectory is a pure function of the absolute sample index,
+	// and with Block > 1 each oscillator steps one *block* per plane
+	// entry.
+	scatterAmp := math.Sqrt(1 / (float64(p) * (f.K + 1)))
+	base := float64(off)
+	for k := 0; k < p; k++ {
+		omega := 2 * math.Pi * f.Doppler * math.Cos(rng.angle())
+		phi := rng.angle()
+		f.amp[k] = scatterAmp
+		f.phase[k] = phi + omega*base
+		f.step[k] = omega * float64(blk)
+	}
+	// Line-of-sight component: random phase, power K/(K+1), static
+	// within a reception — a constant folded into the fused multiply.
+	losAmp := math.Sqrt(f.K / (f.K + 1))
+	losSin, losCos := math.Sincos(rng.angle())
+	m := (len(buf) + blk - 1) / blk
+	f.re = growF(f.re, m)
+	f.im = growF(f.im, m)
+	kern.AccumSet(f.re[:m], f.im[:m], f.amp[:p], f.phase[:p], f.step[:p])
+	if blk == 1 {
+		kern.MulPlanes(buf, f.re, f.im, losAmp*losCos, losAmp*losSin)
+	} else {
+		kern.MulPlanesHeld(buf, f.re, f.im, losAmp*losCos, losAmp*losSin, blk)
+	}
+}
+
+// applyNaive is the per-sample rotator reference path (the historical
+// implementation, pinned by the -naive-kernels escape hatch).
+func (f *Fading) applyNaive(seed int64, buf []complex128, off int) {
 	p := f.paths()
 	blk := f.block()
 	rng := newStream(seed)
@@ -117,6 +170,15 @@ func (f *Fading) gainAt(seed int64, dst []complex128, n, off int) []complex128 {
 	return dst
 }
 
+// growF returns dst with length ≥ n (contents unspecified), reusing the
+// backing array when possible — the float-plane analogue of dsp.Ensure.
+func growF(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
 // Multipath convolves an emission with a short time-varying FIR whose
 // taps fade independently: tap k has mean power Powers[k] (normalized
 // to Σ = 1, preserving mean received power) and its own
@@ -124,6 +186,13 @@ func (f *Fading) gainAt(seed int64, dst []complex128, n, off int) []complex128 {
 // the §3.1.3 multipath channel with the quasi-static assumption
 // removed — delay-spread distortion whose shape drifts during the
 // packet, which is exactly what makes a one-shot FitISI stale.
+//
+// The hot path shares one kern oscillator bank across all taps (one
+// contiguous amp/phase/step triple, per-tap segments), renders each
+// tap's trajectory into a tap-major plane pair, and convolves in place
+// with one fused backward pass (kern.MulTaps); kern.SetNaive pins the
+// per-sample rotator reference (≤1e-9 of signal scale, identical rng
+// draws).
 type Multipath struct {
 	// Powers are the relative mean tap powers (tap k delayed k
 	// samples); nil means DefaultMultipathPowers.
@@ -135,6 +204,11 @@ type Multipath struct {
 
 	rot []dsp.Rotator
 	in  []complex128
+
+	// kern-path scratch: one oscillator bank shared across taps and a
+	// tap-major trajectory plane pair (tap k at [k·n, (k+1)·n)).
+	amp, phase, step []float64
+	re, im           []float64
 }
 
 // DefaultMultipathPowers is the three-tap indoor profile used when
@@ -162,6 +236,49 @@ func (m *Multipath) paths() int {
 // Delay-spread energy beyond the emission's last sample is clipped —
 // the same window clipping the static channel's Air applies.
 func (m *Multipath) ApplyLink(seed int64, buf []complex128, off int) {
+	if kern.Naive() {
+		m.applyNaive(seed, buf, off)
+		return
+	}
+	powers := m.powers()
+	taps := len(powers)
+	p := m.paths()
+	rng := newStream(seed)
+	m.amp = growF(m.amp, taps*p)
+	m.phase = growF(m.phase, taps*p)
+	m.step = growF(m.step, taps*p)
+	var norm float64
+	for _, pw := range powers {
+		norm += pw
+	}
+	base := float64(off)
+	// One bank for all taps, filled in the naive path's draw order
+	// (tap-major); each tap's mean amplitude is folded into its
+	// oscillators, so the per-tap plane is amp_k·h_k(n) directly.
+	for k := 0; k < taps; k++ {
+		a := math.Sqrt(powers[k] / (norm * float64(p)))
+		for j := 0; j < p; j++ {
+			omega := 2 * math.Pi * m.Doppler * math.Cos(rng.angle())
+			phi := rng.angle()
+			m.amp[k*p+j] = a
+			m.phase[k*p+j] = phi + omega*base
+			m.step[k*p+j] = omega
+		}
+	}
+	n := len(buf)
+	// One plane pair per tap, then a single fused in-place backward
+	// pass — no input copy, no output zeroing, one sweep over buf.
+	m.re = growF(m.re, taps*n)
+	m.im = growF(m.im, taps*n)
+	for k := 0; k < taps; k++ {
+		kern.AccumSet(m.re[k*n:(k+1)*n], m.im[k*n:(k+1)*n], m.amp[k*p:(k+1)*p], m.phase[k*p:(k+1)*p], m.step[k*p:(k+1)*p])
+	}
+	kern.MulTaps(buf, m.re[:taps*n], m.im[:taps*n], taps)
+}
+
+// applyNaive is the per-sample rotator reference path (the historical
+// implementation, pinned by the -naive-kernels escape hatch).
+func (m *Multipath) applyNaive(seed int64, buf []complex128, off int) {
 	powers := m.powers()
 	taps := len(powers)
 	p := m.paths()
@@ -215,30 +332,87 @@ type Drift struct {
 	// PhaseNoise is the standard deviation of the per-sample phase
 	// random-walk increment in radians.
 	PhaseNoise float64
+
+	// kern-path scratch: the precomputed phase-noise increment plane.
+	delta []float64
 }
 
 // Name implements LinkModel.
 func (d *Drift) Name() string { return "drift" }
 
-// ApplyLink implements LinkModel. The quadratic ramp runs on a
+// ApplyLink implements LinkModel. The hot path precomputes the
+// phase-noise walk increments into a plane (preserving the naive
+// path's per-sample rng draw order) and runs the block-anchored
+// quadratic-phase recurrence kernel; with PhaseNoise == 0 it collapses
+// to the pure carrier recurrence with no per-sample draws or Sincos at
+// all. kern.SetNaive pins the per-sample rotator reference (≤1e-9 of
+// signal scale).
+func (d *Drift) ApplyLink(seed int64, buf []complex128, off int) {
+	if kern.Naive() {
+		d.applyNaive(seed, buf, off)
+		return
+	}
+	if d.PhaseNoise > 0 {
+		rng := newStream(seed)
+		n := len(buf)
+		d.delta = growF(d.delta, n)
+		delta := d.delta[:n]
+		// Box–Muller pairs inlined (a fresh stream starts with no
+		// spare, so draws land exactly as n calls to rng.norm()).
+		i := 0
+		for ; i+1 < n; i += 2 {
+			u := 1 - rng.float64()
+			v := rng.angle()
+			r := math.Sqrt(-2 * math.Log(u))
+			sin, cos := math.Sincos(v)
+			delta[i] = d.PhaseNoise * (r * cos)
+			delta[i+1] = d.PhaseNoise * (r * sin)
+		}
+		if i < n {
+			u := 1 - rng.float64()
+			v := rng.angle()
+			r := math.Sqrt(-2 * math.Log(u))
+			_, cos := math.Sincos(v)
+			delta[i] = d.PhaseNoise * (r * cos)
+		}
+		kern.RotateQuad(buf, d.Rate, delta)
+		return
+	}
+	kern.RotateQuad(buf, d.Rate, nil)
+}
+
+// applyNaive is the per-sample reference path: the quadratic ramp on a
 // second-order rotator recurrence (two complex multiplies per sample);
 // the phase-noise walk, when enabled, contributes one Sincos per
 // sample. Both accumulators renormalize on the dsp.Rotator cadence so
-// packet-length products do not drift in magnitude.
-func (d *Drift) ApplyLink(seed int64, buf []complex128, off int) {
+// packet-length products do not drift in magnitude. The PhaseNoise
+// branch is hoisted out of the sample loop, so the zero case runs the
+// pure recurrence (and draws nothing from the stream), bit-identically
+// to the historical per-sample guard.
+func (d *Drift) applyNaive(seed int64, buf []complex128, off int) {
 	rng := newStream(seed)
 	// cur = e^{jφ(n)}, step = e^{j(Rate·n + Rate/2)}, so that
 	// φ(n) = Rate·n²/2 exactly on integer steps.
 	cur := complex(1, 0)
 	step := cmplx.Exp(complex(0, d.Rate/2))
 	stepInc := cmplx.Exp(complex(0, d.Rate))
-	for i := range buf {
-		v := cur
-		if d.PhaseNoise > 0 {
+	if d.PhaseNoise > 0 {
+		for i := range buf {
+			v := cur
 			sin, cos := math.Sincos(d.PhaseNoise * rng.norm())
 			cur *= complex(cos, sin)
+			buf[i] *= v
+			cur *= step
+			step *= stepInc
+			if i&0x3ff == 0x3ff {
+				cur /= complex(cmplx.Abs(cur), 0)
+				step /= complex(cmplx.Abs(step), 0)
+			}
 		}
-		buf[i] *= v
+		return
+	}
+	for i := range buf {
+		buf[i] *= cur
 		cur *= step
 		step *= stepInc
 		if i&0x3ff == 0x3ff {

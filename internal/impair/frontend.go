@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/kern"
 )
 
 // Interferer adds a bursty narrowband tone to the mixed reception —
@@ -47,8 +48,48 @@ func (it *Interferer) Duty() float64 {
 	return on / (on + off)
 }
 
-// ApplyFront implements FrontModel.
+// ApplyFront implements FrontModel. The hot path scans the Markov
+// chain first — consuming the rng stream in exactly the naive order,
+// so the burst boundaries are bit-identical decisions — and then
+// renders each recorded burst with one anchored-phasor AddTone pass
+// over its sample range; kern.SetNaive pins the interleaved per-sample
+// rotator reference, which the burst rendering matches to ≤1e-9 of the
+// tone amplitude.
 func (it *Interferer) ApplyFront(seed int64, buf []complex128) {
+	if kern.Naive() {
+		it.applyNaive(seed, buf)
+		return
+	}
+	on, off := it.means()
+	pOnOff := 1 / on
+	pOffOn := 1 / off
+	rng := newStream(seed)
+	active := rng.float64() < it.Duty()
+	var phase float64
+	if active {
+		phase = rng.angle()
+	}
+	start := 0
+	for i := range buf {
+		if active {
+			if rng.float64() < pOnOff {
+				active = false
+				kern.AddTone(buf[start:i+1], it.Amp, phase, it.Freq)
+			}
+		} else if rng.float64() < pOffOn {
+			active = true
+			phase = rng.angle()
+			start = i + 1 // the naive path starts the tone on the *next* sample
+		}
+	}
+	if active && start < len(buf) {
+		kern.AddTone(buf[start:], it.Amp, phase, it.Freq)
+	}
+}
+
+// applyNaive is the per-sample reference path (the historical
+// implementation, pinned by the -naive-kernels escape hatch).
+func (it *Interferer) applyNaive(seed int64, buf []complex128) {
 	on, off := it.means()
 	pOnOff := 1 / on
 	pOffOn := 1 / off
@@ -112,6 +153,12 @@ func (a *ADC) ApplyFront(_ int64, buf []complex128) {
 	levels := float64(int(1)<<uint(bits-1)) - 1 // per-rail positive steps
 	if levels < 1 {
 		levels = 1 // Bits=1: a three-level hard limiter, not a 0/0 NaN
+	}
+	if !kern.Naive() {
+		// Branch-free min/max clamp + the same round expression;
+		// bit-identical to the reference rail below for all inputs.
+		kern.ClipQuant(buf, fs, levels)
+		return
 	}
 	rail := func(x float64) float64 {
 		if x > fs {

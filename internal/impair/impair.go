@@ -130,6 +130,22 @@ func (c *Chain) ImpairEmission(em int, buf []complex128, off int) {
 	}
 }
 
+// ImpairEmissions is the batched form of ImpairEmission: it impairs
+// every rendered emission of the reception in one call (bufs[i] is
+// emission i's samples, offs[i] its offset in the window). Each
+// (emission, model) application derives its own stream seed, so the
+// result is byte-identical to per-emission calls; iterating model-outer
+// keeps one model's oscillator banks and planes hot in cache across the
+// whole batch instead of cycling every model per emission.
+func (c *Chain) ImpairEmissions(bufs [][]complex128, offs []int) {
+	for m, lm := range c.Link {
+		for em := range bufs {
+			emSeed := runner.TrialSeed(c.recSeed, em)
+			lm.ApplyLink(runner.TrialSeed(emSeed, m), bufs[em], offs[em])
+		}
+	}
+}
+
 // ImpairFront applies every front-end model, in order, to the mixed
 // reception buffer.
 func (c *Chain) ImpairFront(buf []complex128) {

@@ -76,3 +76,50 @@ func digest(buf []complex128) uint64 {
 	}
 	return h
 }
+
+// TestImpairEmissionsMatchesSequential pins the batched rendering
+// contract: ImpairEmissions over a whole reception is byte-identical
+// to per-emission ImpairEmission calls, for every link model and the
+// composed chain, across emission counts and unequal buffer shapes.
+// (The batch iterates model-outer for cache locality; each
+// (emission, model) pair still derives its own stream seed, so the
+// order swap must not be observable.)
+func TestImpairEmissionsMatchesSequential(t *testing.T) {
+	profiles := map[string]Profile{
+		"fading":     {Doppler: 3e-4, RicianK: 4},
+		"multipath":  {MultipathDoppler: 2e-4},
+		"drift":      {DriftRate: 5e-7, PhaseNoise: 2e-3},
+		"interferer": {InterfDuty: 0.25, InterfAmp: 0.8},
+		"composed":   {Doppler: 3e-4, RicianK: 2, MultipathDoppler: 2e-4, DriftRate: 1e-7, InterfDuty: 0.2, ADCBits: 10},
+	}
+	for name, prof := range profiles {
+		for _, ems := range []int{1, 2, 3, 7} {
+			render := func() ([][]complex128, []int) {
+				bufs := make([][]complex128, ems)
+				offs := make([]int, ems)
+				for em := range bufs {
+					bufs[em] = testBuf(700+137*em, int64(100*em+3))
+					offs[em] = 29 * em
+				}
+				return bufs, offs
+			}
+			seq, offs := render()
+			c := prof.Chain()
+			c.Reset(99)
+			c.BeginReception()
+			for em := range seq {
+				c.ImpairEmission(em, seq[em], offs[em])
+			}
+			bat, offs := render()
+			c = prof.Chain()
+			c.Reset(99)
+			c.BeginReception()
+			c.ImpairEmissions(bat, offs)
+			for em := range seq {
+				if digest(seq[em]) != digest(bat[em]) {
+					t.Fatalf("%s ems=%d: emission %d batched render diverged from sequential", name, ems, em)
+				}
+			}
+		}
+	}
+}

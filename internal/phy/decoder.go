@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/kern"
 	"zigzag/internal/modem"
 )
 
@@ -130,7 +131,10 @@ func (d *SymbolDecoder) chipAt(rx []complex128, m int) complex128 {
 	pos := d.sync.Start + float64(m)
 	v := d.interp.At(rx, pos)
 	th := d.sync.Theta(pos)
-	return v * cmplx.Exp(complex(0, -th)) * complex(d.invAmp, 0)
+	// complex(cos, sin) is cmplx.Exp(complex(0, −th)) bit for bit:
+	// exp(0) is exactly 1, so the Exp path's scale multiply is identity.
+	s, c := math.Sincos(-th)
+	return v * complex(c, s) * complex(d.invAmp, 0)
 }
 
 // RawSymbol returns the matched-filter output for symbol k (mean of its
@@ -158,17 +162,33 @@ func (d *SymbolDecoder) fillRaw(rx []complex128, sym0 int, raw []complex128) {
 	pos0 := d.sync.Start + float64(sym0*sps)
 	chips := d.rs.EvalGrid(d.chipBuf, rx, pos0, nchips)
 	d.chipBuf = chips
-	rot := dsp.NewRotator(-d.sync.Theta(pos0), -d.sync.Freq)
 	ia := complex(d.invAmp, 0)
-	den := complex(float64(sps), 0)
+	den := float64(sps)
+	if kern.Naive() {
+		rot := dsp.NewRotator(-d.sync.Theta(pos0), -d.sync.Freq)
+		ci := 0
+		for i := range raw {
+			var acc complex128
+			for j := 0; j < sps; j++ {
+				acc += chips[ci] * rot.Next() * ia
+				ci++
+			}
+			// Bit-identical to acc / complex(den, 0) — see dsp.DivPosReal.
+			raw[i] = dsp.DivPosReal(acc, den)
+		}
+		return
+	}
+	// Derotate the whole chip span in one anchored tone multiply, then
+	// matched-filter; within the kern tolerance of the rotator loop.
+	kern.MulTone(chips, -d.sync.Theta(pos0), -d.sync.Freq)
 	ci := 0
 	for i := range raw {
 		var acc complex128
 		for j := 0; j < sps; j++ {
-			acc += chips[ci] * rot.Next() * ia
+			acc += chips[ci] * ia
 			ci++
 		}
-		raw[i] = acc / den
+		raw[i] = dsp.DivPosReal(acc, den)
 	}
 }
 
@@ -287,18 +307,50 @@ func (d *SymbolDecoder) DecodeRange(rx []complex128, from, to int, reverse bool)
 		}
 		return from + step
 	}
+	if kern.Naive() {
+		for s := 0; s < n; s++ {
+			k := idx(s)
+			z := d.equalizeAt(raw, base, k)
+			// Bit-identical to cmplx.Exp(complex(0, −phase)): exp(0) = 1.
+			sn, cs := math.Sincos(-d.phase)
+			z *= complex(cs, sn)
+			dec := modem.Slice(d.scheme, z)
+			soft[k-from] = z
+			decisions[k-from] = dec
+			if !d.cfg.DisablePhaseTracking {
+				err := phaseError(z, dec)
+				d.freqAdj += d.cfg.PLLFreqGain * err
+				d.phase += d.cfg.PLLGain*err + d.freqAdj
+				d.phase = dsp.WrapPhase(d.phase)
+			}
+		}
+		return decisions, soft
+	}
+	// Kern path: the correction phasor e^{−j·phase} advances by the loop
+	// increment through SincosSmall (the PLL step is tiny in steady
+	// state) and re-anchors from the exactly tracked phase every
+	// AnchorBlock symbols, like every other recurrence kernel.
+	sn, cs := math.Sincos(-d.phase)
+	anchor := 0
 	for s := 0; s < n; s++ {
 		k := idx(s)
 		z := d.equalizeAt(raw, base, k)
-		z *= cmplx.Exp(complex(0, -d.phase))
+		z *= complex(cs, sn)
 		dec := modem.Slice(d.scheme, z)
 		soft[k-from] = z
 		decisions[k-from] = dec
 		if !d.cfg.DisablePhaseTracking {
 			err := phaseError(z, dec)
 			d.freqAdj += d.cfg.PLLFreqGain * err
-			d.phase += d.cfg.PLLGain*err + d.freqAdj
-			d.phase = dsp.WrapPhase(d.phase)
+			dphi := d.cfg.PLLGain*err + d.freqAdj
+			d.phase = dsp.WrapPhase(d.phase + dphi)
+			if anchor++; anchor == kern.AnchorBlock {
+				sn, cs = math.Sincos(-d.phase)
+				anchor = 0
+			} else {
+				ds, dc := kern.SincosSmall(-dphi)
+				cs, sn = cs*dc-sn*ds, cs*ds+sn*dc
+			}
 		}
 	}
 	return decisions, soft

@@ -5,6 +5,7 @@ import (
 	"math/cmplx"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/kern"
 )
 
 // Modeler re-encodes decoded symbols into the image they produced inside
@@ -243,11 +244,17 @@ func (m *Modeler) BuildImage(chips []complex128, chipFrom, chipTo int) ([]comple
 		}
 		return img, n0
 	}
-	// Recurrence rotator: θ(n0+i) = θ(n0) + i·freq.
-	rot := dsp.NewRotator(m.ramp(float64(n0)), m.freq)
-	for i := range img {
-		img[i] *= rot.Next()
+	if kern.Naive() {
+		// Recurrence rotator: θ(n0+i) = θ(n0) + i·freq.
+		rot := dsp.NewRotator(m.ramp(float64(n0)), m.freq)
+		for i := range img {
+			img[i] *= rot.Next()
+		}
+		return img, n0
 	}
+	// Anchored two-chain ramp kernel: θ(n0+i) = θ(n0) + i·freq, within
+	// the kern tolerance of the rotator recurrence.
+	kern.MulTone(img, m.ramp(float64(n0)), m.freq)
 	return img, n0
 }
 
@@ -275,8 +282,15 @@ func (m *Modeler) FitISI(residual []complex128, chips []complex128, chipFrom, ch
 	// Derotate the residual by the ramp so the fit is time-invariant.
 	m.yBuf = dsp.Ensure(m.yBuf, n1-n0)
 	y := m.yBuf
-	for n := n0; n < n1; n++ {
-		y[n-n0] = residual[n] * cmplx.Exp(complex(0, -m.ramp(float64(n))))
+	if kern.Naive() {
+		for n := n0; n < n1; n++ {
+			y[n-n0] = residual[n] * cmplx.Exp(complex(0, -m.ramp(float64(n))))
+		}
+	} else {
+		// The ramp is linear in n, so the per-sample cmplx.Exp collapses
+		// to one anchored tone multiply over the copied span.
+		copy(y, residual[n0:n1])
+		kern.MulTone(y, -m.ramp(float64(n0)), -m.freq)
 	}
 	// Fit only over the interior where the wave has full support.
 	margin := m.cfg.ModelTaps + m.interp.Taps + dsp.DefaultSincTaps
