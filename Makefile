@@ -29,6 +29,10 @@
 #   make bench-kern-v3 — bench-kern rebuilt with GOAMD64=v3 (AVX/FMA
 #                     baseline), for comparing instruction-set levels;
 #                     record the level next to any number you commit
+#   make bench-serve — streaming-serve gate only: streaming-vs-oneshot
+#                     frame-digest identity, overload-shedding check,
+#                     calibrated serve cost + allocation rate vs
+#                     BENCH_serve.json
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -77,6 +81,15 @@ KWAY_PKGS = ./internal/core/... ./internal/session/... ./internal/experiments/..
 # across repeated steady-state calls on each path.
 CAMPAIGN_PKGS = ./internal/metrics/... ./internal/runner/... ./internal/session/... ./internal/campaign/... ./internal/experiments/...
 
+# Packages touched by the streaming ingest surface and the serve
+# engine; test-race-serve runs them twice under the race detector on
+# both ingest paths (the Ingest/Poll front end and the
+# ZIGZAG_ONESHOT_INGEST=1 one-shot wrapper hatch), so the framer state
+# machine, the bounded pending queue's buffer recycling, and the
+# engine's policy/latency accounting are exercised across repeated
+# steady-state calls on each path.
+SERVE_PKGS = ./internal/serve/... ./internal/core/... ./internal/phy/... ./internal/hatch/...
+
 # Packages touched by the DSP kernel layer; test-race-kern runs them
 # twice under the race detector on both kernel paths (the packed/
 # recurrence kernels and the ZIGZAG_NAIVE_KERNELS=1 scalar-reference
@@ -85,7 +98,7 @@ CAMPAIGN_PKGS = ./internal/metrics/... ./internal/runner/... ./internal/session/
 # steady-state calls on each path.
 KERN_PKGS = ./internal/dsp/... ./internal/impair/... ./internal/channel/... ./internal/phy/... ./internal/core/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign bench-kern bench-kern-v3 ci
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign bench-kern bench-kern-v3 bench-serve ci
 
 all: build
 
@@ -134,6 +147,10 @@ test-race-kern: build
 	$(GO) test -short -race -count=2 $(KERN_PKGS)
 	ZIGZAG_NAIVE_KERNELS=1 $(GO) test -short -race -count=2 $(KERN_PKGS)
 
+test-race-serve: build
+	$(GO) test -short -race -count=2 $(SERVE_PKGS)
+	ZIGZAG_ONESHOT_INGEST=1 $(GO) test -short -race -count=2 $(SERVE_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -157,6 +174,9 @@ bench-kway: build
 bench-campaign: build
 	$(GO) run ./cmd/zigzag-bench -check -campaign-only
 
+bench-serve: build
+	$(GO) run ./cmd/zigzag-bench -check -serve-only
+
 bench-kern: build
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/dsp/kern
 	$(GO) test -bench='BenchmarkFading|BenchmarkMultipath|BenchmarkDrift|BenchmarkInterferer|BenchmarkADC|BenchmarkFullChain' -benchmem -run='^$$' ./internal/impair
@@ -175,5 +195,6 @@ bench-kern-v3:
 # coverage of the generalized scheduler. test-race-campaign adds the
 # metrics/runner/campaign packages and the legacy-metrics-hatch leg.
 # test-race-kern adds the naive-kernels-hatch leg across every package
-# the kernel layer dispatches in.
-ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern
+# the kernel layer dispatches in. test-race-serve adds the serve/hatch
+# packages and the oneshot-ingest-hatch leg over the streaming surface.
+ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve

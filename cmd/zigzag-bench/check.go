@@ -147,7 +147,7 @@ func timeSweep(fn func() any) (time.Duration, any) {
 	return time.Since(start), out
 }
 
-func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
+func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly bool) int {
 	wasDisabled := session.PoolDisabled()
 	defer session.SetPoolDisabled(wasDisabled)
 
@@ -175,7 +175,7 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 	results := map[string]measuredSweep{}
 	failed := false
 	sweeps := checkSweeps
-	if kwayOnly || campaignOnly {
+	if kwayOnly || campaignOnly || serveOnly {
 		sweeps = nil
 	}
 	for _, sw := range sweeps {
@@ -210,25 +210,32 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 
 	session.SetPoolDisabled(false)
 	var kernUnits map[string]float64
-	if !kwayOnly && !campaignOnly {
+	if !kwayOnly && !campaignOnly && !serveOnly {
 		var kernFailed bool
 		kernUnits, kernFailed = runKernCheck(cal)
 		if kernFailed {
 			failed = true
 		}
 	}
-	var kwayUnits, campaignUnits map[string]float64
-	if !campaignOnly {
+	var kwayUnits, campaignUnits, serveUnits map[string]float64
+	if !campaignOnly && !serveOnly {
 		var kwayFailed bool
 		kwayUnits, kwayFailed = runKWayCheck(cal)
 		if kwayFailed {
 			failed = true
 		}
 	}
-	if !kwayOnly {
+	if !kwayOnly && !serveOnly {
 		var campaignFailed bool
 		campaignUnits, campaignFailed = runCampaignCheck(cal)
 		if campaignFailed {
+			failed = true
+		}
+	}
+	if !kwayOnly && !campaignOnly {
+		var serveFailed bool
+		serveUnits, serveFailed = runServeCheck(cal)
+		if serveFailed {
 			failed = true
 		}
 	}
@@ -241,6 +248,7 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly bool) int {
 			"kern_units":          kernUnits,
 			"kway_units":          kwayUnits,
 			"campaign_units":      campaignUnits,
+			"serve_units":         serveUnits,
 		}, "", "  ")
 		if err == nil {
 			err = os.WriteFile(outPath, append(data, '\n'), 0o644)

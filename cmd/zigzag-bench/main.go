@@ -44,6 +44,11 @@
 // worker count. -legacy-metrics (or ZIGZAG_LEGACY_METRICS=1) pins the
 // historical materialize-then-fold metrics path, bit-identically.
 //
+// Every escape hatch (-no-impair, -pairwise-sic, -legacy-metrics,
+// -naive-correlate, ...) is registered from the internal/hatch
+// registry; each has a matching ZIGZAG_* environment variable, and an
+// absent flag never overrides the environment.
+//
 // Every output block is labelled with the paper artifact it reproduces;
 // EXPERIMENTS.md records paper-vs-measured values for each.
 package main
@@ -54,14 +59,9 @@ import (
 	"os"
 	"strings"
 
-	"zigzag/internal/core"
-	"zigzag/internal/dsp"
-	"zigzag/internal/dsp/fft"
-	"zigzag/internal/dsp/kern"
 	"zigzag/internal/experiments"
-	"zigzag/internal/impair"
+	"zigzag/internal/hatch"
 	"zigzag/internal/metrics"
-	"zigzag/internal/session"
 )
 
 func main() {
@@ -70,28 +70,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "root RNG seed")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
 	kOrder := flag.Int("k", 2, "collision order for the harsh suite (2-4): k packets colliding k times per trial")
-	pairwise := flag.Bool("pairwise-sic", false,
-		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)")
-	naiveCorrelate := flag.Bool("naive-correlate", false,
-		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
-	naiveInterp := flag.Bool("naive-interp", false,
-		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
-	naiveKernels := flag.Bool("naive-kernels", false,
-		"pin the DSP kernel layer (oscillator banks, packed FIR/rotation, batched emission impairment) to its per-sample scalar reference paths (debugging)")
-	noSessionPool := flag.Bool("no-session-pool", false,
-		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
-	noImpair := flag.Bool("no-impair", false,
-		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
 	check := flag.Bool("check", false,
-		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the DSP kernel gate (BENCH_kern.json), the k-way gate (BENCH_kway.json) and the campaign shard-merge gate (BENCH_campaign.json)")
+		"run the trimmed session-throughput benchmark and diff the pooled/unpooled speedups against BENCH_session.json, plus the DSP kernel gate (BENCH_kern.json), the k-way gate (BENCH_kway.json), the campaign shard-merge gate (BENCH_campaign.json) and the streaming-serve gate (BENCH_serve.json)")
 	kwayOnly := flag.Bool("kway-only", false,
 		"with -check: run only the k-way gate (k=2/3/4 decode cost + k=2 generalized-vs-pairwise identity)")
 	campaignOnly := flag.Bool("campaign-only", false,
 		"with -check: run only the campaign gate (shard-merge identity + reducer cost)")
+	serveOnly := flag.Bool("serve-only", false,
+		"with -check: run only the serve gate (streaming-vs-oneshot identity, overload shedding, throughput/latency floor)")
 	benchOut := flag.String("bench-out", "",
 		"with -check: also write the measured numbers to this JSON file")
-	legacyMetrics := flag.Bool("legacy-metrics", false,
-		"pin the counting sweeps to the historical materialize-then-fold metrics path instead of the streaming reducers (bit-identical escape hatch)")
 	shards := flag.Int("shards", 1, "split the experiment's trial space into N shards (fig5-3, harsh, kway, campaign)")
 	shard := flag.Int("shard", 0, "with -shards: which shard THIS process runs (0-based)")
 	shardOut := flag.String("shard-out", "", "with -shards: write the mergeable shard partial JSON here (default stdout)")
@@ -99,36 +87,15 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "campaign only: checkpoint file; written during the run and resumed from when it exists")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "write the checkpoint every n-th completed block (0 = every block)")
 	stopAfterBlocks := flag.Int("stop-after-blocks", 0, "campaign only: stop scheduling new blocks after n complete (deterministic interruption for resume demos)")
+	applyHatches := hatch.Bind(flag.CommandLine)
 	flag.Parse()
-	fft.SetForceNaive(*naiveCorrelate)
-	dsp.SetNaiveInterp(*naiveInterp)
-	if *naiveKernels {
-		// Only force on an explicit flag: a bare default must not
-		// clobber a ZIGZAG_NAIVE_KERNELS=1 environment.
-		kern.SetNaive(true)
-	}
-	session.SetPoolDisabled(*noSessionPool)
-	if *noImpair {
-		// Only force-disable on an explicit flag: a bare default must not
-		// clobber a ZIGZAG_NO_IMPAIR=1 environment.
-		impair.SetDisabled(true)
-	}
-	if *pairwise {
-		// Same discipline: only force on an explicit flag so a bare
-		// default never clobbers ZIGZAG_PAIRWISE_SIC=1.
-		core.SetPairwiseSIC(true)
-	}
-	if *legacyMetrics {
-		// Same discipline: only force on an explicit flag so a bare
-		// default never clobbers ZIGZAG_LEGACY_METRICS=1.
-		metrics.SetLegacy(true)
-	}
+	applyHatches()
 	if *kOrder < 2 || *kOrder > 4 {
 		fmt.Fprintln(os.Stderr, "-k must be 2, 3 or 4")
 		os.Exit(2)
 	}
 	if *check {
-		os.Exit(runBenchCheck(*benchOut, *kwayOnly, *campaignOnly))
+		os.Exit(runBenchCheck(*benchOut, *kwayOnly, *campaignOnly, *serveOnly))
 	}
 	if *mergeList != "" {
 		os.Exit(runMerge(*mergeList))

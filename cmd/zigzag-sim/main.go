@@ -23,6 +23,11 @@
 // ZIGZAG_NO_IMPAIR=1) the run is the static paper channel,
 // byte-identical to pre-impair builds.
 //
+// Every escape hatch in the repository (-no-impair, -pairwise-sic,
+// -naive-correlate, ...) is registered from the internal/hatch
+// registry; each has a matching ZIGZAG_* environment variable, and an
+// absent flag never overrides the environment.
+//
 // With -senders 3 or 4 the stations are mutually hidden (-senders 3 is
 // the Fig 5-9 scenario); collisions of that order resolve through the
 // generalized k-way SIC framework (§7). -k is an alias for -senders —
@@ -35,13 +40,8 @@ import (
 	"fmt"
 	"os"
 
-	"zigzag/internal/core"
-	"zigzag/internal/dsp"
-	"zigzag/internal/dsp/fft"
-	"zigzag/internal/dsp/kern"
+	"zigzag/internal/hatch"
 	"zigzag/internal/impair"
-	"zigzag/internal/metrics"
-	"zigzag/internal/session"
 	"zigzag/internal/testbed"
 )
 
@@ -56,14 +56,6 @@ func main() {
 	senders := flag.Int("senders", 2, "2, 3 or 4 senders")
 	kOrder := flag.Int("k", 0, "collision order — alias for -senders (0 defers to -senders)")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = all cores)")
-	naiveCorrelate := flag.Bool("naive-correlate", false,
-		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)")
-	naiveInterp := flag.Bool("naive-interp", false,
-		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)")
-	naiveKernels := flag.Bool("naive-kernels", false,
-		"pin the DSP kernel layer (oscillator banks, packed FIR/rotation, batched emission impairment) to its per-sample scalar reference paths (debugging)")
-	noSessionPool := flag.Bool("no-session-pool", false,
-		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)")
 	doppler := flag.Float64("doppler", 0, "Rayleigh/Rician fading normalized Doppler f_d·T (0 = no fading)")
 	ricianK := flag.Float64("rician-k", 0, "Rician K-factor for the fading model (0 = Rayleigh)")
 	coherenceBlock := flag.Int("coherence-block", 0, "hold the fading gain constant over blocks of this many samples")
@@ -73,36 +65,9 @@ func main() {
 	interfDuty := flag.Float64("interf-duty", 0, "bursty narrowband interferer duty cycle in (0,1) (0 = off)")
 	interfAmp := flag.Float64("interf-amp", 1, "interferer tone amplitude (0 silences the interferer)")
 	adcBits := flag.Int("adc-bits", 0, "ADC bits per rail for front-end clipping/quantization (0 = off)")
-	noImpair := flag.Bool("no-impair", false,
-		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)")
-	pairwise := flag.Bool("pairwise-sic", false,
-		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)")
-	legacyMetrics := flag.Bool("legacy-metrics", false,
-		"pin metrics collection to the historical in-memory Sample path instead of the streaming reducers (bit-identical escape hatch)")
+	applyHatches := hatch.Bind(flag.CommandLine)
 	flag.Parse()
-	fft.SetForceNaive(*naiveCorrelate)
-	dsp.SetNaiveInterp(*naiveInterp)
-	if *naiveKernels {
-		// Only force on an explicit flag: a bare default must not
-		// clobber a ZIGZAG_NAIVE_KERNELS=1 environment.
-		kern.SetNaive(true)
-	}
-	session.SetPoolDisabled(*noSessionPool)
-	if *legacyMetrics {
-		// Same discipline: a bare default must not clobber
-		// ZIGZAG_LEGACY_METRICS=1.
-		metrics.SetLegacy(true)
-	}
-	if *noImpair {
-		// Only force-disable on an explicit flag: a bare default must not
-		// clobber a ZIGZAG_NO_IMPAIR=1 environment.
-		impair.SetDisabled(true)
-	}
-	if *pairwise {
-		// Same discipline: a bare default must not clobber
-		// ZIGZAG_PAIRWISE_SIC=1.
-		core.SetPairwiseSIC(true)
-	}
+	applyHatches()
 	if *kOrder != 0 {
 		*senders = *kOrder
 	}

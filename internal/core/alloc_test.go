@@ -40,10 +40,10 @@ func TestDeliverAllocFree(t *testing.T) {
 	if res == nil {
 		t.Fatal("single-reception decode errored")
 	}
-	if evs := z.deliver(res, clients, "capture", rec); len(evs) != len(res.Packets) {
+	if evs := z.deliver(res, clients, ViaCapture, rec); len(evs) != len(res.Packets) {
 		t.Fatalf("deliver produced %d events, want %d", len(evs), len(res.Packets))
 	}
-	op := func() { z.deliver(res, clients, "capture", rec) }
+	op := func() { z.deliver(res, clients, ViaCapture, rec) }
 	op() // warm up the event buffer
 	if n := testing.AllocsPerRun(50, op); n != 0 {
 		t.Errorf("deliver: %v allocs per run in steady state, want 0", n)
@@ -71,7 +71,7 @@ func TestReceiveEnvelopeAllocFree(t *testing.T) {
 		occs, clients := z.detect(rx)
 		res, rec := z.decodeSingleReception(rx, occs, clients)
 		if res != nil {
-			z.deliver(res, clients, "capture", rec)
+			z.deliver(res, clients, ViaCapture, rec)
 		}
 	}
 	outer := func() { z.Receive(rx) }

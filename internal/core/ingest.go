@@ -1,0 +1,233 @@
+package core
+
+import (
+	"zigzag/internal/dsp"
+	"zigzag/internal/phy"
+)
+
+// Streaming ingest surface. The paper's receiver is an online 802.11 AP
+// (§5.1d): it never sees a pre-cut reception buffer, it watches a
+// continuous sample stream. Ingest/Poll expose that surface: Ingest
+// accepts the stream in arbitrary-size chunks and frames it into
+// reception buffers (phy.Framer's energy gate), Poll runs the framed
+// receptions through the exact same per-reception pipeline Receive
+// uses (receiveBuf), so the streaming path is bit-identical to the
+// one-shot path by construction — Receive is now a thin wrapper over
+// the shared pipeline.
+//
+// Memory is bounded end to end: the framer window is capped at
+// MaxWindow, the pending-reception queue at MaxPending (oldest dropped
+// beyond it — explicit load shedding, counted in StreamStats), and
+// every buffer is receiver-owned and recycled. A steady-state
+// Ingest+Poll cycle allocates nothing.
+
+// StreamConfig parameterizes a receiver's streaming front end.
+type StreamConfig struct {
+	// GateThreshold is the framer's amplitude gate; 0 treats any
+	// nonzero sample as active (exact framing for synthetic streams
+	// whose inter-reception gaps are true zeros).
+	GateThreshold float64
+	// IdleGap and MaxWindow configure the burst framer (defaults
+	// phy.DefaultIdleGap / phy.DefaultMaxWindow).
+	IdleGap   int
+	MaxWindow int
+	// MaxPending bounds the framed-but-undecoded reception queue;
+	// beyond it the oldest pending reception is dropped
+	// (StreamStats.Dropped). Default 8.
+	MaxPending int
+}
+
+// DefaultMaxPending is the default pending-reception bound.
+const DefaultMaxPending = 8
+
+func (c StreamConfig) maxPending() int {
+	if c.MaxPending > 0 {
+		return c.MaxPending
+	}
+	return DefaultMaxPending
+}
+
+// StreamStats counts the streaming front end's work since the last
+// SetStream/Reinit.
+type StreamStats struct {
+	Samples    int64 // samples ingested
+	Bursts     int64 // receptions framed
+	Polled     int64 // receptions decoded by Poll/PollOne
+	Dropped    int64 // pending receptions shed (queue overflow)
+	ForcedCuts int64 // bursts cut by MaxWindow rather than idle air
+}
+
+// PollInfo describes the reception a PollOne decoded.
+type PollInfo struct {
+	// Start/End are the reception's absolute sample extent in the
+	// stream; Forced marks a MaxWindow cut (see phy.BurstInfo).
+	Start, End int64
+	Forced     bool
+	// Stamp is the StreamStamp hook's value captured when the
+	// reception was framed (0 without a hook) — the serve engine uses
+	// it to measure framed→decoded latency.
+	Stamp int64
+}
+
+// pendingRec is one framed-but-undecoded reception (receiver-owned,
+// recycled through the stream free list).
+type pendingRec struct {
+	buf  []complex128
+	info PollInfo
+}
+
+// streamState is the Receiver's streaming front end: the framer, the
+// bounded pending queue with its free list, and the counters.
+type streamState struct {
+	cfg     StreamConfig
+	framer  *phy.Framer
+	emit    func([]complex128, phy.BurstInfo) // bound once; keeps Ingest 0-alloc
+	pending []*pendingRec
+	free    []*pendingRec
+	stats   StreamStats
+}
+
+// StreamStamp, when non-nil, is sampled as each reception is framed and
+// carried into the matching PollInfo.Stamp — a monotonic-clock hook for
+// latency measurement, kept out of the core so the decode path stays
+// deterministic. Reinit clears it.
+//
+// (Field documented here, declared on Receiver.)
+
+// SetStream (re)arms the streaming front end with cfg, resetting any
+// prior stream state (open burst, pending queue, stats) while keeping
+// recycled buffers. Receive may still be called on a streaming
+// receiver; the two surfaces share all decode state.
+func (z *Receiver) SetStream(cfg StreamConfig) {
+	st := &z.stream
+	st.cfg = cfg
+	fc := phy.FramerConfig{Threshold: cfg.GateThreshold, IdleGap: cfg.IdleGap, MaxWindow: cfg.MaxWindow}
+	if st.framer == nil {
+		st.framer = phy.NewFramer(fc)
+	} else {
+		*st.framer = *phy.NewFramer(fc)
+	}
+	if st.emit == nil {
+		st.emit = z.enqueueBurst
+	}
+	z.drainPending()
+	st.stats = StreamStats{}
+}
+
+// resetStream drops all streaming state (Reinit's contract: back to the
+// NewReceiver state; call SetStream again to stream).
+func (z *Receiver) resetStream() {
+	st := &z.stream
+	st.cfg = StreamConfig{}
+	if st.framer != nil {
+		st.framer.Reset()
+	}
+	z.drainPending()
+	st.stats = StreamStats{}
+	z.StreamStamp = nil
+}
+
+func (z *Receiver) drainPending() {
+	st := &z.stream
+	for _, p := range st.pending {
+		st.free = append(st.free, p)
+	}
+	st.pending = st.pending[:0]
+}
+
+// enqueueBurst copies a framed burst into a recycled pending entry,
+// shedding the oldest pending reception if the queue is full.
+func (z *Receiver) enqueueBurst(burst []complex128, info phy.BurstInfo) {
+	st := &z.stream
+	st.stats.Bursts++
+	if info.Forced {
+		st.stats.ForcedCuts++
+	}
+	for len(st.pending) >= st.cfg.maxPending() {
+		st.free = append(st.free, st.pending[0])
+		st.pending = append(st.pending[:0], st.pending[1:]...)
+		st.stats.Dropped++
+	}
+	var p *pendingRec
+	if n := len(st.free); n > 0 {
+		p, st.free = st.free[n-1], st.free[:n-1]
+	} else {
+		p = &pendingRec{}
+	}
+	p.buf = dsp.Ensure(p.buf, len(burst))
+	copy(p.buf, burst)
+	p.info = PollInfo{Start: info.Start, End: info.End, Forced: info.Forced}
+	if z.StreamStamp != nil {
+		p.info.Stamp = z.StreamStamp()
+	}
+	st.pending = append(st.pending, p)
+}
+
+// Ingest feeds one chunk of the continuous stream, framing completed
+// receptions into the pending queue. It returns the number of
+// receptions framed by this chunk. Chunk size is semantically
+// irrelevant: any chunking of the same stream frames the same
+// receptions. SetStream must have been called.
+func (z *Receiver) Ingest(chunk []complex128) int {
+	st := &z.stream
+	before := len(st.pending) + int(st.stats.Dropped)
+	st.stats.Samples += int64(len(chunk))
+	st.framer.Push(chunk, st.emit)
+	return len(st.pending) + int(st.stats.Dropped) - before
+}
+
+// FlushStream closes the stream: any open burst is framed as a final
+// reception (returning the number framed, 0 or 1). Poll afterwards to
+// drain what remains pending.
+func (z *Receiver) FlushStream() int {
+	st := &z.stream
+	before := len(st.pending) + int(st.stats.Dropped)
+	st.framer.Flush(st.emit)
+	return len(st.pending) + int(st.stats.Dropped) - before
+}
+
+// Pending reports how many framed receptions await Poll.
+func (z *Receiver) Pending() int { return len(z.stream.pending) }
+
+// Stream returns the streaming counters since SetStream.
+func (z *Receiver) Stream() StreamStats { return z.stream.stats }
+
+// PollOne decodes the oldest pending reception through the shared
+// per-reception pipeline, returning its events (receiver-owned, valid
+// until the next decode — same contract as Receive) and the
+// reception's stream extent. ok is false when nothing is pending.
+func (z *Receiver) PollOne() (evs []Event, info PollInfo, ok bool) {
+	st := &z.stream
+	if len(st.pending) == 0 {
+		return nil, PollInfo{}, false
+	}
+	p := st.pending[0]
+	st.pending = append(st.pending[:0], st.pending[1:]...)
+	st.stats.Polled++
+	evs = z.receiveBuf(p.buf)
+	// The pipeline copies anything it retains (the collision store
+	// copies samples; events reference per-decode allocations, not the
+	// reception buffer), so the entry recycles immediately.
+	st.free = append(st.free, p)
+	return evs, p.info, true
+}
+
+// Poll decodes every pending reception and returns the concatenated
+// events, oldest reception first (nil when nothing was pending or
+// nothing was deliverable). The returned slice is receiver-owned and
+// valid until the next Poll.
+func (z *Receiver) Poll() []Event {
+	out := z.pollEvs[:0]
+	for {
+		evs, _, ok := z.PollOne()
+		if !ok {
+			break
+		}
+		out = append(out, evs...)
+	}
+	z.pollEvs = out
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

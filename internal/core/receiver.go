@@ -30,10 +30,10 @@ type Client struct {
 type Event struct {
 	Frame  *frame.Frame // nil if undecodable
 	Client uint8        // sender, when known
-	// Via tells how the packet was obtained: "standard", "zigzag",
-	// "capture".
-	Via string
-	// Result carries the joint-decode detail when Via != "standard".
+	// Via tells how the packet was obtained (ViaStandard, ViaZigzag,
+	// ViaCapture).
+	Via Via
+	// Result carries the joint-decode detail when Via != ViaStandard.
 	Result *PacketResult
 }
 
@@ -63,9 +63,31 @@ type Receiver struct {
 	// retransmissions arrive promptly, so a few suffice (§4.2.2).
 	MaxStored int
 
+	// SkipStoreMatch, when set, disables the stored-collision matching
+	// paths (the pairwise loop and the k-way assembly): collisions are
+	// still stored and capture-effect packets still delivered, but no
+	// joint decode is attempted. The streaming engine's degraded
+	// load-shedding mode flips this under overload — the O(stored ×
+	// align) matching is the receiver's most expensive path, and a
+	// receiver falling behind a live stream is better off decoding what
+	// capture can than stalling on joint decodes (cf. the
+	// adapt-instead-of-match-rates discipline). Reinit clears it.
+	SkipStoreMatch bool
+
 	// Trace, when non-nil, receives diagnostic lines about detection,
 	// matching and decode decisions.
 	Trace func(format string, args ...any)
+
+	// StreamStamp, when non-nil, is sampled as each reception is framed
+	// by Ingest and carried into the matching PollInfo.Stamp (a
+	// monotonic-clock hook for framed→decoded latency measurement; the
+	// core never reads a clock itself). Reinit clears it.
+	StreamStamp func() int64
+
+	// stream is the Ingest/Poll front end (see ingest.go); pollEvs is
+	// Poll's receiver-owned accumulation buffer.
+	stream  streamState
+	pollEvs []Event
 
 	stored []*storedCollision
 	// stFree recycles evicted/consumed stored-collision entries together
@@ -141,6 +163,8 @@ func (z *Receiver) Reinit(cfg Config, clients []Client) {
 	}
 	z.MaxStored = 4
 	z.Trace = nil
+	z.SkipStoreMatch = false
+	z.resetStream()
 	for i := range z.stored {
 		z.stFree = append(z.stFree, z.stored[i])
 		z.stored[i] = nil
@@ -376,7 +400,18 @@ func (z *Receiver) metaFor(clients []uint8) []PacketMeta {
 // retransmissions; nil events mean nothing was deliverable yet. The
 // returned events live in receiver-owned storage and are valid until
 // the next Receive.
+//
+// Receive is a thin wrapper over the same per-reception pipeline the
+// streaming surface (Ingest/Poll) drives, so the two paths are
+// bit-identical by construction; the streaming side merely frames
+// reception buffers out of a continuous sample stream first.
 func (z *Receiver) Receive(rx []complex128) []Event {
+	return z.receiveBuf(rx)
+}
+
+// receiveBuf is the shared per-reception pipeline behind both Receive
+// and PollOne: detect, then the collision cascade.
+func (z *Receiver) receiveBuf(rx []complex128) []Event {
 	z.recSeq++
 	occs, clients := z.detect(rx)
 	if len(occs) == 0 {
@@ -423,43 +458,45 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 		}
 	}
 	if res != nil && res.AllOK() {
-		via := "capture"
+		via := ViaCapture
 		if len(occs) == 1 {
-			via = "standard"
+			via = ViaStandard
 		}
 		return z.deliver(res, clients, via, rec)
 	}
 
-	// Search the store for a matching collision (§4.2.2): locate each
-	// stored packet inside the fresh reception by wide-window
-	// correlation — far more robust than re-detecting buried preambles —
-	// and jointly decode the pair.
-	for si, st := range z.stored {
-		joint, ok := z.alignStored(st, rx)
-		if !ok {
-			z.tracef("store %d: alignment failed", si)
-			continue
-		}
-		jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
-		if err == nil && jres.AllOK() {
-			z.dropStored(si)
-			z.tracef("store %d: joint decode ok", si)
-			return z.deliver(jres, st.clients, "zigzag", rec)
-		}
-		if err == nil {
-			for i := range jres.Packets {
-				z.tracef("store %d: joint pkt%d err=%v", si, i, jres.Packets[i].Err)
+	if !z.SkipStoreMatch {
+		// Search the store for a matching collision (§4.2.2): locate each
+		// stored packet inside the fresh reception by wide-window
+		// correlation — far more robust than re-detecting buried preambles —
+		// and jointly decode the pair.
+		for si, st := range z.stored {
+			joint, ok := z.alignStored(st, rx)
+			if !ok {
+				z.tracef("store %d: alignment failed", si)
+				continue
 			}
-		} else {
-			z.tracef("store %d: joint decode error: %v", si, err)
+			jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
+			if err == nil && jres.AllOK() {
+				z.dropStored(si)
+				z.tracef("store %d: joint decode ok", si)
+				return z.deliver(jres, st.clients, ViaZigzag, rec)
+			}
+			if err == nil {
+				for i := range jres.Packets {
+					z.tracef("store %d: joint pkt%d err=%v", si, i, jres.Packets[i].Err)
+				}
+			} else {
+				z.tracef("store %d: joint decode error: %v", si, err)
+			}
 		}
-	}
-	// One stored collision plus the fresh reception give only two
-	// equations, so for k ≥ 3 simultaneous packets the pairwise loop
-	// above cannot succeed; assemble every stored collision of the same
-	// client set instead (§7's k-way extension).
-	if evs, ok := z.tryKWayStore(rx, rec, clients); ok {
-		return evs
+		// One stored collision plus the fresh reception give only two
+		// equations, so for k ≥ 3 simultaneous packets the pairwise loop
+		// above cannot succeed; assemble every stored collision of the same
+		// client set instead (§7's k-way extension).
+		if evs, ok := z.tryKWayStore(rx, rec, clients); ok {
+			return evs
+		}
 	}
 	// No match (or joint decode failed): store and wait for the
 	// retransmissions, delivering whatever partial capture success the
@@ -469,7 +506,7 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 	if res != nil {
 		for i := range res.Packets {
 			if res.Packets[i].OK() {
-				evs = append(evs, z.eventFor(&res.Packets[i], clients[i], "capture", rec, i))
+				evs = append(evs, z.eventFor(&res.Packets[i], clients[i], ViaCapture, rec, i))
 			}
 		}
 	}
@@ -758,7 +795,7 @@ func (z *Receiver) kwayDecodeAssignments(recs []*Reception, clients []uint8, joi
 		jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(p), recs)
 		if err == nil && jres.AllOK() {
 			z.tracef("kway assignment %v: joint decode ok (k=%d, %d receptions)", p, k, len(recs))
-			evs = z.deliver(jres, p, "zigzag", joint)
+			evs = z.deliver(jres, p, ViaZigzag, joint)
 			found = true
 			return true
 		}
@@ -935,7 +972,7 @@ func absInt(v int) int {
 
 // deliver assembles the per-packet events on the receiver-owned event
 // buffer (valid until the next Receive).
-func (z *Receiver) deliver(res *Result, clients []uint8, via string, rec *Reception) []Event {
+func (z *Receiver) deliver(res *Result, clients []uint8, via Via, rec *Reception) []Event {
 	evs := z.evBuf[:0]
 	for i := range res.Packets {
 		evs = append(evs, z.eventFor(&res.Packets[i], clients[i], via, rec, i))
@@ -944,7 +981,7 @@ func (z *Receiver) deliver(res *Result, clients []uint8, via string, rec *Recept
 	return evs
 }
 
-func (z *Receiver) eventFor(pr *PacketResult, client uint8, via string, rec *Reception, idx int) Event {
+func (z *Receiver) eventFor(pr *PacketResult, client uint8, via Via, rec *Reception, idx int) Event {
 	ev := Event{Result: pr, Via: via, Client: client}
 	if pr.OK() {
 		ev.Frame = pr.Frame

@@ -39,8 +39,8 @@ func TestOnlineReceiverCleanPacket(t *testing.T) {
 	if len(evs) != 1 || evs[0].Frame == nil {
 		t.Fatalf("events: %+v", evs)
 	}
-	if evs[0].Via != "standard" {
-		t.Fatalf("via = %q, want standard", evs[0].Via)
+	if evs[0].Via != ViaStandard {
+		t.Fatalf("via = %s, want standard", evs[0].Via)
 	}
 	if !frame.SamePacket(evs[0].Frame, s.frames[0]) {
 		t.Fatal("wrong frame")
@@ -77,8 +77,8 @@ func TestOnlineReceiverHiddenTerminalPair(t *testing.T) {
 		if ev.Frame == nil {
 			t.Fatalf("undecoded event in matched pair: %+v", ev.Result.Err)
 		}
-		if ev.Via != "zigzag" {
-			t.Fatalf("via = %q, want zigzag", ev.Via)
+		if ev.Via != ViaZigzag {
+			t.Fatalf("via = %s, want zigzag", ev.Via)
 		}
 		got[ev.Frame.Src] = true
 	}
@@ -103,8 +103,8 @@ func TestOnlineReceiverCapture(t *testing.T) {
 	for _, ev := range evs {
 		if ev.Frame != nil {
 			decoded++
-			if ev.Via != "capture" {
-				t.Fatalf("via = %q, want capture", ev.Via)
+			if ev.Via != ViaCapture {
+				t.Fatalf("via = %s, want capture", ev.Via)
 			}
 		}
 	}

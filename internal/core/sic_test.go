@@ -165,8 +165,8 @@ func TestOnlineReceiverThreeWayStore(t *testing.T) {
 			if ev.Frame == nil {
 				t.Fatalf("undecoded packet in k=3 joint decode: %v", ev.Result.Err)
 			}
-			if ev.Via != "zigzag" {
-				t.Fatalf("via = %q, want zigzag", ev.Via)
+			if ev.Via != ViaZigzag {
+				t.Fatalf("via = %s, want zigzag", ev.Via)
 			}
 			got[ev.Frame.Src] = true
 		}

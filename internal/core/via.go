@@ -1,0 +1,37 @@
+package core
+
+// Via tells how a delivered packet was obtained. The receiver's three
+// paths mirror the paper's decode hierarchy: a standard interference-free
+// decode, a capture-effect decode out of a collision (§5.3c), and the
+// ZigZag joint decode of matched collisions (§4.2).
+type Via uint8
+
+const (
+	// ViaUnknown is the zero Via; no event is ever delivered with it.
+	ViaUnknown Via = iota
+	// ViaStandard marks an ordinary single-packet decode — the receiver
+	// behaved exactly like a current 802.11 receiver.
+	ViaStandard
+	// ViaZigzag marks a packet recovered by jointly decoding a matched
+	// pair (or k-way set) of stored collisions.
+	ViaZigzag
+	// ViaCapture marks a packet decoded directly out of a collision by
+	// the capture effect / iterated subtraction, without store matching.
+	ViaCapture
+)
+
+// String returns the historical lowercase name ("standard", "zigzag",
+// "capture"), so %s/%v formatting of events is unchanged from the
+// stringly-typed era.
+func (v Via) String() string {
+	switch v {
+	case ViaStandard:
+		return "standard"
+	case ViaZigzag:
+		return "zigzag"
+	case ViaCapture:
+		return "capture"
+	default:
+		return "unknown"
+	}
+}

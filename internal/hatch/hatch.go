@@ -1,0 +1,105 @@
+// Package hatch is the single registry of the repository's escape
+// hatches: the debugging/bisection switches that pin an engine to its
+// naive or legacy reference path. Each hatch has exactly one flag
+// name, one ZIGZAG_* environment variable (derived from the flag name,
+// so the two can never drift), and one setter/getter pair in the
+// package that owns the path. The CLIs wire every hatch with a single
+// Bind call instead of hand-maintaining flag lists.
+//
+// Precedence discipline, shared by every hatch: the environment
+// variable is read once at process init by the owning package; an
+// explicit `-<hatch>` flag forces the hatch ON; an *absent* flag never
+// touches the state, so a bare CLI invocation cannot clobber a
+// ZIGZAG_*=1 environment. (Two of the historical CLI wirings passed
+// the flag's default straight to the setter and silently cleared the
+// env setting — centralizing here is what fixed that.)
+package hatch
+
+import (
+	"flag"
+	"strings"
+
+	"zigzag/internal/core"
+	"zigzag/internal/dsp"
+	"zigzag/internal/dsp/fft"
+	"zigzag/internal/dsp/kern"
+	"zigzag/internal/impair"
+	"zigzag/internal/metrics"
+	"zigzag/internal/serve"
+	"zigzag/internal/session"
+)
+
+// Hatch is one escape hatch: a flag name, its derived environment
+// variable, and the owning package's setter/getter.
+type Hatch struct {
+	// Name is the CLI flag name (kebab-case, no leading dash).
+	Name string
+	// Env is the environment variable (always "ZIGZAG_" + NAME with
+	// dashes as underscores; EnvFor derives it, the registry test pins
+	// it).
+	Env string
+	// Help is the flag usage string.
+	Help string
+	// Set forces the hatch state; Get reports it.
+	Set func(bool)
+	Get func() bool
+}
+
+// EnvFor derives a hatch's environment variable from its flag name.
+func EnvFor(name string) string {
+	return "ZIGZAG_" + strings.ToUpper(strings.ReplaceAll(name, "-", "_"))
+}
+
+func mk(name, help string, set func(bool), get func() bool) Hatch {
+	return Hatch{Name: name, Env: EnvFor(name), Help: help, Set: set, Get: get}
+}
+
+// registry lists every hatch in stable (documentation) order.
+var registry = []Hatch{
+	mk("naive-correlate",
+		"pin the detection stack to the naive O(N·M) correlator instead of the FFT engine (debugging)",
+		fft.SetForceNaive, fft.ForceNaive),
+	mk("naive-interp",
+		"pin resampling to the naive per-sample windowed-sinc kernel instead of the polyphase engine (debugging)",
+		dsp.SetNaiveInterp, dsp.NaiveInterp),
+	mk("naive-kernels",
+		"pin the DSP kernel layer (oscillator banks, packed FIR/rotation, batched emission impairment) to its per-sample scalar reference paths (debugging)",
+		kern.SetNaive, kern.Naive),
+	mk("no-session-pool",
+		"rebuild the simulation world per trial instead of reusing pooled per-worker sessions (debugging/benchmarking)",
+		session.SetPoolDisabled, session.PoolDisabled),
+	mk("no-impair",
+		"globally disable the time-varying impairment engine (static paper channel, bit-identical to pre-impair builds)",
+		impair.SetDisabled, impair.Disabled),
+	mk("pairwise-sic",
+		"force the legacy pairwise SIC chunk-ordering policy for every decode (escape hatch for the generalized k-way framework)",
+		core.SetPairwiseSIC, core.PairwiseSIC),
+	mk("legacy-metrics",
+		"pin metrics collection to the historical in-memory Sample path instead of the streaming reducers (bit-identical escape hatch)",
+		metrics.SetLegacy, metrics.LegacyEnabled),
+	mk("oneshot-ingest",
+		"pin the streaming serve engine to the one-shot Receive wrapper instead of the Ingest/Poll front end (bit-identical escape hatch)",
+		serve.SetOneshotIngest, serve.OneshotIngest),
+}
+
+// Registry returns the hatches in stable order. The slice is shared;
+// callers must not mutate it.
+func Registry() []Hatch { return registry }
+
+// Bind registers every hatch as a boolean flag on fs and returns the
+// apply function to call once after fs.Parse: it forces ON exactly the
+// hatches whose flags were set true, and touches nothing else (the
+// absent-flag / env-precedence discipline above).
+func Bind(fs *flag.FlagSet) (apply func()) {
+	vals := make([]*bool, len(registry))
+	for i, h := range registry {
+		vals[i] = fs.Bool(h.Name, false, h.Help)
+	}
+	return func() {
+		for i, h := range registry {
+			if *vals[i] {
+				h.Set(true)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package hatch
+
+import (
+	"flag"
+	"testing"
+)
+
+// saveAll snapshots every hatch and returns the restorer (the
+// registry's setters mutate process-global state).
+func saveAll() func() {
+	states := make([]bool, len(registry))
+	for i, h := range registry {
+		states[i] = h.Get()
+	}
+	return func() {
+		for i, h := range registry {
+			h.Set(states[i])
+		}
+	}
+}
+
+// TestRegistryShape pins the anti-drift contract: every hatch's env
+// var is mechanically derived from its flag name, names are unique,
+// and every entry is fully wired.
+func TestRegistryShape(t *testing.T) {
+	if len(registry) != 8 {
+		t.Fatalf("registry has %d hatches, want 8", len(registry))
+	}
+	seen := map[string]bool{}
+	for _, h := range registry {
+		if h.Name == "" || h.Help == "" || h.Set == nil || h.Get == nil {
+			t.Fatalf("hatch %q is incompletely wired", h.Name)
+		}
+		if seen[h.Name] {
+			t.Fatalf("duplicate hatch name %q", h.Name)
+		}
+		seen[h.Name] = true
+		if want := EnvFor(h.Name); h.Env != want {
+			t.Fatalf("hatch %q env = %q, want derived %q", h.Name, h.Env, want)
+		}
+	}
+	if want := "ZIGZAG_NAIVE_CORRELATE"; EnvFor("naive-correlate") != want {
+		t.Fatalf("EnvFor derivation changed: %q", EnvFor("naive-correlate"))
+	}
+}
+
+// TestSetGetRoundTrip verifies each setter/getter pair actually
+// controls the same state.
+func TestSetGetRoundTrip(t *testing.T) {
+	defer saveAll()()
+	for _, h := range registry {
+		h.Set(true)
+		if !h.Get() {
+			t.Fatalf("hatch %q: Set(true) not visible through Get", h.Name)
+		}
+		h.Set(false)
+		if h.Get() {
+			t.Fatalf("hatch %q: Set(false) not visible through Get", h.Name)
+		}
+	}
+}
+
+// TestBindAppliesExplicitFlagsOnly pins the env-precedence discipline:
+// apply forces exactly the hatches named on the command line and
+// leaves every other hatch's state untouched — including one already
+// forced on (as ZIGZAG_*=1 at process init would have).
+func TestBindAppliesExplicitFlagsOnly(t *testing.T) {
+	defer saveAll()()
+	for _, h := range registry {
+		h.Set(false)
+	}
+	registry[1].Set(true) // stands in for ZIGZAG_NAIVE_INTERP=1
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	apply := Bind(fs)
+	if err := fs.Parse([]string{"-" + registry[0].Name, "-" + registry[7].Name}); err != nil {
+		t.Fatal(err)
+	}
+	apply()
+
+	for i, h := range registry {
+		want := i == 0 || i == 7 || i == 1
+		if h.Get() != want {
+			t.Fatalf("hatch %q = %v after apply, want %v", h.Name, h.Get(), want)
+		}
+	}
+}
+
+// TestBindRegistersAllFlags verifies Bind puts every hatch on the
+// FlagSet under its registry name.
+func TestBindRegistersAllFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	Bind(fs)
+	for _, h := range registry {
+		if fs.Lookup(h.Name) == nil {
+			t.Fatalf("hatch %q not registered as a flag", h.Name)
+		}
+	}
+}

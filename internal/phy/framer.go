@@ -1,0 +1,181 @@
+package phy
+
+// Framer is the energy-gate burst framer in front of the streaming
+// receiver: it turns a continuous I/Q sample stream, pushed in
+// arbitrary-size chunks, into the discrete reception buffers the
+// decoder operates on. The paper's online AP (§5.1d) never sees a
+// pre-cut reception — it watches the medium and treats a span of
+// above-threshold energy bounded by idle air as one reception, which is
+// exactly the state machine here: a per-sample gate opens a burst on
+// the first active sample, and IdleGap consecutive inactive samples
+// close it (802.11's interframe spacings guarantee such gaps between
+// receptions).
+//
+// Because the gate advances one sample at a time and keeps all state in
+// the Framer, the emitted bursts are invariant to how the stream is
+// chunked — pushing one sample at a time, 7 at a time, or the whole
+// stream at once yields byte-identical bursts. That invariance is what
+// lets the streaming receiver pin itself bit-identical to the one-shot
+// path.
+//
+// Memory is bounded: a burst that reaches MaxWindow samples without an
+// idle gap (e.g. a jammed or saturated medium) is emitted forcibly and
+// the burst continues in a fresh window, so the framer never holds more
+// than MaxWindow samples regardless of input.
+type Framer struct {
+	cfg FramerConfig
+	// win accumulates the current burst's samples (receiver-owned,
+	// recycled across bursts).
+	win []complex128
+	// inBurst marks an open burst; idleRun counts consecutive inactive
+	// samples at the tail of win.
+	inBurst bool
+	idleRun int
+	// pos is the absolute index of the next sample to be pushed; start
+	// is the absolute index of the current burst's first sample.
+	pos   int64
+	start int64
+}
+
+// FramerConfig parameterizes the energy gate.
+type FramerConfig struct {
+	// Threshold is the amplitude gate: a sample is active when |s| >
+	// Threshold. Zero means any nonzero sample is active — the right
+	// setting for synthetic streams whose inter-reception gaps are
+	// exact zeros, and the setting under which framing reconstructs
+	// reception buffers exactly.
+	Threshold float64
+	// IdleGap is how many consecutive inactive samples close a burst
+	// (default 64 — well under 802.11's shortest interframe spacing at
+	// any sample rate this reproduction uses, and longer than any
+	// in-packet amplitude dip the gate could mistake for silence).
+	IdleGap int
+	// MaxWindow bounds the burst buffer (default 32768 samples); a
+	// burst reaching it is emitted forcibly (BurstInfo.Forced) and
+	// continues in a fresh window.
+	MaxWindow int
+}
+
+// DefaultIdleGap is the default burst-closing idle run.
+const DefaultIdleGap = 64
+
+// DefaultMaxWindow is the default burst-buffer bound.
+const DefaultMaxWindow = 1 << 15
+
+func (c FramerConfig) idleGap() int {
+	if c.IdleGap > 0 {
+		return c.IdleGap
+	}
+	return DefaultIdleGap
+}
+
+func (c FramerConfig) maxWindow() int {
+	if c.MaxWindow > 0 {
+		return c.MaxWindow
+	}
+	return DefaultMaxWindow
+}
+
+// BurstInfo describes an emitted burst's extent in the stream.
+type BurstInfo struct {
+	// Start and End are the absolute sample positions of the burst's
+	// first sample and one past its last (trailing idle excluded).
+	Start, End int64
+	// Forced marks a burst cut by MaxWindow rather than an idle gap;
+	// its tail continues in the next burst.
+	Forced bool
+}
+
+// NewFramer builds a framer; the zero-valued config applies the
+// defaults above with a zero (any-nonzero) threshold.
+func NewFramer(cfg FramerConfig) *Framer {
+	return &Framer{cfg: cfg}
+}
+
+// Reset discards any open burst and rewinds the stream position,
+// keeping the window's backing storage.
+func (f *Framer) Reset() {
+	f.win = f.win[:0]
+	f.inBurst = false
+	f.idleRun = 0
+	f.pos = 0
+	f.start = 0
+}
+
+// active applies the amplitude gate without the sqrt of cmplx.Abs.
+func (f *Framer) active(s complex128) bool {
+	re, im := real(s), imag(s)
+	return re*re+im*im > f.cfg.Threshold*f.cfg.Threshold
+}
+
+// Push feeds one chunk of the stream. Completed bursts are handed to
+// emit as views into the framer-owned window, valid only for the
+// duration of the call — emit must copy (or fully consume) the samples
+// before returning. The number of bursts emitted per Push depends on
+// chunking, but the burst contents and extents do not.
+func (f *Framer) Push(chunk []complex128, emit func(burst []complex128, info BurstInfo)) {
+	gap := f.cfg.idleGap()
+	maxWin := f.cfg.maxWindow()
+	for _, s := range chunk {
+		act := f.active(s)
+		if !f.inBurst {
+			f.pos++
+			if !act {
+				continue
+			}
+			f.inBurst = true
+			f.start = f.pos - 1
+			f.idleRun = 0
+			f.win = append(f.win[:0], s)
+			continue
+		}
+		f.win = append(f.win, s)
+		f.pos++
+		if act {
+			f.idleRun = 0
+		} else {
+			f.idleRun++
+			if f.idleRun >= gap {
+				f.closeBurst(emit, false)
+				continue
+			}
+		}
+		if len(f.win) >= maxWin {
+			// Forced cut: emit the full window (idle tail included — it
+			// may yet prove to be mid-burst) and continue the burst in a
+			// fresh window. idleRun survives the cut so a closing gap
+			// that straddles it still closes the burst after the same
+			// total idle run (closeBurst clamps the trail to the window).
+			emit(f.win, BurstInfo{Start: f.start, End: f.pos, Forced: true})
+			f.win = f.win[:0]
+			f.start = f.pos
+		}
+	}
+}
+
+// closeBurst emits the open burst minus its trailing idle run.
+func (f *Framer) closeBurst(emit func([]complex128, BurstInfo), forced bool) {
+	trail := f.idleRun
+	if trail > len(f.win) {
+		trail = len(f.win)
+	}
+	body := f.win[:len(f.win)-trail]
+	if len(body) > 0 {
+		emit(body, BurstInfo{Start: f.start, End: f.pos - int64(trail), Forced: forced})
+	}
+	f.win = f.win[:0]
+	f.inBurst = false
+	f.idleRun = 0
+}
+
+// Flush closes any open burst (stream over — the trailing samples will
+// not be extended), emitting it if non-empty.
+func (f *Framer) Flush(emit func(burst []complex128, info BurstInfo)) {
+	if f.inBurst {
+		f.closeBurst(emit, false)
+	}
+}
+
+// Pos reports the absolute position of the next sample to be pushed —
+// the total number of samples consumed so far.
+func (f *Framer) Pos() int64 { return f.pos }

@@ -1,0 +1,203 @@
+package phy
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// framerStream builds a synthetic stream of bursts separated by exact
+// zeros: returns the stream plus the expected bursts and extents.
+func framerStream(rng *rand.Rand, bursts, minLen, maxLen, gap int) ([]complex128, [][]complex128, []BurstInfo) {
+	var stream []complex128
+	var wantB [][]complex128
+	var wantI []BurstInfo
+	for b := 0; b < bursts; b++ {
+		stream = append(stream, make([]complex128, gap)...)
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		burst := make([]complex128, n)
+		for i := range burst {
+			// Nonzero everywhere so the zero-threshold gate keeps the
+			// burst intact (real signals ride on noise; synthetic
+			// equivalence streams are rendered the same way).
+			burst[i] = complex(rng.NormFloat64()+2, rng.NormFloat64())
+		}
+		start := int64(len(stream))
+		stream = append(stream, burst...)
+		wantB = append(wantB, burst)
+		wantI = append(wantI, BurstInfo{Start: start, End: start + int64(n)})
+	}
+	stream = append(stream, make([]complex128, gap)...)
+	return stream, wantB, wantI
+}
+
+// collect pushes a stream in fixed-size chunks and copies out every
+// emitted burst.
+func collect(f *Framer, stream []complex128, chunk int) ([][]complex128, []BurstInfo) {
+	var got [][]complex128
+	var infos []BurstInfo
+	emit := func(b []complex128, info BurstInfo) {
+		got = append(got, append([]complex128(nil), b...))
+		infos = append(infos, info)
+	}
+	for i := 0; i < len(stream); i += chunk {
+		end := i + chunk
+		if end > len(stream) {
+			end = len(stream)
+		}
+		f.Push(stream[i:end], emit)
+	}
+	f.Flush(emit)
+	return got, infos
+}
+
+// TestFramerReconstructsBursts pins the core framing contract: with a
+// zero threshold and exact-zero gaps, the emitted bursts are exactly
+// the original burst buffers, with correct stream extents.
+func TestFramerReconstructsBursts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream, wantB, wantI := framerStream(rng, 5, 50, 400, DefaultIdleGap)
+	got, infos := collect(NewFramer(FramerConfig{}), stream, len(stream))
+	if !reflect.DeepEqual(got, wantB) {
+		t.Fatalf("bursts differ: got %d bursts, want %d", len(got), len(wantB))
+	}
+	if !reflect.DeepEqual(infos, wantI) {
+		t.Fatalf("extents differ: got %v, want %v", infos, wantI)
+	}
+}
+
+// TestFramerChunkInvariance pins the property the streaming receiver's
+// bit-identity rests on: any chunking of the same stream emits
+// byte-identical bursts with identical extents.
+func TestFramerChunkInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	stream, _, _ := framerStream(rng, 6, 30, 700, DefaultIdleGap+7)
+	refB, refI := collect(NewFramer(FramerConfig{}), stream, len(stream))
+	if len(refB) != 6 {
+		t.Fatalf("reference framing found %d bursts, want 6", len(refB))
+	}
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		gotB, gotI := collect(NewFramer(FramerConfig{}), stream, chunk)
+		if !reflect.DeepEqual(gotB, refB) || !reflect.DeepEqual(gotI, refI) {
+			t.Fatalf("chunk=%d framing differs from whole-stream framing", chunk)
+		}
+	}
+}
+
+// TestFramerShortGapsStayInBurst verifies zero runs shorter than
+// IdleGap do not split a burst (in-packet amplitude nulls must not
+// fragment receptions).
+func TestFramerShortGapsStayInBurst(t *testing.T) {
+	var stream []complex128
+	stream = append(stream, make([]complex128, 10)...)
+	part := []complex128{1, 1, 1, 1}
+	stream = append(stream, part...)
+	stream = append(stream, make([]complex128, DefaultIdleGap-1)...) // short: stays in burst
+	stream = append(stream, part...)
+	stream = append(stream, make([]complex128, DefaultIdleGap+5)...)
+	got, infos := collect(NewFramer(FramerConfig{}), stream, 3)
+	if len(got) != 1 {
+		t.Fatalf("got %d bursts, want 1 (short gap must not split)", len(got))
+	}
+	wantLen := 2*len(part) + DefaultIdleGap - 1
+	if len(got[0]) != wantLen {
+		t.Fatalf("burst length %d, want %d", len(got[0]), wantLen)
+	}
+	if infos[0].Start != 10 || infos[0].End != int64(10+wantLen) {
+		t.Fatalf("extent [%d,%d), want [10,%d)", infos[0].Start, infos[0].End, 10+wantLen)
+	}
+}
+
+// TestFramerForcedCut pins the bounded-memory behaviour: a burst longer
+// than MaxWindow is emitted in forced cuts of exactly MaxWindow
+// samples, the remainder follows on the closing gap, and concatenating
+// the pieces reproduces the original burst. A closing gap straddling a
+// forced cut must still close the burst (no phantom continuation).
+func TestFramerForcedCut(t *testing.T) {
+	const maxWin = 256
+	rng := rand.New(rand.NewSource(3))
+	burst := make([]complex128, maxWin*2+100)
+	for i := range burst {
+		burst[i] = complex(rng.NormFloat64()+2, 0)
+	}
+	var stream []complex128
+	stream = append(stream, burst...)
+	stream = append(stream, make([]complex128, DefaultIdleGap)...)
+	got, infos := collect(NewFramer(FramerConfig{MaxWindow: maxWin}), stream, 17)
+	if len(got) != 3 {
+		t.Fatalf("got %d pieces, want 3", len(got))
+	}
+	var rejoined []complex128
+	for i, piece := range got {
+		forced := i < 2
+		if infos[i].Forced != forced {
+			t.Fatalf("piece %d Forced=%v, want %v", i, infos[i].Forced, forced)
+		}
+		if forced && len(piece) != maxWin {
+			t.Fatalf("forced piece %d has %d samples, want %d", i, len(piece), maxWin)
+		}
+		rejoined = append(rejoined, piece...)
+	}
+	if !reflect.DeepEqual(rejoined, burst) {
+		t.Fatal("rejoined forced cuts do not reproduce the burst")
+	}
+	if infos[2].End != int64(len(burst)) {
+		t.Fatalf("final extent ends at %d, want %d", infos[2].End, len(burst))
+	}
+
+	// Gap straddles a forced cut: 246 body samples, then zeros. The cut
+	// fires at MaxWindow (10 zeros into the gap, carried in the forced
+	// piece), and the remaining zeros must close the burst silently —
+	// no phantom all-idle piece afterwards.
+	stream = stream[:0]
+	stream = append(stream, burst[:maxWin-10]...)
+	stream = append(stream, make([]complex128, DefaultIdleGap+20)...)
+	got, infos = collect(NewFramer(FramerConfig{MaxWindow: maxWin}), stream, 5)
+	if len(got) != 1 || !infos[0].Forced || len(got[0]) != maxWin {
+		t.Fatalf("straddled gap: got %d pieces — want exactly the forced piece", len(got))
+	}
+}
+
+// TestFramerThreshold verifies the amplitude gate: samples at or below
+// the threshold read as idle air.
+func TestFramerThreshold(t *testing.T) {
+	var stream []complex128
+	stream = append(stream, make([]complex128, 5)...)
+	for i := 0; i < 20; i++ {
+		stream = append(stream, complex(0.05, 0)) // sub-threshold noise
+	}
+	stream = append(stream, make([]complex128, DefaultIdleGap)...)
+	body := []complex128{1, 1, 1}
+	stream = append(stream, body...)
+	stream = append(stream, make([]complex128, DefaultIdleGap+1)...)
+	got, _ := collect(NewFramer(FramerConfig{Threshold: 0.1}), stream, 9)
+	if len(got) != 1 || !reflect.DeepEqual(got[0], body) {
+		t.Fatalf("threshold gate leaked noise: got %v", got)
+	}
+}
+
+// TestFramerResetAndPos verifies Reset rewinds positions and drops the
+// open burst.
+func TestFramerResetAndPos(t *testing.T) {
+	f := NewFramer(FramerConfig{})
+	f.Push([]complex128{0, 0, 1, 1}, func([]complex128, BurstInfo) { t.Fatal("no burst should close") })
+	if f.Pos() != 4 {
+		t.Fatalf("Pos=%d, want 4", f.Pos())
+	}
+	f.Reset()
+	if f.Pos() != 0 {
+		t.Fatalf("Pos after Reset=%d, want 0", f.Pos())
+	}
+	var got [][]complex128
+	emit := func(b []complex128, info BurstInfo) {
+		got = append(got, append([]complex128(nil), b...))
+		if info.Start != 1 {
+			t.Fatalf("Start=%d, want 1 (positions rewound)", info.Start)
+		}
+	}
+	f.Push([]complex128{0, 2, 2}, emit)
+	f.Flush(emit)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("burst after Reset = %v", got)
+	}
+}

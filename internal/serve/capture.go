@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// The ZIQ capture format: a minimal I/Q recording container for
+// trace-replay serving. Layout (all little-endian):
+//
+//	offset  size  field
+//	0       4     magic "ZIQ1"
+//	4       1     version (1)
+//	5       1     sample format (0 = complex128, 1 = complex64)
+//	6       2     reserved (0)
+//	8       ...   samples, interleaved re/im, to EOF
+//
+// No sample count is recorded — captures are streamable and
+// append-only, and replay reads to EOF. FormatComplex128 round-trips a
+// synthetic stream bit-exactly (the identity gate relies on it);
+// FormatComplex64 halves the file for long recordings at float32
+// precision.
+
+// SampleFormat is the on-disk sample encoding.
+type SampleFormat uint8
+
+const (
+	// FormatComplex128 stores each sample as two float64s (bit-exact).
+	FormatComplex128 SampleFormat = 0
+	// FormatComplex64 stores each sample as two float32s.
+	FormatComplex64 SampleFormat = 1
+)
+
+const (
+	captureMagic   = "ZIQ1"
+	captureVersion = 1
+	captureHeader  = 8
+)
+
+func (f SampleFormat) sampleSize() int {
+	if f == FormatComplex64 {
+		return 8
+	}
+	return 16
+}
+
+// String names the format the way the -capture-format flag spells it.
+func (f SampleFormat) String() string {
+	if f == FormatComplex64 {
+		return "complex64"
+	}
+	return "complex128"
+}
+
+// CaptureWriter writes a ZIQ capture stream.
+type CaptureWriter struct {
+	w       *bufio.Writer
+	c       io.Closer
+	format  SampleFormat
+	scratch []byte
+}
+
+// NewCaptureWriter writes the header onto w and returns the writer.
+func NewCaptureWriter(w io.Writer, format SampleFormat) (*CaptureWriter, error) {
+	if format != FormatComplex128 && format != FormatComplex64 {
+		return nil, fmt.Errorf("serve: unknown capture sample format %d", format)
+	}
+	cw := &CaptureWriter{w: bufio.NewWriter(w), format: format}
+	if c, ok := w.(io.Closer); ok {
+		cw.c = c
+	}
+	var hdr [captureHeader]byte
+	copy(hdr[:4], captureMagic)
+	hdr[4] = captureVersion
+	hdr[5] = byte(format)
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// CreateCapture creates (truncating) a capture file.
+func CreateCapture(path string, format SampleFormat) (*CaptureWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cw, err := NewCaptureWriter(f, format)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cw, nil
+}
+
+// Write appends samples to the capture.
+func (cw *CaptureWriter) Write(samples []complex128) error {
+	sz := cw.format.sampleSize()
+	if cap(cw.scratch) < sz {
+		cw.scratch = make([]byte, sz)
+	}
+	b := cw.scratch[:sz]
+	for _, s := range samples {
+		if cw.format == FormatComplex64 {
+			binary.LittleEndian.PutUint32(b[0:4], math.Float32bits(float32(real(s))))
+			binary.LittleEndian.PutUint32(b[4:8], math.Float32bits(float32(imag(s))))
+		} else {
+			binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(real(s)))
+			binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(imag(s)))
+		}
+		if _, err := cw.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file (when the writer was
+// built on one).
+func (cw *CaptureWriter) Close() error {
+	if err := cw.w.Flush(); err != nil {
+		if cw.c != nil {
+			cw.c.Close()
+		}
+		return err
+	}
+	if cw.c != nil {
+		return cw.c.Close()
+	}
+	return nil
+}
+
+// CaptureReader replays a ZIQ capture as a Source.
+type CaptureReader struct {
+	r       *bufio.Reader
+	c       io.Closer
+	format  SampleFormat
+	scratch []byte
+}
+
+// NewCaptureReader validates the header on r and returns the reader.
+func NewCaptureReader(r io.Reader) (*CaptureReader, error) {
+	cr := &CaptureReader{r: bufio.NewReader(r)}
+	if c, ok := r.(io.Closer); ok {
+		cr.c = c
+	}
+	var hdr [captureHeader]byte
+	if _, err := io.ReadFull(cr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: reading capture header: %w", err)
+	}
+	if string(hdr[:4]) != captureMagic {
+		return nil, fmt.Errorf("serve: not a ZIQ capture (magic %q)", hdr[:4])
+	}
+	if hdr[4] != captureVersion {
+		return nil, fmt.Errorf("serve: unsupported capture version %d", hdr[4])
+	}
+	cr.format = SampleFormat(hdr[5])
+	if cr.format != FormatComplex128 && cr.format != FormatComplex64 {
+		return nil, fmt.Errorf("serve: unknown capture sample format %d", hdr[5])
+	}
+	return cr, nil
+}
+
+// OpenCapture opens a capture file for replay.
+func OpenCapture(path string) (*CaptureReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := NewCaptureReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return cr, nil
+}
+
+// Format reports the capture's sample encoding.
+func (cr *CaptureReader) Format() SampleFormat { return cr.format }
+
+// Read implements Source: it fills p with up to len(p) samples,
+// returning io.EOF at end of capture. A capture truncated mid-sample
+// reports an error rather than silently dropping the tail.
+func (cr *CaptureReader) Read(p []complex128) (int, error) {
+	sz := cr.format.sampleSize()
+	want := len(p) * sz
+	if cap(cr.scratch) < want {
+		cr.scratch = make([]byte, want)
+	}
+	b := cr.scratch[:want]
+	n, err := io.ReadFull(cr.r, b)
+	if err == io.ErrUnexpectedEOF && n%sz != 0 {
+		return n / sz, fmt.Errorf("serve: capture truncated mid-sample (%d trailing bytes)", n%sz)
+	}
+	for i := 0; i < n/sz; i++ {
+		if cr.format == FormatComplex64 {
+			re := math.Float32frombits(binary.LittleEndian.Uint32(b[i*8 : i*8+4]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(b[i*8+4 : i*8+8]))
+			p[i] = complex(float64(re), float64(im))
+		} else {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(b[i*16 : i*16+8]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8 : i*16+16]))
+			p[i] = complex(re, im)
+		}
+	}
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		if n/sz > 0 {
+			return n / sz, nil
+		}
+		return 0, io.EOF
+	}
+	return n / sz, err
+}
+
+// Close closes the underlying file (when the reader was built on one).
+func (cr *CaptureReader) Close() error {
+	if cr.c != nil {
+		return cr.c.Close()
+	}
+	return nil
+}

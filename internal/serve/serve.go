@@ -1,0 +1,387 @@
+// Package serve is the streaming online-receiver engine behind
+// zigzag-serve: a long-lived wrapper that pumps a continuous I/Q
+// sample stream (synthetic traffic or a capture-file replay) through
+// the core receiver's Ingest/Poll surface, applies an explicit
+// load-shedding policy when the producer outruns the decoder, and
+// accounts per-stream throughput and decode-latency percentiles on the
+// metrics sketches.
+//
+// The paper's receiver is an online 802.11 AP (§5.1d); every workload
+// before this package was a batch Monte-Carlo CLI over pre-cut
+// reception buffers. The engine closes that gap without forking the
+// decode path: core.Receiver.Receive is a thin wrapper over the same
+// per-reception pipeline Ingest/Poll drive, so the streaming engine is
+// bit-identical to the one-shot receiver whenever it is not shedding
+// load. The -oneshot-ingest hatch (ZIGZAG_ONESHOT_INGEST=1) pins the
+// engine to the wrapper path — it frames bursts itself and calls
+// Receive directly — which is both the identity reference and the
+// escape hatch if the streaming front end misbehaves.
+//
+// Backpressure: the core's pending-reception queue is bounded
+// (core.StreamConfig.MaxPending). Under overload the engine either
+// lets the queue shed its oldest receptions (PolicyDropOldest — newest
+// data wins, as a live AP must) or additionally flips the receiver
+// into degraded mode (PolicyDegrade — core.Receiver.SkipStoreMatch),
+// skipping the expensive stored-collision matching while the backlog
+// drains and restoring it below the low watermark; collisions are
+// still stored, so ZigZag decoding is deferred, not forfeited. This is
+// the adapt-don't-match-rates discipline: degrade output quality to
+// what the decoder sustains instead of stalling the stream.
+package serve
+
+import (
+	"hash/fnv"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"zigzag/internal/core"
+	"zigzag/internal/metrics"
+	"zigzag/internal/phy"
+	"zigzag/internal/session"
+)
+
+// oneshotIngest pins the engine to the one-shot Receive wrapper.
+var oneshotIngest atomic.Bool
+
+func init() {
+	if os.Getenv("ZIGZAG_ONESHOT_INGEST") == "1" {
+		oneshotIngest.Store(true)
+	}
+}
+
+// SetOneshotIngest pins (or unpins) the engine to the one-shot Receive
+// path. The CLIs expose it as -oneshot-ingest; the identity gate runs
+// both settings and compares.
+func SetOneshotIngest(v bool) { oneshotIngest.Store(v) }
+
+// OneshotIngest reports whether the one-shot hatch is set.
+func OneshotIngest() bool { return oneshotIngest.Load() }
+
+// Policy selects the engine's load-shedding behaviour under overload.
+type Policy uint8
+
+const (
+	// PolicyDropOldest relies on the bounded pending queue alone: when
+	// the producer outruns the decoder, the oldest framed receptions
+	// are dropped (counted, never silent) and the newest decoded.
+	PolicyDropOldest Policy = iota
+	// PolicyDegrade additionally flips the receiver into degraded mode
+	// (skip stored-collision matching) while the backlog is above the
+	// high watermark, trading ZigZag joint decodes for drain rate, and
+	// restores full fidelity below the low watermark.
+	PolicyDegrade
+)
+
+// String names the policy the way the -policy flag spells it.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDropOldest:
+		return "drop-oldest"
+	case PolicyDegrade:
+		return "degrade"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePolicy parses a -policy flag value.
+func ParsePolicy(s string) (Policy, bool) {
+	switch s {
+	case "drop-oldest", "drop":
+		return PolicyDropOldest, true
+	case "degrade":
+		return PolicyDegrade, true
+	}
+	return 0, false
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Core is the receiver configuration (zero value: DefaultConfig).
+	Core core.Config
+	// Clients is the AP's client table.
+	Clients []core.Client
+	// Stream configures the ingest front end (framer gate, window
+	// bound, pending-queue bound).
+	Stream core.StreamConfig
+	// Chunk is the read size the engine pulls from the source (default
+	// 512 samples) — deliberately unrelated to any reception boundary;
+	// the framer makes chunking semantically irrelevant.
+	Chunk int
+	// Policy is the overload behaviour (default PolicyDropOldest).
+	Policy Policy
+	// PollBudget caps how many pending receptions are decoded per
+	// ingested chunk; 0 decodes everything pending (no artificial
+	// backlog). The overload suites use a small budget as a
+	// deterministic stand-in for a slow decoder.
+	PollBudget int
+	// HighWater/LowWater are the degraded-mode hysteresis thresholds
+	// in pending receptions (defaults: ¾ of MaxPending, and 1).
+	HighWater, LowWater int
+	// Now is the engine's monotonic clock in nanoseconds (default
+	// wall clock). Latency accounting and nothing else depends on it;
+	// tests pin a fake to keep reports deterministic.
+	Now func() int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Core == (core.Config{}) {
+		c.Core = core.DefaultConfig()
+	}
+	if c.Chunk <= 0 {
+		c.Chunk = 512
+	}
+	maxPending := c.Stream.MaxPending
+	if maxPending <= 0 {
+		maxPending = core.DefaultMaxPending
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = maxPending * 3 / 4
+		if c.HighWater < 2 {
+			c.HighWater = 2
+		}
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 1
+	}
+	if c.Now == nil {
+		c.Now = func() int64 { return time.Now().UnixNano() }
+	}
+}
+
+// Report is one stream's accounting: exact deterministic counts first
+// (identical for any run of the same stream and policy at any chunk
+// size), wall-clock figures after (host-dependent by nature).
+type Report struct {
+	// Stream/decode counts (deterministic).
+	Samples    int64 `json:"samples"`
+	Receptions int64 `json:"receptions"`  // bursts framed
+	Polled     int64 `json:"polled"`      // receptions decoded
+	Dropped    int64 `json:"dropped"`     // receptions shed by the queue
+	ForcedCuts int64 `json:"forced_cuts"` // MaxWindow cuts
+	Frames     int64 `json:"frames"`      // frames delivered
+	Failed     int64 `json:"failed"`      // delivered events without a frame
+	Standard   int64 `json:"standard"`    // frames by via
+	Zigzag     int64 `json:"zigzag"`
+	Capture    int64 `json:"capture"`
+	// DegradedSpans counts PolicyDegrade engagements; StoredLeft is
+	// the collision-store depth at end of stream.
+	DegradedSpans int64 `json:"degraded_spans"`
+	StoredLeft    int   `json:"stored_left"`
+	// FrameDigest is an order-sensitive FNV-1a digest of every
+	// delivered frame (src, dst, seq, payload) — the identity gate
+	// compares it across ingest paths, chunk sizes and policies.
+	FrameDigest uint64 `json:"frame_digest"`
+	// Oneshot records which ingest path produced the report.
+	Oneshot bool `json:"oneshot"`
+
+	// Wall-clock figures.
+	Elapsed       time.Duration           `json:"elapsed_ns"`
+	PacketsPerSec float64                 `json:"packets_per_sec"`
+	Latency       *metrics.QuantileSketch `json:"latency_ns"` // framed→decoded, ns
+}
+
+// Engine pumps one Source through one receiver. Single-goroutine, like
+// the receiver it drives.
+type Engine struct {
+	cfg      Config
+	sess     *session.Session
+	z        *core.Receiver
+	oneshot  bool
+	framer   *phy.Framer // oneshot mode frames bursts itself
+	chunk    []complex128
+	rep      Report
+	lat      *metrics.QuantileSketch
+	digest   uint64
+	degraded bool
+	stamp    int64 // oneshot mode: burst frame time
+}
+
+// NewEngine builds an engine on a pooled session. Close releases the
+// session; the engine honours the -oneshot-ingest hatch as of this
+// call.
+func NewEngine(cfg Config) *Engine {
+	cfg.fillDefaults()
+	e := &Engine{cfg: cfg, oneshot: OneshotIngest()}
+	e.sess = session.Acquire(cfg.Core)
+	if e.oneshot {
+		e.z = e.sess.OnlineReceiver(cfg.Clients)
+		e.framer = phy.NewFramer(phy.FramerConfig{
+			Threshold: cfg.Stream.GateThreshold,
+			IdleGap:   cfg.Stream.IdleGap,
+			MaxWindow: cfg.Stream.MaxWindow,
+		})
+	} else {
+		e.z = e.sess.StreamReceiver(cfg.Clients, cfg.Stream)
+		e.z.StreamStamp = func() int64 { return e.cfg.Now() }
+	}
+	e.chunk = make([]complex128, cfg.Chunk)
+	e.lat = metrics.NewQuantileSketch(0.01)
+	e.digest = fnv.New64a().Sum64() // FNV offset basis
+	return e
+}
+
+// Receiver exposes the engine's receiver (tests inspect store depth
+// and flags; the engine owns it between New and Close).
+func (e *Engine) Receiver() *core.Receiver { return e.z }
+
+// Close releases the engine's session back to the pool.
+func (e *Engine) Close() {
+	e.z.StreamStamp = nil
+	e.z.SkipStoreMatch = false
+	session.Release(e.sess)
+	e.sess, e.z = nil, nil
+}
+
+// Run pumps src to exhaustion and returns the stream's report. On a
+// source error the report so far is returned alongside it.
+func (e *Engine) Run(src Source) (*Report, error) {
+	start := e.cfg.Now()
+	var readErr error
+	for {
+		n, err := src.Read(e.chunk)
+		if n > 0 {
+			e.feed(e.chunk[:n])
+		}
+		if err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
+			break
+		}
+	}
+	e.finish()
+	e.rep.Elapsed = time.Duration(e.cfg.Now() - start)
+	if secs := e.rep.Elapsed.Seconds(); secs > 0 {
+		e.rep.PacketsPerSec = float64(e.rep.Frames) / secs
+	}
+	e.rep.Latency = e.lat
+	e.rep.FrameDigest = e.digest
+	e.rep.StoredLeft = e.z.StoredCollisions()
+	e.rep.Oneshot = e.oneshot
+	return &e.rep, readErr
+}
+
+// feed ingests one chunk and runs the consume side of the loop.
+func (e *Engine) feed(chunk []complex128) {
+	if e.oneshot {
+		e.rep.Samples += int64(len(chunk))
+		e.framer.Push(chunk, e.onBurst)
+		return
+	}
+	e.z.Ingest(chunk)
+	e.applyPolicy()
+	e.poll(e.cfg.PollBudget)
+}
+
+// finish closes the stream and drains everything still pending.
+func (e *Engine) finish() {
+	if e.oneshot {
+		e.framer.Flush(e.onBurst)
+		return
+	}
+	e.z.FlushStream()
+	e.poll(0)
+	e.syncStats()
+	if e.degraded {
+		e.degraded = false
+		e.z.SkipStoreMatch = false
+	}
+}
+
+// applyPolicy runs the degraded-mode hysteresis (PolicyDegrade only;
+// PolicyDropOldest is enforced by the core's bounded queue).
+func (e *Engine) applyPolicy() {
+	if e.cfg.Policy != PolicyDegrade {
+		return
+	}
+	if !e.degraded && e.z.Pending() >= e.cfg.HighWater {
+		e.degraded = true
+		e.z.SkipStoreMatch = true
+		e.rep.DegradedSpans++
+	} else if e.degraded && e.z.Pending() <= e.cfg.LowWater {
+		e.degraded = false
+		e.z.SkipStoreMatch = false
+	}
+}
+
+// poll decodes up to budget pending receptions (0 = all).
+func (e *Engine) poll(budget int) {
+	for i := 0; budget == 0 || i < budget; i++ {
+		evs, info, ok := e.z.PollOne()
+		if !ok {
+			break
+		}
+		e.tally(evs)
+		if info.Stamp != 0 {
+			e.lat.Add(float64(e.cfg.Now() - info.Stamp))
+		}
+	}
+	e.syncStats()
+}
+
+// onBurst is the oneshot path: decode at frame time via the Receive
+// wrapper.
+func (e *Engine) onBurst(burst []complex128, info phy.BurstInfo) {
+	e.rep.Receptions++
+	e.rep.Polled++
+	if info.Forced {
+		e.rep.ForcedCuts++
+	}
+	t0 := e.cfg.Now()
+	evs := e.z.Receive(burst)
+	e.tally(evs)
+	e.lat.Add(float64(e.cfg.Now() - t0))
+}
+
+// syncStats mirrors the core's stream counters into the report
+// (streaming mode; the oneshot path counts directly).
+func (e *Engine) syncStats() {
+	st := e.z.Stream()
+	e.rep.Samples = st.Samples
+	e.rep.Receptions = st.Bursts
+	e.rep.Polled = st.Polled
+	e.rep.Dropped = st.Dropped
+	e.rep.ForcedCuts = st.ForcedCuts
+}
+
+// tally folds one reception's events into the report and the frame
+// digest.
+func (e *Engine) tally(evs []core.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Frame == nil {
+			e.rep.Failed++
+			continue
+		}
+		e.rep.Frames++
+		switch ev.Via {
+		case core.ViaStandard:
+			e.rep.Standard++
+		case core.ViaZigzag:
+			e.rep.Zigzag++
+		case core.ViaCapture:
+			e.rep.Capture++
+		}
+		e.digest = digestFrame(e.digest, ev)
+	}
+}
+
+// digestFrame folds one delivered frame into the order-sensitive
+// FNV-1a digest.
+func digestFrame(h uint64, ev *core.Event) uint64 {
+	const prime = 1099511628211
+	mix := func(h uint64, b byte) uint64 { return (h ^ uint64(b)) * prime }
+	f := ev.Frame
+	h = mix(h, f.Src)
+	h = mix(h, f.Dst)
+	h = mix(h, byte(f.Seq))
+	h = mix(h, byte(f.Seq>>8))
+	h = mix(h, byte(ev.Via))
+	for _, b := range f.Payload {
+		h = mix(h, b)
+	}
+	return h
+}

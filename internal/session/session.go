@@ -222,6 +222,18 @@ func (s *Session) OnlineReceiver(clients []core.Client) *core.Receiver {
 	return s.zz
 }
 
+// StreamReceiver returns the session's online ZigZag receiver armed
+// for streaming ingest: reinitialized for the given clients and with
+// the Ingest/Poll front end set to sc (core.Receiver.SetStream). The
+// serve engine obtains its long-lived receiver through this, so a
+// pooled session recycles the framer window and pending-queue buffers
+// along with the rest of the decode scratch.
+func (s *Session) StreamReceiver(clients []core.Client, sc core.StreamConfig) *core.Receiver {
+	z := s.OnlineReceiver(clients)
+	z.SetStream(sc)
+	return z
+}
+
 // Pool caches idle sessions keyed by their config. The zero value is
 // ready to use.
 type Pool struct {

@@ -17,7 +17,10 @@
 //     general N-collision greedy scheduler, capture/interference-
 //     cancellation paths);
 //   - an online receiver with collision detection, matching and a
-//     collision store;
+//     collision store, plus a bounded-memory streaming surface
+//     (Receiver.Ingest/Poll) that frames continuous I/Q into
+//     receptions — the one-shot Receive is a thin wrapper over the
+//     same pipeline;
 //   - an 802.11 DCF simulator and a 14-node testbed harness that
 //     regenerate the paper's evaluation.
 //
@@ -60,6 +63,27 @@ type (
 	Client = core.Client
 	// Event is one delivered packet from the online receiver.
 	Event = core.Event
+	// Via says which decode path delivered an Event.
+	Via = core.Via
+	// StreamConfig configures the receiver's streaming Ingest/Poll
+	// front end (burst framing gate, window bound, pending-queue bound).
+	StreamConfig = core.StreamConfig
+	// StreamStats counts a streaming receiver's framing/shedding
+	// activity.
+	StreamStats = core.StreamStats
+	// PollInfo locates a polled reception on the sample timeline.
+	PollInfo = core.PollInfo
+)
+
+// Decode paths an Event can arrive through.
+const (
+	// ViaStandard is a plain single-packet decode.
+	ViaStandard = core.ViaStandard
+	// ViaZigzag is a joint decode of matched collisions.
+	ViaZigzag = core.ViaZigzag
+	// ViaCapture is a capture-effect/interference-cancellation decode
+	// out of an unmatched collision.
+	ViaCapture = core.ViaCapture
 )
 
 // Re-exported PHY types.
