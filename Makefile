@@ -33,6 +33,11 @@
 #                     frame-digest identity, overload-shedding check,
 #                     calibrated serve cost + allocation rate vs
 #                     BENCH_serve.json
+#   make bench-obs  — observability gate only: observation-identity
+#                     frame digests (off/on/hatched), exact
+#                     metrics-vs-Report reconciliation, disabled- and
+#                     observed-path 0 allocs/op pins, calibrated cost +
+#                     observed/disabled overhead vs BENCH_obs.json
 #   make ci         — what a pipeline should run: vet + race suites
 #
 # The GitHub Actions pipeline (.github/workflows/ci.yml) runs `make ci`
@@ -90,6 +95,15 @@ CAMPAIGN_PKGS = ./internal/metrics/... ./internal/runner/... ./internal/session/
 # steady-state calls on each path.
 SERVE_PKGS = ./internal/serve/... ./internal/core/... ./internal/phy/... ./internal/hatch/...
 
+# Packages touched by the structured observability layer;
+# test-race-obs runs them twice under the race detector with
+# observation on and with the ZIGZAG_NO_OBS=1 global-disable hatch, so
+# the event ring's mutex, the registry's atomic counters/gauges and
+# mutexed histograms, the exporter's snapshot rotation, and the
+# engine/receiver/framer attachment points are exercised across
+# repeated steady-state calls on both paths.
+OBS_PKGS = ./internal/obs/... ./internal/core/... ./internal/phy/... ./internal/serve/... ./internal/hatch/...
+
 # Packages touched by the DSP kernel layer; test-race-kern runs them
 # twice under the race detector on both kernel paths (the packed/
 # recurrence kernels and the ZIGZAG_NAIVE_KERNELS=1 scalar-reference
@@ -98,7 +112,7 @@ SERVE_PKGS = ./internal/serve/... ./internal/core/... ./internal/phy/... ./inter
 # steady-state calls on each path.
 KERN_PKGS = ./internal/dsp/... ./internal/impair/... ./internal/channel/... ./internal/phy/... ./internal/core/...
 
-.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign bench-kern bench-kern-v3 bench-serve ci
+.PHONY: all build vet lint test test-short test-race test-race-correlate test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve test-race-obs bench bench-correlate bench-decode bench-impair bench-check bench-kway bench-campaign bench-kern bench-kern-v3 bench-serve bench-obs ci
 
 all: build
 
@@ -151,6 +165,10 @@ test-race-serve: build
 	$(GO) test -short -race -count=2 $(SERVE_PKGS)
 	ZIGZAG_ONESHOT_INGEST=1 $(GO) test -short -race -count=2 $(SERVE_PKGS)
 
+test-race-obs: build
+	$(GO) test -short -race -count=2 $(OBS_PKGS)
+	ZIGZAG_NO_OBS=1 $(GO) test -short -race -count=2 $(OBS_PKGS)
+
 bench: build
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
@@ -177,6 +195,9 @@ bench-campaign: build
 bench-serve: build
 	$(GO) run ./cmd/zigzag-bench -check -serve-only
 
+bench-obs: build
+	$(GO) run ./cmd/zigzag-bench -check -obs-only
+
 bench-kern: build
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/dsp/kern
 	$(GO) test -bench='BenchmarkFading|BenchmarkMultipath|BenchmarkDrift|BenchmarkInterferer|BenchmarkADC|BenchmarkFullChain' -benchmem -run='^$$' ./internal/impair
@@ -197,4 +218,6 @@ bench-kern-v3:
 # test-race-kern adds the naive-kernels-hatch leg across every package
 # the kernel layer dispatches in. test-race-serve adds the serve/hatch
 # packages and the oneshot-ingest-hatch leg over the streaming surface.
-ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve
+# test-race-obs adds the obs package and the no-obs-hatch leg over
+# every instrumented attachment point.
+ci: vet test-race test-race-decode test-race-impair test-race-kway test-race-campaign test-race-kern test-race-serve test-race-obs

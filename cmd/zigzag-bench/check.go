@@ -147,7 +147,7 @@ func timeSweep(fn func() any) (time.Duration, any) {
 	return time.Since(start), out
 }
 
-func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly bool) int {
+func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly, obsOnly bool) int {
 	wasDisabled := session.PoolDisabled()
 	defer session.SetPoolDisabled(wasDisabled)
 
@@ -175,7 +175,7 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly bool) int {
 	results := map[string]measuredSweep{}
 	failed := false
 	sweeps := checkSweeps
-	if kwayOnly || campaignOnly || serveOnly {
+	if kwayOnly || campaignOnly || serveOnly || obsOnly {
 		sweeps = nil
 	}
 	for _, sw := range sweeps {
@@ -210,32 +210,39 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly bool) int {
 
 	session.SetPoolDisabled(false)
 	var kernUnits map[string]float64
-	if !kwayOnly && !campaignOnly && !serveOnly {
+	if !kwayOnly && !campaignOnly && !serveOnly && !obsOnly {
 		var kernFailed bool
 		kernUnits, kernFailed = runKernCheck(cal)
 		if kernFailed {
 			failed = true
 		}
 	}
-	var kwayUnits, campaignUnits, serveUnits map[string]float64
-	if !campaignOnly && !serveOnly {
+	var kwayUnits, campaignUnits, serveUnits, obsUnits map[string]float64
+	if !campaignOnly && !serveOnly && !obsOnly {
 		var kwayFailed bool
 		kwayUnits, kwayFailed = runKWayCheck(cal)
 		if kwayFailed {
 			failed = true
 		}
 	}
-	if !kwayOnly && !serveOnly {
+	if !kwayOnly && !serveOnly && !obsOnly {
 		var campaignFailed bool
 		campaignUnits, campaignFailed = runCampaignCheck(cal)
 		if campaignFailed {
 			failed = true
 		}
 	}
-	if !kwayOnly && !campaignOnly {
+	if !kwayOnly && !campaignOnly && !obsOnly {
 		var serveFailed bool
 		serveUnits, serveFailed = runServeCheck(cal)
 		if serveFailed {
+			failed = true
+		}
+	}
+	if !kwayOnly && !campaignOnly && !serveOnly {
+		var obsFailed bool
+		obsUnits, obsFailed = runObsCheck(cal)
+		if obsFailed {
 			failed = true
 		}
 	}
@@ -249,6 +256,7 @@ func runBenchCheck(outPath string, kwayOnly, campaignOnly, serveOnly bool) int {
 			"kway_units":          kwayUnits,
 			"campaign_units":      campaignUnits,
 			"serve_units":         serveUnits,
+			"obs_units":           obsUnits,
 		}, "", "  ")
 		if err == nil {
 			err = os.WriteFile(outPath, append(data, '\n'), 0o644)

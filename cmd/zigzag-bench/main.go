@@ -78,6 +78,8 @@ func main() {
 		"with -check: run only the campaign gate (shard-merge identity + reducer cost)")
 	serveOnly := flag.Bool("serve-only", false,
 		"with -check: run only the serve gate (streaming-vs-oneshot identity, overload shedding, throughput/latency floor)")
+	obsOnly := flag.Bool("obs-only", false,
+		"with -check: run only the observability gate (observation-identity digests, metric/report reconciliation, disabled-path alloc + cost pins)")
 	benchOut := flag.String("bench-out", "",
 		"with -check: also write the measured numbers to this JSON file")
 	shards := flag.Int("shards", 1, "split the experiment's trial space into N shards (fig5-3, harsh, kway, campaign)")
@@ -95,7 +97,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *check {
-		os.Exit(runBenchCheck(*benchOut, *kwayOnly, *campaignOnly, *serveOnly))
+		os.Exit(runBenchCheck(*benchOut, *kwayOnly, *campaignOnly, *serveOnly, *obsOnly))
 	}
 	if *mergeList != "" {
 		os.Exit(runMerge(*mergeList))

@@ -12,7 +12,7 @@
 //	             [-chunk 512] [-policy drop-oldest|degrade]
 //	             [-max-pending 8] [-poll-budget 0]
 //	             [-record FILE | -replay FILE] [-capture-format complex128|complex64]
-//	             [-json]
+//	             [-listen ADDR] [-json]
 //
 // By default the engine serves a synthetic hidden-terminal workload:
 // -episodes collision episodes of -k mutually hidden senders, each
@@ -32,6 +32,13 @@
 // receptions or additionally degrades the receiver (skip
 // stored-collision matching) until the backlog drains.
 //
+// -listen ADDR starts the live observability endpoint while the engine
+// runs: Prometheus text metrics at /metrics, JSON snapshots (with
+// window rates and recent typed decode events) at /debug/obs, and the
+// standard net/http/pprof handlers at /debug/pprof/ with ingest/decode
+// phases labeled. The exported counters reconcile exactly with the
+// final report. -no-obs (ZIGZAG_NO_OBS=1) disables the whole layer.
+//
 // Every escape hatch (-oneshot-ingest, -no-impair, -naive-correlate,
 // ...) is registered from the internal/hatch registry; each has a
 // matching ZIGZAG_* environment variable, and an absent flag never
@@ -49,6 +56,7 @@ import (
 	"zigzag/internal/core"
 	"zigzag/internal/hatch"
 	"zigzag/internal/impair"
+	"zigzag/internal/obs"
 	"zigzag/internal/serve"
 )
 
@@ -93,6 +101,7 @@ func main() {
 	record := flag.String("record", "", "tee the synthetic stream into this ZIQ capture file while serving")
 	replay := flag.String("replay", "", "serve this ZIQ capture instead of generating traffic")
 	captureFormat := flag.String("capture-format", "complex128", "with -record: complex128 (bit-exact) | complex64 (half size)")
+	listen := flag.String("listen", "", "serve /metrics, /debug/obs and /debug/pprof on this address while running (e.g. :9090)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	applyHatches := hatch.Bind(flag.CommandLine)
 	flag.Parse()
@@ -164,13 +173,27 @@ func main() {
 		}()
 	}
 
-	e := serve.NewEngine(serve.Config{
+	cfg := serve.Config{
 		Clients:    gen.Clients(),
 		Stream:     serveStream(*maxPending),
 		Chunk:      *chunk,
 		Policy:     policy,
 		PollBudget: *pollBudget,
-	})
+	}
+	if *listen != "" && !obs.Disabled() {
+		ring := obs.NewRing(obs.DefaultRingCapacity)
+		exporter, srv, err := obs.ListenAndServe(*listen, obs.Default, ring)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		defer exporter.Close()
+		cfg.Metrics = obs.Default
+		cfg.Events = ring
+		cfg.ProfileLabels = true
+	}
+	e := serve.NewEngine(cfg)
 	defer e.Close()
 	rep, err := e.Run(src)
 	if err != nil {

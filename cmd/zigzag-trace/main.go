@@ -1,104 +1,143 @@
 // Command zigzag-trace synthesizes one hidden-terminal collision pair
-// and walks through ZigZag's decoding pipeline step by step, printing
-// what the receiver sees: detected preambles, collision matching, the
-// chunk schedule, and the final decode outcome. It is the fastest way to
-// build intuition for how the decoder works.
+// and runs it through the online ZigZag receiver with the typed decode
+// event stream attached, printing every event the receiver emits:
+// preamble detection, collision store matching, the chunk schedule,
+// per-chunk peel outcomes, amplitude learning, and the delivered
+// frames. It is the fastest way to build intuition for how the decoder
+// works — and doubles as a reference consumer of internal/obs.
+//
+// By default events print as human-readable lines (the pinned legacy
+// trace formats where one exists, a generic operand dump otherwise);
+// -json switches to one JSON object per line (JSONL), machine-parseable
+// and stable for scripting.
 //
 // Usage:
 //
-//	zigzag-trace [-snr 13] [-payload 300] [-off1 700] [-off2 260] [-seed 1]
+//	zigzag-trace [-snr 13] [-payload 300] [-off1 700] [-off2 260] [-seed 1] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/cmplx"
+	"io"
 	"math/rand"
 	"os"
 
 	"zigzag"
+	"zigzag/internal/obs"
 )
 
+// options is the flag surface, separated so the golden test can call
+// run directly.
+type options struct {
+	snr     float64
+	payload int
+	off1    int
+	off2    int
+	seed    int64
+	jsonOut bool
+}
+
+func defaultOptions() options {
+	return options{snr: 13, payload: 300, off1: 700, off2: 260, seed: 1}
+}
+
 func main() {
-	snr := flag.Float64("snr", 13, "per-sender SNR (dB)")
-	payload := flag.Int("payload", 300, "payload bytes")
-	off1 := flag.Int("off1", 700, "second packet offset in collision 1 (samples)")
-	off2 := flag.Int("off2", 260, "second packet offset in collision 2 (samples)")
-	seed := flag.Int64("seed", 1, "RNG seed")
+	d := defaultOptions()
+	o := options{}
+	flag.Float64Var(&o.snr, "snr", d.snr, "per-sender SNR (dB)")
+	flag.IntVar(&o.payload, "payload", d.payload, "payload bytes")
+	flag.IntVar(&o.off1, "off1", d.off1, "second packet offset in collision 1 (samples)")
+	flag.IntVar(&o.off2, "off2", d.off2, "second packet offset in collision 2 (samples)")
+	flag.Int64Var(&o.seed, "seed", d.seed, "RNG seed")
+	flag.BoolVar(&o.jsonOut, "json", d.jsonOut, "emit events as JSONL instead of human-readable lines")
 	flag.Parse()
 
-	cfg := zigzag.DefaultConfig()
-	rng := rand.New(rand.NewSource(*seed))
-	tx := zigzag.NewTransmitter(cfg.PHY)
-	const noise = 0.05
-
-	var waves [][]complex128
-	var links []*zigzag.ChannelParams
-	var metas []zigzag.PacketMeta
-	for i := 0; i < 2; i++ {
-		p := make([]byte, *payload)
-		rng.Read(p)
-		f := &zigzag.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: zigzag.BPSK, Payload: p}
-		w, err := tx.Waveform(f)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		waves = append(waves, w)
-		freq := []float64{0.003, -0.002}[i]
-		links = append(links, &zigzag.ChannelParams{
-			Gain:       complex(zigzag.SNRToGain(*snr, noise), 0),
-			FreqOffset: freq,
-			ISI:        zigzag.TypicalISI(1),
-		})
-		metas = append(metas, zigzag.PacketMeta{Scheme: zigzag.BPSK, Freq: freq * 0.98})
-		fmt.Printf("packet %d: %s, waveform %d samples\n", i, f, len(w))
-	}
-
-	sy := zigzag.NewSynchronizer(cfg.PHY)
-	mk := func(name string, off int) *zigzag.Reception {
-		air := &zigzag.Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
-		rx := air.Mix(40+off+len(waves[1])+80,
-			zigzag.Emission{Samples: waves[0], Link: links[0], Offset: 40},
-			zigzag.Emission{Samples: waves[1], Link: links[1], Offset: 40 + off},
-		)
-		fmt.Printf("\n%s: %d samples, packet offsets 40 and %d\n", name, len(rx), 40+off)
-		rec := &zigzag.Reception{Samples: rx}
-		for i, o := range []int{40, 40 + off} {
-			s, ok := sy.Measure(rx, o, 3, metas[i].Freq)
-			if !ok {
-				fmt.Fprintln(os.Stderr, "preamble not found")
-				os.Exit(1)
-			}
-			fmt.Printf("  detected packet %d: start %.2f, |H|=%.3f, |Γ|=%.1f\n",
-				i, s.Start, ampOf(s.H), s.Mag)
-			rec.Packets = append(rec.Packets, zigzag.Occurrence{Packet: i, Sync: s})
-		}
-		return rec
-	}
-	rec1 := mk("collision 1", *off1)
-	rec2 := mk("collision 2", *off2)
-
-	if pairing, ok := zigzag.MatchCollisions(cfg, rec1, rec2); ok {
-		fmt.Printf("\ncollisions match (§4.2.2): pairing %v, score %.3f\n", pairing.Pairs, pairing.Score)
-	} else {
-		fmt.Println("\ncollisions do NOT match")
-	}
-
-	res, err := zigzag.Decode(cfg, metas, []*zigzag.Reception{rec1, rec2})
-	if err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\njoint decode: %d scheduler iterations\n", res.Iterations)
-	for i := range res.Packets {
-		pr := &res.Packets[i]
-		if pr.OK() {
-			fmt.Printf("  packet %d ✓ decoded via %s: %s\n", i, pr.Source, pr.Frame)
-		} else {
-			fmt.Printf("  packet %d ✗ failed: %v\n", i, pr.Err)
-		}
-	}
 }
 
-func ampOf(h complex128) float64 { return cmplx.Abs(h) }
+// run synthesizes the collision pair and feeds it through a receiver
+// with the event stream attached, writing the trace to w. The output is
+// a pure function of o (fixed noise, seeded RNG, no clocks).
+func run(o options, w io.Writer) error {
+	cfg := zigzag.DefaultConfig()
+	rng := rand.New(rand.NewSource(o.seed))
+	tx := zigzag.NewTransmitter(cfg.PHY)
+	const noise = 0.05
+
+	freqs := []float64{0.003, -0.002}
+	var waves [][]complex128
+	var links []*zigzag.ChannelParams
+	var clients []zigzag.Client
+	for i := 0; i < 2; i++ {
+		p := make([]byte, o.payload)
+		rng.Read(p)
+		f := &zigzag.Frame{Src: uint8(i + 1), Dst: 9, Seq: uint16(i), Scheme: zigzag.BPSK, Payload: p}
+		wv, err := tx.Waveform(f)
+		if err != nil {
+			return err
+		}
+		waves = append(waves, wv)
+		links = append(links, &zigzag.ChannelParams{
+			Gain:       complex(zigzag.SNRToGain(o.snr, noise), 0),
+			FreqOffset: freqs[i],
+			ISI:        zigzag.TypicalISI(1),
+		})
+		// The AP's client table holds the coarse CFO estimate a real AP
+		// accumulates from association traffic — deliberately 2% off the
+		// true offset, as in the paper's setup.
+		clients = append(clients, zigzag.Client{ID: uint8(i + 1), Scheme: zigzag.BPSK, Freq: freqs[i] * 0.98})
+		if !o.jsonOut {
+			fmt.Fprintf(w, "packet %d: %s, waveform %d samples\n", i, f, len(wv))
+		}
+	}
+
+	z := zigzag.NewReceiver(cfg, clients)
+	var seq uint64
+	var enc *json.Encoder
+	if o.jsonOut {
+		enc = json.NewEncoder(w)
+	}
+	var sinkErr error
+	z.Obs = obs.SinkFunc(func(ev obs.Event) {
+		seq++
+		ev.Seq = seq
+		if enc != nil {
+			if err := enc.Encode(ev); err != nil && sinkErr == nil {
+				sinkErr = err
+			}
+			return
+		}
+		fmt.Fprintf(w, "  %s\n", ev)
+	})
+
+	mix := func(off int) []complex128 {
+		air := &zigzag.Air{NoisePower: noise, Rng: rng, RandomizePhase: true}
+		return air.Mix(40+off+len(waves[1])+80,
+			zigzag.Emission{Samples: waves[0], Link: links[0], Offset: 40},
+			zigzag.Emission{Samples: waves[1], Link: links[1], Offset: 40 + off},
+		)
+	}
+	for i, off := range []int{o.off1, o.off2} {
+		rx := mix(off)
+		if !o.jsonOut {
+			fmt.Fprintf(w, "\ncollision %d: %d samples, packet offsets 40 and %d\n", i+1, len(rx), 40+off)
+		}
+		evs := z.Receive(rx)
+		if o.jsonOut {
+			continue
+		}
+		for _, ev := range evs {
+			if ev.Frame != nil {
+				fmt.Fprintf(w, "delivered: client %d via %s: %s\n", ev.Client, ev.Via, ev.Frame)
+			} else {
+				fmt.Fprintf(w, "failed: client %d via %s\n", ev.Client, ev.Via)
+			}
+		}
+	}
+	return sinkErr
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// golden runs the tool with the default options (the documented default
+// seed) and compares against the checked-in transcript. The output is a
+// pure function of the options — no clocks, no unseeded randomness — so
+// any diff is a real behavior change in the receiver or the event
+// stream, which is exactly what this smoke test is for.
+func golden(t *testing.T, name string, o options) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace output diverged from %s (re-run with -update if intended)\ngot %d bytes, want %d",
+			path, buf.Len(), len(want))
+	}
+}
+
+func TestGoldenDefaultText(t *testing.T) {
+	golden(t, "default.txt", defaultOptions())
+}
+
+func TestGoldenDefaultJSON(t *testing.T) {
+	o := defaultOptions()
+	o.jsonOut = true
+	golden(t, "default.jsonl", o)
+}
+
+// TestJSONLWellFormed checks every -json line parses and the stream
+// covers the load-bearing event kinds for the default collision pair.
+func TestJSONLWellFormed(t *testing.T) {
+	o := defaultOptions()
+	o.jsonOut = true
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	kinds := map[string]int{}
+	var prevSeq uint64
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+			Seq  uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq != prevSeq+1 {
+			t.Fatalf("seq %d follows %d, want contiguous", ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		kinds[ev.Kind]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"detect", "schedule", "peel", "store_joint_ok", "amp_learn", "deliver"} {
+		if kinds[k] == 0 {
+			t.Errorf("default trace emitted no %q events (kinds: %v)", k, kinds)
+		}
+	}
+	if kinds["deliver"] != 2 {
+		t.Errorf("deliver events = %d, want 2 (both colliding packets)", kinds["deliver"])
+	}
+}

@@ -23,13 +23,33 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"zigzag/internal/core"
 	"zigzag/internal/experiments"
 	"zigzag/internal/impair"
+	"zigzag/internal/obs"
 	"zigzag/internal/runner"
 	"zigzag/internal/session"
 )
+
+// campaignVars holds the campaign's live progress counters on the
+// default observability registry. They are registered lazily (first
+// trial) so that processes that never run a campaign pay nothing and
+// export nothing. Unlike the Acc reducers these are process-global and
+// monotonic: they report progress across every campaign in the
+// process, which is exactly what a live /metrics scrape wants.
+type campaignVars struct {
+	trials   *obs.Counter
+	episodes *obs.Counter
+}
+
+var campaignVarsOnce = sync.OnceValue(func() *campaignVars {
+	return &campaignVars{
+		trials:   obs.Default.Counter("zigzag_campaign_trials_total", "Monte-Carlo trials completed"),
+		episodes: obs.Default.Counter("zigzag_campaign_episodes_total", "collision episodes run"),
+	}
+})
 
 // Config describes one campaign: the city topology, the traffic model,
 // and the Monte-Carlo budget. The zero value is unusable; start from
@@ -196,8 +216,14 @@ func (c Config) trial(sess *session.Session, acc *Acc) {
 		}
 		ep := experiments.CollisionEpisode(sess, c.Payload, snrs, c.Noise, c.Profile)
 		acc.observe(ep)
+		if !obs.Disabled() {
+			campaignVarsOnce().episodes.Inc()
+		}
 	}
 	acc.Trials.Add(1)
+	if !obs.Disabled() {
+		campaignVarsOnce().trials.Inc()
+	}
 }
 
 func contains(xs []int, v int) bool {

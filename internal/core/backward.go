@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"zigzag/internal/dsp"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 )
 
@@ -191,6 +192,9 @@ func (d *decoder) decodeChunkBwd(o *occState, lo, hi int) {
 	if d.debugHook != nil {
 		d.debugHook("bwd", o, commit, hi)
 	}
+	if d.obs != nil {
+		d.emitChunk(obs.KindPeel, o, commit, hi, 1, amp(o))
+	}
 	preSub := o.subChipB
 	d.selfSubtractBwd(o)
 	if o.subChipB < preSub {
@@ -241,6 +245,9 @@ func (d *decoder) forceCaptureBwd() bool {
 	lo := hi - d.cfg.maxChunk()
 	if lo < d.pre {
 		lo = d.pre
+	}
+	if d.obs != nil {
+		d.emitChunk(obs.KindForce, best, lo, hi, 1, bestRatio)
 	}
 	before := best.p.bwdDownTo
 	d.decodeChunkBwd(best, lo, hi)
@@ -310,6 +317,13 @@ func (d *decoder) runBackward() int {
 				continue
 			}
 			break
+		}
+		if d.obs != nil {
+			ev := obs.Event{Kind: obs.KindSchedule, Rec: d.obsRec, A: int64(best.p.id), B: int64(bestLo), C: int64(bestHi), F0: bestMargin}
+			ev.AppendList(best.r.id)
+			ev.AppendList(1)
+			ev.AppendList(bestGain)
+			d.obs.Emit(ev)
 		}
 		before := best.p.bwdDownTo
 		d.decodeChunkBwd(best, bestLo, bestHi)

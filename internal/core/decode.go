@@ -9,6 +9,7 @@ import (
 	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 )
 
@@ -121,6 +122,22 @@ type decoder struct {
 	// debugHook, when non-nil, is invoked after each committed chunk
 	// (tests and diagnostics only).
 	debugHook func(pass string, o *occState, lo, hi int)
+
+	// obs, when non-nil, receives chunk-level events (inherited from the
+	// Scratch at newDecoder time); obsRec stamps their reception
+	// sequence. Nil on every path that never attached an observer.
+	obs    obs.Sink
+	obsRec int64
+}
+
+// emitChunk publishes one chunk-level decoder event: A=packet, B/C the
+// symbol bounds, List=[reception, direction] (0 forward, 1 backward).
+// Callers guard on d.obs != nil.
+func (d *decoder) emitChunk(kind obs.Kind, o *occState, lo, hi, dir int, f0 float64) {
+	ev := obs.Event{Kind: kind, Rec: d.obsRec, A: int64(o.p.id), B: int64(lo), C: int64(hi), F0: f0}
+	ev.AppendList(o.r.id)
+	ev.AppendList(dir)
+	d.obs.Emit(ev)
 }
 
 // newDecoder builds a one-shot decoder on a fresh Scratch (tests and
@@ -154,6 +171,9 @@ func (sc *Scratch) newDecoder(cfg Config, metas []PacketMeta, recs []*Reception)
 		combBuf:  d.combBuf[:0],
 		pieceA:   d.pieceA[:0],
 		pieceB:   d.pieceB[:0],
+
+		obs:    sc.Obs,
+		obsRec: sc.ObsRec,
 	}
 	interpSyms := (cfg.PHY.Interp.Taps + d.sps - 1) / d.sps
 	if interpSyms == 0 {
@@ -609,6 +629,9 @@ func (d *decoder) decodeChunkFwd(o *occState, lo, hi int) {
 	if d.debugHook != nil {
 		d.debugHook("fwd", o, lo, commit)
 	}
+	if d.obs != nil {
+		d.emitChunk(obs.KindPeel, o, lo, commit, 0, cmplx.Abs(o.sync.H))
+	}
 	// Remove this chunk from the residual (lagged) and re-measure every
 	// overlapping packet model against what remains.
 	preSub := o.subChip
@@ -676,6 +699,9 @@ func (d *decoder) forceCapture() bool {
 	if ub := d.symUB(best); hi > ub {
 		hi = ub
 	}
+	if d.obs != nil {
+		d.emitChunk(obs.KindForce, best, lo, hi, 0, bestRatio)
+	}
 	before := best.p.fwdUpTo
 	d.decodeChunkFwd(best, lo, hi)
 	return best.p.fwdUpTo > before
@@ -729,6 +755,13 @@ func (d *decoder) runForward() int {
 				continue
 			}
 			break
+		}
+		if d.obs != nil {
+			ev := obs.Event{Kind: obs.KindSchedule, Rec: d.obsRec, A: int64(best.p.id), B: int64(bestLo), C: int64(bestHi), F0: bestMargin}
+			ev.AppendList(best.r.id)
+			ev.AppendList(0)
+			ev.AppendList(bestGain)
+			d.obs.Emit(ev)
 		}
 		before := best.p.fwdUpTo
 		d.decodeChunkFwd(best, bestLo, bestHi)

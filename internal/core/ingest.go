@@ -2,6 +2,7 @@ package core
 
 import (
 	"zigzag/internal/dsp"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 )
 
@@ -85,6 +86,19 @@ type streamState struct {
 	pending []*pendingRec
 	free    []*pendingRec
 	stats   StreamStats
+	// framerStats is the attached framer instrumentation (see
+	// SetFramerStats), re-applied whenever SetStream rebuilds the framer.
+	framerStats *obs.FramerStats
+}
+
+// SetFramerStats attaches observability counters to the streaming
+// framer (samples pushed, bursts framed, forced cuts). Like the other
+// observers, the attachment is preserved across SetStream and Reinit.
+func (z *Receiver) SetFramerStats(fs *obs.FramerStats) {
+	z.stream.framerStats = fs
+	if z.stream.framer != nil {
+		z.stream.framer.SetStats(fs)
+	}
 }
 
 // StreamStamp, when non-nil, is sampled as each reception is framed and
@@ -107,6 +121,7 @@ func (z *Receiver) SetStream(cfg StreamConfig) {
 	} else {
 		*st.framer = *phy.NewFramer(fc)
 	}
+	st.framer.SetStats(st.framerStats)
 	if st.emit == nil {
 		st.emit = z.enqueueBurst
 	}
@@ -142,9 +157,16 @@ func (z *Receiver) enqueueBurst(burst []complex128, info phy.BurstInfo) {
 	st.stats.Bursts++
 	if info.Forced {
 		st.stats.ForcedCuts++
+		if z.Obs != nil {
+			z.emit(obs.Event{Kind: obs.KindForcedCut, A: info.Start, B: info.End})
+		}
 	}
 	for len(st.pending) >= st.cfg.maxPending() {
-		st.free = append(st.free, st.pending[0])
+		shed := st.pending[0]
+		if z.Obs != nil {
+			z.emit(obs.Event{Kind: obs.KindShed, A: shed.info.Start, B: shed.info.End})
+		}
+		st.free = append(st.free, shed)
 		st.pending = append(st.pending[:0], st.pending[1:]...)
 		st.stats.Dropped++
 	}

@@ -9,6 +9,7 @@ import (
 	"zigzag/internal/dsp"
 	"zigzag/internal/frame"
 	"zigzag/internal/modem"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 )
 
@@ -74,8 +75,19 @@ type Receiver struct {
 	// adapt-instead-of-match-rates discipline). Reinit clears it.
 	SkipStoreMatch bool
 
+	// Obs, when non-nil, receives the typed decode event stream:
+	// detection, store matching, chunk scheduling, peel outcomes,
+	// amplitude aging (see obs.Kind). With Obs nil and Trace nil the
+	// instrumented paths cost one nil check and allocate nothing.
+	// Preserved across Reinit — observers on pooled sessions survive
+	// receiver recycling.
+	Obs obs.Sink
+
 	// Trace, when non-nil, receives diagnostic lines about detection,
-	// matching and decode decisions.
+	// matching and decode decisions. It is a thin printf adapter over
+	// the typed event stream: every line is an obs Event formatted
+	// through obs.LegacyLine, bit-identical to the historical output.
+	// Preserved across Reinit, like Obs.
 	Trace func(format string, args ...any)
 
 	// StreamStamp, when non-nil, is sampled as each reception is framed
@@ -121,9 +133,49 @@ type Receiver struct {
 	kwMatch []int
 }
 
-func (z *Receiver) tracef(format string, args ...any) {
+// obsOn reports whether any observer is attached; emission sites guard
+// on it so the disabled path is a nil check — no event construction, no
+// operand formatting, no allocation.
+func (z *Receiver) obsOn() bool { return z.Obs != nil || z.Trace != nil }
+
+// emit publishes one decode event: Rec is stamped with the current
+// reception sequence, the typed sink gets the event first, and the
+// printf Trace adapter renders kinds that have a pinned legacy line
+// (obs.LegacyLine) exactly as the historical stringly hook did.
+func (z *Receiver) emit(ev obs.Event) {
+	ev.Rec = int64(z.recSeq)
+	if z.Obs != nil {
+		z.Obs.Emit(ev)
+	}
 	if z.Trace != nil {
-		z.Trace(format, args...)
+		if line, ok := obs.LegacyLine(&ev); ok {
+			z.Trace("%s", line)
+		}
+	}
+}
+
+// errStr pre-formats an error for an event's Str operand the way %v
+// prints it ("<nil>" for nil); called only with an observer attached.
+func errStr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}
+
+// appendPositions fills an event list with occurrence RefPos values.
+func appendPositions(ev *obs.Event, occs []Occurrence) {
+	for i := range occs {
+		ev.AppendList(occs[i].Sync.RefPos)
+	}
+}
+
+// appendClients fills an event list with a client assignment (the %v of
+// a []uint8 and of the event's []int render identically, which keeps
+// the legacy k-way lines bit-exact).
+func appendClients(ev *obs.Event, ids []uint8) {
+	for _, id := range ids {
+		ev.AppendList(int(id))
 	}
 }
 
@@ -142,11 +194,13 @@ func NewReceiver(cfg Config, clients []Client) *Receiver {
 }
 
 // Reinit resets the receiver to the state NewReceiver(cfg, clients)
-// would build — client table rebuilt, collision store emptied, Trace
-// and MaxStored back to defaults — while keeping all working storage
+// would build — client table rebuilt, collision store emptied,
+// MaxStored back to its default — while keeping all working storage
 // (locator/synchronizer scratch, the decode session, stored-collision
-// buffers). Pooled simulation sessions recycle receivers across
-// Monte-Carlo trials through this.
+// buffers). The attached observers (Obs, Trace) are preserved: pooled
+// simulation sessions recycle receivers across Monte-Carlo trials
+// through this, and a Reset must not silently detach whoever is
+// watching the decode stream.
 func (z *Receiver) Reinit(cfg Config, clients []Client) {
 	if z.phy == nil || z.cfg.PHY != cfg.PHY {
 		z.phy = phy.NewReceiver(cfg.PHY)
@@ -162,7 +216,6 @@ func (z *Receiver) Reinit(cfg Config, clients []Client) {
 		z.clients[c.ID] = c
 	}
 	z.MaxStored = 4
-	z.Trace = nil
 	z.SkipStoreMatch = false
 	z.resetStream()
 	for i := range z.stored {
@@ -413,9 +466,21 @@ func (z *Receiver) Receive(rx []complex128) []Event {
 // and PollOne: detect, then the collision cascade.
 func (z *Receiver) receiveBuf(rx []complex128) []Event {
 	z.recSeq++
+	// The decode session inherits the typed sink so the SIC scheduler
+	// and peeler report their per-chunk decisions under this reception's
+	// sequence number.
+	z.dec.Obs, z.dec.ObsRec = z.Obs, int64(z.recSeq)
 	occs, clients := z.detect(rx)
 	if len(occs) == 0 {
 		return nil
+	}
+	if z.Obs != nil {
+		ev := obs.Event{Kind: obs.KindDetect, A: int64(len(occs))}
+		appendPositions(&ev, occs)
+		for _, id := range clients {
+			ev.AppendList2(int(id))
+		}
+		z.emit(ev)
 	}
 	return z.receiveCollision(rx, occs, clients)
 }
@@ -427,8 +492,10 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 	// strong sender was subtracted — and retry with the extended
 	// occurrence set. Keep an extension only if it decodes more.
 	res, rec := z.decodeSingleReception(rx, occs, clients)
-	if res != nil && z.Trace != nil {
-		z.tracef("single-reception decode: ok=%d/%d occs=%v", countOK(res), len(res.Packets), occPositions(occs))
+	if res != nil && z.obsOn() {
+		ev := obs.Event{Kind: obs.KindSingleDecode, A: int64(countOK(res)), B: int64(len(res.Packets))}
+		appendPositions(&ev, occs)
+		z.emit(ev)
 	}
 	for round := 0; round < 2 && res != nil; round++ {
 		if res.AllOK() && len(occs) >= len(z.clients) {
@@ -439,7 +506,9 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 		}
 		extOccs, extClients, added := z.redetect(res.Residuals[0], occs, clients, res)
 		if !added {
-			z.tracef("redetect round %d: nothing new", round)
+			if z.obsOn() {
+				z.emit(obs.Event{Kind: obs.KindRedetectNone, A: int64(round)})
+			}
 			break
 		}
 		res2, rec2 := z.decodeSingleReception(rx, extOccs, extClients)
@@ -447,8 +516,10 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 		if res2 != nil {
 			n2 = countOK(res2)
 		}
-		if z.Trace != nil {
-			z.tracef("redetect round %d: occs=%v ok=%d (was %d)", round, occPositions(extOccs), n2, countOK(res))
+		if z.obsOn() {
+			ev := obs.Event{Kind: obs.KindRedetect, A: int64(round), B: int64(n2), C: int64(countOK(res))}
+			appendPositions(&ev, extOccs)
+			z.emit(ev)
 		}
 		if res2 != nil && n2 > countOK(res) {
 			res, rec = res2, rec2
@@ -473,21 +544,27 @@ func (z *Receiver) receiveCollision(rx []complex128, occs []Occurrence, clients 
 		for si, st := range z.stored {
 			joint, ok := z.alignStored(st, rx)
 			if !ok {
-				z.tracef("store %d: alignment failed", si)
+				if z.obsOn() {
+					z.emit(obs.Event{Kind: obs.KindStoreAlignFail, A: int64(si)})
+				}
 				continue
 			}
 			jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(st.clients), []*Reception{st.rec, joint})
 			if err == nil && jres.AllOK() {
 				z.dropStored(si)
-				z.tracef("store %d: joint decode ok", si)
+				if z.obsOn() {
+					z.emit(obs.Event{Kind: obs.KindStoreJointOK, A: int64(si)})
+				}
 				return z.deliver(jres, st.clients, ViaZigzag, rec)
 			}
-			if err == nil {
-				for i := range jres.Packets {
-					z.tracef("store %d: joint pkt%d err=%v", si, i, jres.Packets[i].Err)
+			if z.obsOn() {
+				if err == nil {
+					for i := range jres.Packets {
+						z.emit(obs.Event{Kind: obs.KindStorePktErr, A: int64(si), B: int64(i), Str: errStr(jres.Packets[i].Err)})
+					}
+				} else {
+					z.emit(obs.Event{Kind: obs.KindStoreErr, A: int64(si), Str: errStr(err)})
 				}
-			} else {
-				z.tracef("store %d: joint decode error: %v", si, err)
 			}
 		}
 		// One stored collision plus the fresh reception give only two
@@ -584,7 +661,13 @@ func (z *Receiver) tryKWayStore(rx []complex128, rec *Reception, clients []uint8
 			// cross-reception content evidence.
 			cands := z.kwayCandidates(cn, others)
 			if len(cands) < k {
-				z.tracef("kway store %v canonical %d: only %d position hypotheses", z.kwMatch, ci, len(cands))
+				if z.obsOn() {
+					ev := obs.Event{Kind: obs.KindKWayHyp, A: int64(ci), B: int64(len(cands))}
+					for _, sj := range z.kwMatch {
+						ev.AppendList(sj)
+					}
+					z.emit(ev)
+				}
 				continue
 			}
 			// Evidence ranks plausibility, but interference mixtures can
@@ -617,14 +700,23 @@ func (z *Receiver) tryKWayStore(rx []complex128, rec *Reception, clients []uint8
 					}
 				}
 				if !ok {
-					if z.Trace != nil {
-						z.tracef("kway store %v canonical %d: alignment failed for positions %v", z.kwMatch, ci, occPositions(canon.Packets))
+					if z.obsOn() {
+						ev := obs.Event{Kind: obs.KindKWayAlignFail, A: int64(ci)}
+						for _, sj := range z.kwMatch {
+							ev.AppendList(sj)
+						}
+						for i := range canon.Packets {
+							ev.AppendList2(canon.Packets[i].Sync.RefPos)
+						}
+						z.emit(ev)
 					}
 					continue
 				}
-				if z.Trace != nil {
+				if z.obsOn() {
 					for ri, r := range recs {
-						z.tracef("kway canonical %d rec %d: positions %v", ci, ri, occPositions(r.Packets))
+						ev := obs.Event{Kind: obs.KindKWayCanonRec, A: int64(ci), B: int64(ri)}
+						appendPositions(&ev, r.Packets)
+						z.emit(ev)
 					}
 				}
 				decodes++
@@ -692,9 +784,9 @@ func (z *Receiver) kwayCandidates(cn *storedCollision, others []*Reception) []kw
 		}
 	}
 	slices.SortStableFunc(cands, func(a, b kwCand) int { return cmp.Compare(b.evidence, a.evidence) })
-	if z.Trace != nil {
+	if z.obsOn() {
 		for _, c := range cands {
-			z.tracef("kway candidate pos=%d evidence=%.3f", c.sync.RefPos, c.evidence)
+			z.emit(obs.Event{Kind: obs.KindKWayCand, A: int64(c.sync.RefPos), F0: c.evidence})
 		}
 	}
 	return cands
@@ -794,17 +886,27 @@ func (z *Receiver) kwayDecodeAssignments(recs []*Reception, clients []uint8, joi
 		}
 		jres, err := DecodeWith(&z.dec, z.cfg, z.metaFor(p), recs)
 		if err == nil && jres.AllOK() {
-			z.tracef("kway assignment %v: joint decode ok (k=%d, %d receptions)", p, k, len(recs))
+			if z.obsOn() {
+				ev := obs.Event{Kind: obs.KindKWayAssignOK, A: int64(k), B: int64(len(recs))}
+				appendClients(&ev, p)
+				z.emit(ev)
+			}
 			evs = z.deliver(jres, p, ViaZigzag, joint)
 			found = true
 			return true
 		}
-		if err == nil {
-			for i := range jres.Packets {
-				z.tracef("kway assignment %v: joint pkt%d err=%v", p, i, jres.Packets[i].Err)
+		if z.obsOn() {
+			if err == nil {
+				for i := range jres.Packets {
+					ev := obs.Event{Kind: obs.KindKWayAssignPkErr, A: int64(i), Str: errStr(jres.Packets[i].Err)}
+					appendClients(&ev, p)
+					z.emit(ev)
+				}
+			} else {
+				ev := obs.Event{Kind: obs.KindKWayAssignErr, Str: errStr(err)}
+				appendClients(&ev, p)
+				z.emit(ev)
 			}
-		} else {
-			z.tracef("kway assignment %v: joint decode error: %v", p, err)
 		}
 		return false
 	})
@@ -990,6 +1092,13 @@ func (z *Receiver) eventFor(pr *PacketResult, client uint8, via Via, rec *Recept
 			z.learn(pr.Frame.Src, rec.Packets[idx].Sync)
 		}
 	}
+	if z.Obs != nil {
+		decoded := int64(0)
+		if ev.Frame != nil {
+			decoded = 1
+		}
+		z.emit(obs.Event{Kind: obs.KindDeliver, A: int64(ev.Client), B: int64(via), C: decoded})
+	}
 	return ev
 }
 
@@ -1006,14 +1115,20 @@ func (z *Receiver) learn(id uint8, s phy.Sync) {
 		return
 	}
 	a := cmplx.Abs(s.H)
+	old := c.Amp
+	replaced := int64(0)
 	if c.Amp == 0 || z.ampAging(id) > 1 {
 		c.Amp = a
+		replaced = 1
 	} else {
 		c.Amp = 0.7*c.Amp + 0.3*a // EWMA
 	}
 	if !math.IsNaN(c.Amp) {
 		z.clients[id] = c
 		z.ampStamp[id] = z.recSeq
+		if z.Obs != nil {
+			z.emit(obs.Event{Kind: obs.KindAmpLearn, A: int64(id), B: replaced, F0: c.Amp, F1: old})
+		}
 	}
 }
 
@@ -1126,9 +1241,9 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 			break
 		}
 		if chosen == nil {
-			if z.Trace != nil {
+			if z.obsOn() {
 				for _, c := range cands {
-					z.tracef("alignStored pkt%d: cand pos=%d score=%.3f (thr %.3f)", i, c.Pos, c.Score, z.cfg.matchThreshold())
+					z.emit(obs.Event{Kind: obs.KindAlignCand, A: int64(i), B: int64(c.Pos), F0: c.Score, F1: z.cfg.matchThreshold()})
 				}
 			}
 			return nil, false
@@ -1137,12 +1252,4 @@ func (z *Receiver) alignStored(st *storedCollision, rx []complex128) (*Reception
 		joint.Packets = append(joint.Packets, Occurrence{Packet: oc.Packet, Sync: *chosen})
 	}
 	return joint, true
-}
-
-func occPositions(occs []Occurrence) []int {
-	out := make([]int, len(occs))
-	for i := range occs {
-		out[i] = occs[i].Sync.RefPos
-	}
-	return out
 }

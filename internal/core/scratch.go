@@ -2,6 +2,7 @@ package core
 
 import (
 	"zigzag/internal/modem"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 )
 
@@ -24,6 +25,14 @@ import (
 // is ready to use; bit-identity with scratch-free decoding is pinned by
 // the decode-session tests.
 type Scratch struct {
+	// Obs, when non-nil, receives the decoder's chunk-level events
+	// (schedule picks, peel commits, forced-capture fallbacks), stamped
+	// with ObsRec as their reception sequence. The online receiver
+	// threads its own sink through here before each decode; the fields
+	// are read at newDecoder time, so they apply per DecodeWith call.
+	Obs    obs.Sink
+	ObsRec int64
+
 	dec decoder
 
 	syncCfg phy.Config

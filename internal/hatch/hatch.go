@@ -25,6 +25,7 @@ import (
 	"zigzag/internal/dsp/kern"
 	"zigzag/internal/impair"
 	"zigzag/internal/metrics"
+	"zigzag/internal/obs"
 	"zigzag/internal/serve"
 	"zigzag/internal/session"
 )
@@ -80,6 +81,9 @@ var registry = []Hatch{
 	mk("oneshot-ingest",
 		"pin the streaming serve engine to the one-shot Receive wrapper instead of the Ingest/Poll front end (bit-identical escape hatch)",
 		serve.SetOneshotIngest, serve.OneshotIngest),
+	mk("no-obs",
+		"globally disable the structured observability layer (no event emission, no metric attachment; bit-identical hot path)",
+		obs.SetDisabled, obs.Disabled),
 }
 
 // Registry returns the hatches in stable order. The slice is shared;

@@ -23,8 +23,8 @@ func saveAll() func() {
 // var is mechanically derived from its flag name, names are unique,
 // and every entry is fully wired.
 func TestRegistryShape(t *testing.T) {
-	if len(registry) != 8 {
-		t.Fatalf("registry has %d hatches, want 8", len(registry))
+	if len(registry) != 9 {
+		t.Fatalf("registry has %d hatches, want 9", len(registry))
 	}
 	seen := map[string]bool{}
 	for _, h := range registry {

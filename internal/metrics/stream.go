@@ -141,6 +141,15 @@ func (s *ExactSum) Sum() float64 {
 // value.
 func (s *ExactSum) Partials() []float64 { return s.parts }
 
+// Clone returns an independent copy of the exact sum.
+func (s *ExactSum) Clone() ExactSum {
+	out := ExactSum{special: s.special, hasSpec: s.hasSpec}
+	if len(s.parts) > 0 {
+		out.parts = append([]float64(nil), s.parts...)
+	}
+	return out
+}
+
 // exactSumJSON is the checkpoint wire form of an ExactSum.
 type exactSumJSON struct {
 	Parts   []float64 `json:"parts,omitempty"`
@@ -335,6 +344,32 @@ func (s *QuantileSketch) Merge(o *QuantileSketch) {
 		s.max = o.max
 	}
 	s.sum.Merge(&o.sum)
+}
+
+// Clone returns an independent copy of the sketch (point-in-time view;
+// the copy merges like any other sketch). Used by the observability
+// layer to hand a consistent histogram snapshot to a scraper while the
+// producer keeps adding.
+func (s *QuantileSketch) Clone() *QuantileSketch {
+	out := &QuantileSketch{
+		gamma:    s.gamma,
+		invLogG:  s.invLogG,
+		accuracy: s.accuracy,
+		pos:      make(map[int32]uint64, len(s.pos)),
+		neg:      make(map[int32]uint64, len(s.neg)),
+		zero:     s.zero,
+		count:    s.count,
+		min:      s.min,
+		max:      s.max,
+		sum:      s.sum.Clone(),
+	}
+	for k, c := range s.pos {
+		out.pos[k] = c
+	}
+	for k, c := range s.neg {
+		out.neg[k] = c
+	}
+	return out
 }
 
 // N returns the observation count.

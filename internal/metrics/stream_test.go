@@ -295,3 +295,77 @@ func TestSketchWalkOrder(t *testing.T) {
 		t.Fatalf("CDF range wrong: %v", xs)
 	}
 }
+
+// TestExactSumCloneIndependence pins the snapshot contract the
+// observability layer relies on: a clone reproduces the exact value and
+// is fully detached — later Adds on either side leave the other alone.
+func TestExactSumCloneIndependence(t *testing.T) {
+	var s ExactSum
+	for _, v := range []float64{1e16, 1, -1e16, 0.5, math.Pi} {
+		s.Add(v)
+	}
+	c := s.Clone()
+	if c.Sum() != s.Sum() {
+		t.Fatalf("clone sum %v != original %v", c.Sum(), s.Sum())
+	}
+	s.Add(1e9)
+	if c.Sum() == s.Sum() {
+		t.Fatal("clone tracked the original's later Add")
+	}
+	before := s.Sum()
+	c.Add(-7)
+	if s.Sum() != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+	// A clone merges like any other shard.
+	var m ExactSum
+	m.Merge(&c)
+	if m.Sum() != c.Sum() {
+		t.Fatalf("merged clone = %v, want %v", m.Sum(), c.Sum())
+	}
+	// Special values survive the copy.
+	s.Add(math.Inf(1))
+	inf := s.Clone()
+	if !math.IsInf(inf.Sum(), 1) {
+		t.Fatalf("clone lost +Inf: %v", inf.Sum())
+	}
+}
+
+// TestSketchCloneIndependence pins QuantileSketch.Clone: identical
+// point-in-time statistics, full detachment afterward, and the clone
+// merges like any other sketch.
+func TestSketchCloneIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := NewQuantileSketch(0.01)
+	for i := 0; i < 2000; i++ {
+		s.Add(math.Exp(r.NormFloat64()*2) - 0.5) // mixed signs + zero band
+	}
+	c := s.Clone()
+	if c.N() != s.N() || c.Mean() != s.Mean() || c.Min() != s.Min() || c.Max() != s.Max() {
+		t.Fatalf("clone stats differ: N %d/%d mean %v/%v", c.N(), s.N(), c.Mean(), s.Mean())
+	}
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+		if c.Quantile(q) != s.Quantile(q) {
+			t.Fatalf("q%g: clone %v != original %v", q, c.Quantile(q), s.Quantile(q))
+		}
+	}
+	// Detachment both ways.
+	p50 := c.Quantile(0.5)
+	for i := 0; i < 500; i++ {
+		s.Add(1e9)
+	}
+	if c.N() != 2000 || c.Quantile(0.5) != p50 {
+		t.Fatal("clone tracked the original's later Adds")
+	}
+	n := s.N()
+	c.Add(-1e9)
+	if s.N() != n {
+		t.Fatal("mutating the clone changed the original")
+	}
+	// Merge equivalence: (clone merged into empty) == clone.
+	m := NewQuantileSketch(0.01)
+	m.Merge(c)
+	if m.N() != c.N() || m.Quantile(0.9) != c.Quantile(0.9) {
+		t.Fatalf("merged clone N=%d q90=%v, want N=%d q90=%v", m.N(), m.Quantile(0.9), c.N(), c.Quantile(0.9))
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// listen binds addr eagerly so ListenAndServe can report bind errors
+// synchronously instead of from the serve goroutine.
+func listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// DefaultSnapshotInterval is how often an Exporter re-snapshots its
+// registry for window-accurate rates.
+const DefaultSnapshotInterval = 5 * time.Second
+
+// Exporter serves a Registry (and optionally a Ring of recent events)
+// over HTTP: Prometheus text on /metrics, JSON on /debug/obs. It keeps
+// the two most recent periodic snapshots of the registry so the rates
+// it reports are averaged over one full snapshot window — not over
+// process lifetime, and not over whatever instant the scrape lands on.
+type Exporter struct {
+	reg      *Registry
+	ring     *Ring
+	interval time.Duration
+
+	mu   sync.Mutex
+	prev *Snapshot // snapshot one window ago (nil until two ticks)
+	last *Snapshot // most recent periodic snapshot
+
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewExporter builds an exporter for reg. ring may be nil (the
+// /debug/obs payload then has no event tail); interval <= 0 means
+// DefaultSnapshotInterval. Call Run (usually in a goroutine) to start
+// the periodic snapshotting, and Close to stop it.
+func NewExporter(reg *Registry, ring *Ring, interval time.Duration) *Exporter {
+	if interval <= 0 {
+		interval = DefaultSnapshotInterval
+	}
+	return &Exporter{reg: reg, ring: ring, interval: interval, stop: make(chan struct{})}
+}
+
+// Run snapshots the registry every interval until Close. The first
+// snapshot is taken immediately so /debug/obs has a window baseline as
+// soon as possible.
+func (x *Exporter) Run() {
+	x.tick(time.Now().UnixNano())
+	t := time.NewTicker(x.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-x.stop:
+			return
+		case now := <-t.C:
+			x.tick(now.UnixNano())
+		}
+	}
+}
+
+// Close stops the periodic snapshotting. Idempotent.
+func (x *Exporter) Close() { x.once.Do(func() { close(x.stop) }) }
+
+// tick takes one snapshot and rotates the window pair. Exported logic,
+// unexported entry: tests drive it directly with synthetic clocks.
+func (x *Exporter) tick(nowNano int64) {
+	s := x.reg.Snapshot(nowNano)
+	x.mu.Lock()
+	x.prev, x.last = x.last, &s
+	x.mu.Unlock()
+}
+
+// window returns the current (prev, last) snapshot pair.
+func (x *Exporter) window() (prev, last *Snapshot) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.prev, x.last
+}
+
+// obsPayload is the /debug/obs response body.
+type obsPayload struct {
+	// Now is the live snapshot taken at request time.
+	Now Snapshot `json:"now"`
+	// Window is the last completed periodic snapshot; Rates are the
+	// per-second counter deltas across the window ending there. Both are
+	// absent until the exporter has ticked enough.
+	Window *Snapshot          `json:"window,omitempty"`
+	Rates  map[string]float64 `json:"rates_per_sec,omitempty"`
+	// WindowSeconds is the span the rates were averaged over.
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+	// Events is the drained tail of the event ring (oldest first), with
+	// the ring's publication/drop totals.
+	Events        []Event `json:"events,omitempty"`
+	EventsTotal   uint64  `json:"events_total,omitempty"`
+	EventsDropped uint64  `json:"events_dropped,omitempty"`
+}
+
+// ServeMetrics is the /metrics handler: Prometheus text exposition of
+// the live registry values.
+func (x *Exporter) ServeMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	x.reg.WritePrometheus(w)
+}
+
+// ServeObs is the /debug/obs handler: a JSON snapshot of every metric,
+// window-accurate counter rates from the periodic snapshot pair, and
+// the recent event tail.
+func (x *Exporter) ServeObs(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now().UnixNano()
+	p := obsPayload{Now: x.reg.Snapshot(now)}
+	prev, last := x.window()
+	if last != nil {
+		p.Window = last
+		if prev != nil {
+			p.Rates = last.Rates(prev)
+			p.WindowSeconds = float64(last.UnixNano-prev.UnixNano) / 1e9
+		}
+	}
+	if x.ring != nil {
+		p.Events = x.ring.Drain(nil)
+		p.EventsTotal = x.ring.Published()
+		p.EventsDropped = x.ring.Dropped()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+// NewMux mounts the export surface: /metrics, /debug/obs, and the
+// net/http/pprof handlers (mounted explicitly — the pprof package's
+// DefaultServeMux side registration is not relied on).
+func NewMux(x *Exporter) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", x.ServeMetrics)
+	mux.HandleFunc("/debug/obs", x.ServeObs)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts the export surface on addr in background
+// goroutines and returns the exporter (for Close) and the server (for
+// Shutdown/Close). Errors after a successful bind are dropped — the
+// export surface is advisory and must never take the decode path down.
+func ListenAndServe(addr string, reg *Registry, ring *Ring) (*Exporter, *http.Server, error) {
+	x := NewExporter(reg, ring, 0)
+	srv := &http.Server{Addr: addr, Handler: NewMux(x)}
+	ln, err := listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	go x.Run()
+	go srv.Serve(ln)
+	return x, srv, nil
+}

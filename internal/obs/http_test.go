@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "h").Add(5)
+	x := NewExporter(r, nil, 0)
+	defer x.Close()
+
+	rr := httptest.NewRecorder()
+	x.ServeMetrics(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "frames_total 5") {
+		t.Fatalf("body missing counter:\n%s", rr.Body.String())
+	}
+}
+
+func TestServeObsWindowRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total", "h")
+	ring := NewRing(8)
+	x := NewExporter(r, ring, 0)
+	defer x.Close()
+
+	// Drive the periodic snapshotting directly with a synthetic clock:
+	// 40 ticks in the first window, 10 more afterward.
+	c.Add(2)
+	x.tick(1_000_000_000)
+	c.Add(40)
+	x.tick(5_000_000_000)
+	c.Add(10)
+	ring.Emit(Event{Kind: KindDegrade, A: 1})
+
+	rr := httptest.NewRecorder()
+	x.ServeObs(rr, httptest.NewRequest("GET", "/debug/obs", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var p struct {
+		Now struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"now"`
+		Rates         map[string]float64 `json:"rates_per_sec"`
+		WindowSeconds float64            `json:"window_seconds"`
+		Events        []struct {
+			Kind string `json:"kind"`
+			A    int64  `json:"a"`
+		} `json:"events"`
+		EventsTotal uint64 `json:"events_total"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+		t.Fatalf("bad /debug/obs json: %v\n%s", err, rr.Body.String())
+	}
+	if p.Now.Counters["ticks_total"] != 52 {
+		t.Fatalf("live counter = %d, want 52", p.Now.Counters["ticks_total"])
+	}
+	if p.WindowSeconds != 4 {
+		t.Fatalf("window = %gs, want 4", p.WindowSeconds)
+	}
+	// Window-accurate: 40 ticks over the 4s window, not the live value.
+	if p.Rates["ticks_total"] != 10 {
+		t.Fatalf("rate = %g, want 10", p.Rates["ticks_total"])
+	}
+	if len(p.Events) != 1 || p.Events[0].Kind != "degrade" || p.Events[0].A != 1 {
+		t.Fatalf("event tail = %+v", p.Events)
+	}
+	if p.EventsTotal != 1 {
+		t.Fatalf("events_total = %d", p.EventsTotal)
+	}
+	if ring.Len() != 0 {
+		t.Fatal("ServeObs did not drain the ring")
+	}
+}
+
+func TestNewMuxRoutes(t *testing.T) {
+	x := NewExporter(NewRegistry(), nil, 0)
+	defer x.Close()
+	mux := NewMux(x)
+	for _, path := range []string{"/metrics", "/debug/obs", "/debug/pprof/", "/debug/pprof/cmdline"} {
+		rr := httptest.NewRecorder()
+		mux.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+		if rr.Code != 200 {
+			t.Errorf("GET %s = %d, want 200", path, rr.Code)
+		}
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "h").Inc()
+	x, srv, err := ListenAndServe("127.0.0.1:0", r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer x.Close()
+	// The eager bind means a bad address fails synchronously.
+	if _, _, err := ListenAndServe("256.0.0.1:99999", r, nil); err == nil {
+		t.Fatal("bad address did not error")
+	}
+}

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"zigzag/internal/metrics"
+)
+
+// Counter is a monotonically increasing atomic counter. Safe for any
+// number of concurrent writers and readers.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Hist is a histogram view over a metrics.QuantileSketch: mergeable,
+// deterministic, within the sketch's relative accuracy. A mutex makes
+// it safe for a live scrape concurrent with the observing goroutine.
+type Hist struct {
+	mu sync.Mutex
+	sk *metrics.QuantileSketch
+}
+
+// Observe folds one observation in.
+func (h *Hist) Observe(v float64) {
+	h.mu.Lock()
+	h.sk.Add(v)
+	h.mu.Unlock()
+}
+
+// N returns the observation count.
+func (h *Hist) N() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sk.N()
+}
+
+// Quantile returns the q-quantile (see metrics.QuantileSketch.Quantile).
+func (h *Hist) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sk.Quantile(q)
+}
+
+// Snapshot clones the underlying sketch (consistent point-in-time view;
+// the clone is mergeable like any sketch).
+func (h *Hist) Snapshot() *metrics.QuantileSketch {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sk.Clone()
+}
+
+// metricKind tags a registry entry's type.
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histKind
+)
+
+// entry is one registered metric instance (one label set of a family).
+type entry struct {
+	family string // metric family name, e.g. zigzag_serve_frames_total
+	labels string // Prometheus label body, e.g. `via="zigzag"`; "" for none
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Hist
+}
+
+// key is the snapshot/exposition identity of the entry.
+func (e *entry) key() string {
+	if e.labels == "" {
+		return e.family
+	}
+	return e.family + "{" + e.labels + "}"
+}
+
+// Registry is a named set of counters, gauges and histograms with
+// Prometheus-text exposition and JSON snapshots. Registration is
+// idempotent: asking for an existing (name, labels) returns the same
+// instance, so independent subsystems can share one registry without
+// coordination. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries []*entry
+	byKey   map[string]*entry
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry the CLIs export when asked to
+// listen; library code takes an explicit *Registry instead.
+var Default = NewRegistry()
+
+func (r *Registry) get(family, labels, help string, kind metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := family
+	if labels != "" {
+		k = family + "{" + labels + "}"
+	}
+	if e, ok := r.byKey[k]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type", k))
+		}
+		return e
+	}
+	e := &entry{family: family, labels: labels, help: help, kind: kind}
+	switch kind {
+	case counterKind:
+		e.c = &Counter{}
+	case gaugeKind:
+		e.g = &Gauge{}
+	case histKind:
+		e.h = &Hist{sk: metrics.NewQuantileSketch(metrics.DefaultSketchAccuracy)}
+	}
+	r.entries = append(r.entries, e)
+	r.byKey[k] = e
+	return e
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.get(name, "", help, counterKind).c
+}
+
+// LabeledCounter registers (or finds) a counter child of a family with
+// a fixed Prometheus label body such as `via="zigzag"`.
+func (r *Registry) LabeledCounter(name, labels, help string) *Counter {
+	return r.get(name, labels, help, counterKind).c
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.get(name, "", help, gaugeKind).g
+}
+
+// Hist registers (or finds) a histogram (sketch accuracy
+// metrics.DefaultSketchAccuracy — the same the serve latency report
+// uses, which is what lets the two reconcile exactly).
+func (r *Registry) Hist(name, help string) *Hist {
+	return r.get(name, "", help, histKind).h
+}
+
+// histQuantiles are the summary quantiles exposed on /metrics.
+var histQuantiles = []float64{0.5, 0.9, 0.95, 0.99}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (counters/gauges as-is, histograms as summaries), families in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	lastFamily := ""
+	for _, e := range entries {
+		if e.family != lastFamily {
+			lastFamily = e.family
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", e.family, e.help)
+			}
+			switch e.kind {
+			case counterKind:
+				fmt.Fprintf(w, "# TYPE %s counter\n", e.family)
+			case gaugeKind:
+				fmt.Fprintf(w, "# TYPE %s gauge\n", e.family)
+			case histKind:
+				fmt.Fprintf(w, "# TYPE %s summary\n", e.family)
+			}
+		}
+		switch e.kind {
+		case counterKind:
+			fmt.Fprintf(w, "%s %d\n", e.key(), e.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(w, "%s %d\n", e.key(), e.g.Value())
+		case histKind:
+			sk := e.h.Snapshot()
+			for _, q := range histQuantiles {
+				v := 0.0
+				if sk.N() > 0 {
+					v = sk.Quantile(q)
+				}
+				fmt.Fprintf(w, "%s{quantile=\"%g\"} %g\n", e.family, q, v)
+			}
+			sum := 0.0
+			if sk.N() > 0 {
+				sum = sk.Mean() * float64(sk.N())
+			}
+			fmt.Fprintf(w, "%s_sum %g\n", e.family, sum)
+			fmt.Fprintf(w, "%s_count %d\n", e.family, sk.N())
+		}
+	}
+}
+
+// HistStats is a histogram's snapshot form.
+type HistStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry's values, keyed by
+// metric name (labels included). Snapshots of the same registry are
+// diffable: the Exporter computes window-accurate rates from
+// consecutive ones.
+type Snapshot struct {
+	UnixNano int64                `json:"unix_nano"`
+	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges"`
+	Hists    map[string]HistStats `json:"hists"`
+}
+
+// Snapshot captures every metric's current value, stamped with nowNano.
+func (r *Registry) Snapshot(nowNano int64) Snapshot {
+	r.mu.Lock()
+	entries := append([]*entry(nil), r.entries...)
+	r.mu.Unlock()
+	s := Snapshot{
+		UnixNano: nowNano,
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+		Hists:    make(map[string]HistStats),
+	}
+	for _, e := range entries {
+		switch e.kind {
+		case counterKind:
+			s.Counters[e.key()] = e.c.Value()
+		case gaugeKind:
+			s.Gauges[e.key()] = e.g.Value()
+		case histKind:
+			sk := e.h.Snapshot()
+			st := HistStats{Count: int64(sk.N())}
+			if sk.N() > 0 {
+				st.Mean = sk.Mean()
+				st.Min = sk.Min()
+				st.Max = sk.Max()
+				st.P50 = sk.Quantile(0.50)
+				st.P90 = sk.Quantile(0.90)
+				st.P95 = sk.Quantile(0.95)
+				st.P99 = sk.Quantile(0.99)
+			}
+			s.Hists[e.key()] = st
+		}
+	}
+	return s
+}
+
+// Rates returns the per-second counter rates over the window between an
+// earlier snapshot and this one (counters absent from either side are
+// skipped; a non-positive window yields nil).
+func (s *Snapshot) Rates(prev *Snapshot) map[string]float64 {
+	if prev == nil {
+		return nil
+	}
+	dt := float64(s.UnixNano-prev.UnixNano) / 1e9
+	if dt <= 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(s.Counters))
+	for k, v := range s.Counters {
+		pv, ok := prev.Counters[k]
+		if !ok {
+			continue
+		}
+		out[k] = float64(v-pv) / dt
+	}
+	return out
+}
+
+// Keys returns the snapshot's metric names sorted (tests and text
+// renderings want a stable order).
+func (s *Snapshot) Keys() []string {
+	out := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Hists))
+	for k := range s.Counters {
+		out = append(out, k)
+	}
+	for k := range s.Gauges {
+		out = append(out, k)
+	}
+	for k := range s.Hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FramerStats is the set of counters a phy.Framer publishes into when
+// instrumented (see phy.Framer.SetStats): nil fields are simply not
+// counted. The serve engine wires these to its registry's
+// zigzag_framer_* counters.
+type FramerStats struct {
+	Samples    *Counter
+	Bursts     *Counter
+	ForcedCuts *Counter
+}

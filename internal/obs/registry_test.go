@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a_total", "help")
+	c2 := r.Counter("a_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	l1 := r.LabeledCounter("b_total", `via="x"`, "h")
+	l2 := r.LabeledCounter("b_total", `via="y"`, "h")
+	if l1 == l2 {
+		t.Fatal("distinct label sets share an instance")
+	}
+	if r.LabeledCounter("b_total", `via="x"`, "h") != l1 {
+		t.Fatal("labeled re-registration returned a different instance")
+	}
+	if r.Gauge("g", "h") != r.Gauge("g", "h") {
+		t.Fatal("gauge not idempotent")
+	}
+	if r.Hist("h", "h") != r.Hist("h", "h") {
+		t.Fatal("hist not idempotent")
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "h")
+}
+
+func TestCounterGaugeHist(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "h")
+	g.Set(42)
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+	h := r.Hist("h_ns", "h")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("hist N = %d, want 100", h.N())
+	}
+	// DefaultSketchAccuracy is 1% relative: p50 must land near 50.
+	if p := h.Quantile(0.5); p < 45 || p > 55 {
+		t.Fatalf("p50 = %g, want ≈50", p)
+	}
+	snap := h.Snapshot()
+	h.Observe(1e6)
+	if snap.N() != 100 {
+		t.Fatal("hist snapshot is not independent of later observations")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_frames_total", "Frames delivered.").Add(7)
+	r.LabeledCounter("zz_via_total", `via="zigzag"`, "By path.").Add(3)
+	r.LabeledCounter("zz_via_total", `via="standard"`, "By path.").Add(4)
+	r.Gauge("zz_pending", "Pending now.").Set(2)
+	h := r.Hist("zz_lat_ns", "Latency.")
+	h.Observe(100)
+	h.Observe(200)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP zz_frames_total Frames delivered.",
+		"# TYPE zz_frames_total counter",
+		"zz_frames_total 7",
+		`zz_via_total{via="zigzag"} 3`,
+		`zz_via_total{via="standard"} 4`,
+		"# TYPE zz_pending gauge",
+		"zz_pending 2",
+		"# TYPE zz_lat_ns summary",
+		`zz_lat_ns{quantile="0.5"}`,
+		`zz_lat_ns{quantile="0.99"}`,
+		"zz_lat_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The shared family header must not repeat per label set.
+	if strings.Count(out, "# TYPE zz_via_total counter") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("exposition leaked NaN:\n%s", out)
+	}
+}
+
+func TestPrometheusEmptyHistNoNaN(t *testing.T) {
+	r := NewRegistry()
+	r.Hist("empty_ns", "never observed")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "NaN") {
+		t.Errorf("empty histogram rendered NaN:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "empty_ns_count 0") {
+		t.Errorf("empty histogram missing count:\n%s", b.String())
+	}
+}
+
+func TestSnapshotAndRates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total", "h")
+	g := r.Gauge("depth", "h")
+	h := r.Hist("lat", "h")
+	c.Add(10)
+	g.Set(3)
+	h.Observe(5)
+
+	s1 := r.Snapshot(1_000_000_000)
+	c.Add(30)
+	g.Set(1)
+	s2 := r.Snapshot(3_000_000_000)
+
+	if s1.Counters["ticks_total"] != 10 || s2.Counters["ticks_total"] != 40 {
+		t.Fatalf("counter snapshots: %d then %d", s1.Counters["ticks_total"], s2.Counters["ticks_total"])
+	}
+	if s2.Gauges["depth"] != 1 {
+		t.Fatalf("gauge snapshot = %d", s2.Gauges["depth"])
+	}
+	if hs := s1.Hists["lat"]; hs.Count != 1 || hs.Mean != 5 {
+		t.Fatalf("hist snapshot = %+v", hs)
+	}
+	rates := s2.Rates(&s1)
+	// 30 more ticks over a 2-second window.
+	if got := rates["ticks_total"]; got != 15 {
+		t.Fatalf("rate = %g, want 15", got)
+	}
+	if s2.Rates(nil) != nil {
+		t.Fatal("rates vs nil baseline should be nil")
+	}
+	same := r.Snapshot(3_000_000_000)
+	if same.Rates(&s2) != nil {
+		t.Fatal("zero-width window should yield nil rates")
+	}
+	keys := s2.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not sorted: %v", keys)
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package phy
 
+import "zigzag/internal/obs"
+
 // Framer is the energy-gate burst framer in front of the streaming
 // receiver: it turns a continuous I/Q sample stream, pushed in
 // arbitrary-size chunks, into the discrete reception buffers the
@@ -35,7 +37,18 @@ type Framer struct {
 	// is the absolute index of the current burst's first sample.
 	pos   int64
 	start int64
+	// stats, when non-nil, receives the framer's observability counters
+	// (see SetStats). Nil costs one check per Push/burst.
+	stats *obs.FramerStats
 }
+
+// SetStats attaches observability counters: samples pushed, bursts
+// emitted, MaxWindow forced cuts. Survives Reset (counters describe the
+// framer's lifetime work, not one stream).
+func (f *Framer) SetStats(st *obs.FramerStats) { f.stats = st }
+
+// Stats returns the attached counters (nil when uninstrumented).
+func (f *Framer) Stats() *obs.FramerStats { return f.stats }
 
 // FramerConfig parameterizes the energy gate.
 type FramerConfig struct {
@@ -114,6 +127,9 @@ func (f *Framer) active(s complex128) bool {
 // before returning. The number of bursts emitted per Push depends on
 // chunking, but the burst contents and extents do not.
 func (f *Framer) Push(chunk []complex128, emit func(burst []complex128, info BurstInfo)) {
+	if f.stats != nil && f.stats.Samples != nil {
+		f.stats.Samples.Add(int64(len(chunk)))
+	}
 	gap := f.cfg.idleGap()
 	maxWin := f.cfg.maxWindow()
 	for _, s := range chunk {
@@ -146,6 +162,14 @@ func (f *Framer) Push(chunk []complex128, emit func(burst []complex128, info Bur
 			// fresh window. idleRun survives the cut so a closing gap
 			// that straddles it still closes the burst after the same
 			// total idle run (closeBurst clamps the trail to the window).
+			if f.stats != nil {
+				if f.stats.Bursts != nil {
+					f.stats.Bursts.Inc()
+				}
+				if f.stats.ForcedCuts != nil {
+					f.stats.ForcedCuts.Inc()
+				}
+			}
 			emit(f.win, BurstInfo{Start: f.start, End: f.pos, Forced: true})
 			f.win = f.win[:0]
 			f.start = f.pos
@@ -161,6 +185,9 @@ func (f *Framer) closeBurst(emit func([]complex128, BurstInfo), forced bool) {
 	}
 	body := f.win[:len(f.win)-trail]
 	if len(body) > 0 {
+		if f.stats != nil && f.stats.Bursts != nil {
+			f.stats.Bursts.Inc()
+		}
 		emit(body, BurstInfo{Start: f.start, End: f.pos - int64(trail), Forced: forced})
 	}
 	f.win = f.win[:0]

@@ -30,14 +30,17 @@
 package serve
 
 import (
+	"context"
 	"hash/fnv"
 	"io"
 	"os"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
 	"zigzag/internal/core"
 	"zigzag/internal/metrics"
+	"zigzag/internal/obs"
 	"zigzag/internal/phy"
 	"zigzag/internal/session"
 )
@@ -124,6 +127,22 @@ type Config struct {
 	// wall clock). Latency accounting and nothing else depends on it;
 	// tests pin a fake to keep reports deterministic.
 	Now func() int64
+
+	// Metrics, when non-nil, is the observability registry the engine
+	// publishes live counters, gauges and the latency histogram into
+	// (zigzag_serve_* and zigzag_framer_* families); the values
+	// reconcile exactly with the final Report. Ignored while the no-obs
+	// hatch (obs.Disabled) is set.
+	Metrics *obs.Registry
+	// Events, when non-nil, is attached as the receiver's typed event
+	// sink for the run (detection, store matching, peel outcomes) and
+	// receives the engine's own degrade-transition events. Ignored while
+	// the no-obs hatch is set.
+	Events obs.Sink
+	// ProfileLabels wraps the ingest/decode/poll phases in pprof labels
+	// so CPU profiles attribute time per stage. Off by default: the
+	// labeled path allocates per phase and is only for profiling runs.
+	ProfileLabels bool
 }
 
 func (c *Config) fillDefaults() {
@@ -183,6 +202,46 @@ type Report struct {
 	Latency       *metrics.QuantileSketch `json:"latency_ns"` // framed→decoded, ns
 }
 
+// serveVars is the engine's registered metric set (see Config.Metrics).
+// Registration is idempotent, so engines sharing a registry share the
+// counters — totals accumulate across runs, as a long-lived exporter
+// wants.
+type serveVars struct {
+	samples, receptions, polled, dropped, forcedCuts *obs.Counter
+	frames, failed                                   *obs.Counter
+	viaStandard, viaZigzag, viaCapture               *obs.Counter
+	degradedSpans                                    *obs.Counter
+	degraded, pending, stored                        *obs.Gauge
+	latency                                          *obs.Hist
+	framer                                           *obs.FramerStats
+}
+
+func newServeVars(reg *obs.Registry) *serveVars {
+	viaHelp := "Frames delivered by decode path."
+	return &serveVars{
+		samples:       reg.Counter("zigzag_serve_samples_total", "Stream samples ingested."),
+		receptions:    reg.Counter("zigzag_serve_receptions_total", "Receptions framed out of the stream."),
+		polled:        reg.Counter("zigzag_serve_polled_total", "Receptions decoded."),
+		dropped:       reg.Counter("zigzag_serve_dropped_total", "Pending receptions shed by the bounded queue."),
+		forcedCuts:    reg.Counter("zigzag_serve_forced_cuts_total", "Bursts cut by MaxWindow rather than idle air."),
+		frames:        reg.Counter("zigzag_serve_frames_total", "Frames delivered."),
+		failed:        reg.Counter("zigzag_serve_failed_total", "Delivered events without a decodable frame."),
+		viaStandard:   reg.LabeledCounter("zigzag_serve_frames_via_total", `via="standard"`, viaHelp),
+		viaZigzag:     reg.LabeledCounter("zigzag_serve_frames_via_total", `via="zigzag"`, viaHelp),
+		viaCapture:    reg.LabeledCounter("zigzag_serve_frames_via_total", `via="capture"`, viaHelp),
+		degradedSpans: reg.Counter("zigzag_serve_degraded_spans_total", "Degraded-mode engagements (PolicyDegrade)."),
+		degraded:      reg.Gauge("zigzag_serve_degraded", "1 while degraded mode is engaged."),
+		pending:       reg.Gauge("zigzag_serve_pending", "Framed receptions awaiting decode."),
+		stored:        reg.Gauge("zigzag_serve_stored_collisions", "Unmatched collisions held in the store."),
+		latency:       reg.Hist("zigzag_serve_latency_ns", "Framed-to-decoded latency in nanoseconds."),
+		framer: &obs.FramerStats{
+			Samples:    reg.Counter("zigzag_framer_samples_total", "Samples pushed through the burst framer."),
+			Bursts:     reg.Counter("zigzag_framer_bursts_total", "Bursts emitted by the framer."),
+			ForcedCuts: reg.Counter("zigzag_framer_forced_cuts_total", "Framer bursts cut by MaxWindow."),
+		},
+	}
+}
+
 // Engine pumps one Source through one receiver. Single-goroutine, like
 // the receiver it drives.
 type Engine struct {
@@ -197,6 +256,12 @@ type Engine struct {
 	digest   uint64
 	degraded bool
 	stamp    int64 // oneshot mode: burst frame time
+
+	// vars is the live metric set (nil when uninstrumented); prevStream
+	// is the last StreamStats mirrored into it, so syncStats adds exact
+	// deltas to the shared counters instead of overwriting totals.
+	vars       *serveVars
+	prevStream core.StreamStats
 }
 
 // NewEngine builds an engine on a pooled session. Close releases the
@@ -220,6 +285,22 @@ func NewEngine(cfg Config) *Engine {
 	e.chunk = make([]complex128, cfg.Chunk)
 	e.lat = metrics.NewQuantileSketch(0.01)
 	e.digest = fnv.New64a().Sum64() // FNV offset basis
+	// Observability attaches here and nowhere deeper: with the no-obs
+	// hatch set (or nothing configured) the receiver keeps nil observers
+	// and every instrumented path below stays a nil check.
+	if !obs.Disabled() {
+		if cfg.Metrics != nil {
+			e.vars = newServeVars(cfg.Metrics)
+			if e.oneshot {
+				e.framer.SetStats(e.vars.framer)
+			} else {
+				e.z.SetFramerStats(e.vars.framer)
+			}
+		}
+		if cfg.Events != nil {
+			e.z.Obs = cfg.Events
+		}
+	}
 	return e
 }
 
@@ -227,10 +308,14 @@ func NewEngine(cfg Config) *Engine {
 // and flags; the engine owns it between New and Close).
 func (e *Engine) Receiver() *core.Receiver { return e.z }
 
-// Close releases the engine's session back to the pool.
+// Close detaches the engine's observers and releases the session back
+// to the pool (a pooled receiver must not keep publishing into a
+// registry its next owner knows nothing about).
 func (e *Engine) Close() {
 	e.z.StreamStamp = nil
 	e.z.SkipStoreMatch = false
+	e.z.Obs = nil
+	e.z.SetFramerStats(nil)
 	session.Release(e.sess)
 	e.sess, e.z = nil, nil
 }
@@ -266,8 +351,15 @@ func (e *Engine) Run(src Source) (*Report, error) {
 
 // feed ingests one chunk and runs the consume side of the loop.
 func (e *Engine) feed(chunk []complex128) {
+	if e.cfg.ProfileLabels {
+		e.feedProfiled(chunk)
+		return
+	}
 	if e.oneshot {
 		e.rep.Samples += int64(len(chunk))
+		if e.vars != nil {
+			e.vars.samples.Add(int64(len(chunk)))
+		}
 		e.framer.Push(chunk, e.onBurst)
 		return
 	}
@@ -276,18 +368,57 @@ func (e *Engine) feed(chunk []complex128) {
 	e.poll(e.cfg.PollBudget)
 }
 
+// feedProfiled mirrors feed under pprof phase labels, so CPU profiles
+// attribute samples to ingest (framing) versus decode (the poll loop).
+// A separate function because pprof.Do allocates per call — the
+// unlabeled fast path must stay allocation-free.
+func (e *Engine) feedProfiled(chunk []complex128) {
+	ctx := context.Background()
+	if e.oneshot {
+		pprof.Do(ctx, pprof.Labels("phase", "ingest"), func(context.Context) {
+			e.rep.Samples += int64(len(chunk))
+			if e.vars != nil {
+				e.vars.samples.Add(int64(len(chunk)))
+			}
+			e.framer.Push(chunk, e.onBurst)
+		})
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("phase", "ingest"), func(context.Context) {
+		e.z.Ingest(chunk)
+	})
+	e.applyPolicy()
+	pprof.Do(ctx, pprof.Labels("phase", "decode"), func(context.Context) {
+		e.poll(e.cfg.PollBudget)
+	})
+}
+
 // finish closes the stream and drains everything still pending.
 func (e *Engine) finish() {
 	if e.oneshot {
 		e.framer.Flush(e.onBurst)
+		if e.vars != nil {
+			e.vars.pending.Set(0)
+			e.vars.stored.Set(int64(e.z.StoredCollisions()))
+		}
 		return
 	}
 	e.z.FlushStream()
-	e.poll(0)
+	if e.cfg.ProfileLabels {
+		pprof.Do(context.Background(), pprof.Labels("phase", "poll"), func(context.Context) {
+			e.poll(0)
+		})
+	} else {
+		e.poll(0)
+	}
 	e.syncStats()
 	if e.degraded {
 		e.degraded = false
 		e.z.SkipStoreMatch = false
+		if e.vars != nil {
+			e.vars.degraded.Set(0)
+		}
+		e.emitDegrade(0)
 	}
 }
 
@@ -301,10 +432,27 @@ func (e *Engine) applyPolicy() {
 		e.degraded = true
 		e.z.SkipStoreMatch = true
 		e.rep.DegradedSpans++
+		if e.vars != nil {
+			e.vars.degradedSpans.Inc()
+			e.vars.degraded.Set(1)
+		}
+		e.emitDegrade(1)
 	} else if e.degraded && e.z.Pending() <= e.cfg.LowWater {
 		e.degraded = false
 		e.z.SkipStoreMatch = false
+		if e.vars != nil {
+			e.vars.degraded.Set(0)
+		}
+		e.emitDegrade(0)
 	}
+}
+
+// emitDegrade publishes a degrade transition on the event sink.
+func (e *Engine) emitDegrade(engaged int64) {
+	if e.cfg.Events == nil || obs.Disabled() {
+		return
+	}
+	e.cfg.Events.Emit(obs.Event{Kind: obs.KindDegrade, A: engaged, B: int64(e.z.Pending())})
 }
 
 // poll decodes up to budget pending receptions (0 = all).
@@ -316,7 +464,11 @@ func (e *Engine) poll(budget int) {
 		}
 		e.tally(evs)
 		if info.Stamp != 0 {
-			e.lat.Add(float64(e.cfg.Now() - info.Stamp))
+			lat := float64(e.cfg.Now() - info.Stamp)
+			e.lat.Add(lat)
+			if e.vars != nil {
+				e.vars.latency.Observe(lat)
+			}
 		}
 	}
 	e.syncStats()
@@ -330,16 +482,40 @@ func (e *Engine) onBurst(burst []complex128, info phy.BurstInfo) {
 	if info.Forced {
 		e.rep.ForcedCuts++
 	}
+	if e.vars != nil {
+		e.vars.receptions.Inc()
+		e.vars.polled.Inc()
+		if info.Forced {
+			e.vars.forcedCuts.Inc()
+		}
+	}
 	t0 := e.cfg.Now()
 	evs := e.z.Receive(burst)
 	e.tally(evs)
-	e.lat.Add(float64(e.cfg.Now() - t0))
+	lat := float64(e.cfg.Now() - t0)
+	e.lat.Add(lat)
+	if e.vars != nil {
+		e.vars.latency.Observe(lat)
+	}
 }
 
 // syncStats mirrors the core's stream counters into the report
-// (streaming mode; the oneshot path counts directly).
+// (streaming mode; the oneshot path counts directly) and publishes the
+// exact deltas since the previous sync into the live metric set — the
+// registry counters are shared across engines, so they accumulate
+// rather than overwrite.
 func (e *Engine) syncStats() {
 	st := e.z.Stream()
+	if e.vars != nil {
+		e.vars.samples.Add(st.Samples - e.prevStream.Samples)
+		e.vars.receptions.Add(st.Bursts - e.prevStream.Bursts)
+		e.vars.polled.Add(st.Polled - e.prevStream.Polled)
+		e.vars.dropped.Add(st.Dropped - e.prevStream.Dropped)
+		e.vars.forcedCuts.Add(st.ForcedCuts - e.prevStream.ForcedCuts)
+		e.prevStream = st
+		e.vars.pending.Set(int64(e.z.Pending()))
+		e.vars.stored.Set(int64(e.z.StoredCollisions()))
+	}
 	e.rep.Samples = st.Samples
 	e.rep.Receptions = st.Bursts
 	e.rep.Polled = st.Polled
@@ -354,16 +530,31 @@ func (e *Engine) tally(evs []core.Event) {
 		ev := &evs[i]
 		if ev.Frame == nil {
 			e.rep.Failed++
+			if e.vars != nil {
+				e.vars.failed.Inc()
+			}
 			continue
 		}
 		e.rep.Frames++
+		if e.vars != nil {
+			e.vars.frames.Inc()
+		}
 		switch ev.Via {
 		case core.ViaStandard:
 			e.rep.Standard++
+			if e.vars != nil {
+				e.vars.viaStandard.Inc()
+			}
 		case core.ViaZigzag:
 			e.rep.Zigzag++
+			if e.vars != nil {
+				e.vars.viaZigzag.Inc()
+			}
 		case core.ViaCapture:
 			e.rep.Capture++
+			if e.vars != nil {
+				e.vars.viaCapture.Inc()
+			}
 		}
 		e.digest = digestFrame(e.digest, ev)
 	}
